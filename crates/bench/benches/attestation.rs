@@ -1,0 +1,67 @@
+//! Attestation protocol benchmarks (Table 4's components as Criterion
+//! measurements).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ironsafe_crypto::group::Group;
+use ironsafe_crypto::schnorr::KeyPair;
+use ironsafe_tee::image::SoftwareImage;
+use ironsafe_tee::sgx::{AttestationService, EnclaveConfig, Quote, SgxPlatform};
+use ironsafe_tee::trustzone::ta::verify_attestation;
+use ironsafe_tee::trustzone::{AttestationTa, BootImages, Manufacturer, SecureBoot, SignedImage};
+use rand::SeedableRng;
+
+fn bench_host_attestation(c: &mut Criterion) {
+    let group = Group::modp_1024();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let platform = SgxPlatform::from_seed(&group, b"bench-host");
+    let enclave = platform
+        .create_enclave(&SoftwareImage::new("engine", 1, b"x".to_vec()), EnclaveConfig::default());
+    let mut ias = AttestationService::new(&group);
+    ias.register_platform(&platform);
+
+    let mut g = c.benchmark_group("attest_host");
+    g.sample_size(20);
+    g.bench_function("quote_generate", |b| {
+        b.iter(|| Quote::generate(&platform, &enclave, std::hint::black_box(b"report"), &mut rng))
+    });
+    let quote = Quote::generate(&platform, &enclave, b"report", &mut rng);
+    g.bench_function("quote_verify", |b| {
+        b.iter(|| ias.verify_quote(std::hint::black_box(&quote)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_storage_attestation(c: &mut Criterion) {
+    let group = Group::modp_1024();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mfr = Manufacturer::from_seed(&group, b"bench-vendor");
+    let vendor = KeyPair::derive(&group, b"bench-vendor", b"tz-manufacturer-root");
+    let device = mfr.make_device("bench-dev", 8, &mut rng);
+    let images = BootImages {
+        trusted_firmware: SignedImage::sign(&group, &vendor.secret, SoftwareImage::new("atf", 2, b"a".to_vec()), &mut rng),
+        trusted_os: SignedImage::sign(&group, &vendor.secret, SoftwareImage::new("optee", 34, b"o".to_vec()), &mut rng),
+        normal_world: SoftwareImage::new("nw", 5, vec![0u8; 1024 * 1024]),
+    };
+
+    let mut g = c.benchmark_group("attest_storage");
+    g.sample_size(10);
+    g.bench_function("secure_boot", |b| {
+        b.iter(|| SecureBoot::boot(&device, &mfr.root_public(), std::hint::black_box(&images), &mut rng).unwrap())
+    });
+    let booted = SecureBoot::boot(&device, &mfr.root_public(), &images, &mut rng).unwrap();
+    let ta = AttestationTa::new(&booted);
+    g.bench_function("ta_respond", |b| {
+        b.iter(|| ta.respond(std::hint::black_box([5u8; 32]), &mut rng))
+    });
+    let challenge = [5u8; 32];
+    let response = ta.respond(challenge, &mut rng);
+    g.bench_function("verify_response_and_chain", |b| {
+        b.iter(|| {
+            verify_attestation(&group, &mfr.root_public(), &challenge, std::hint::black_box(&response)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_host_attestation, bench_storage_attestation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Merkle-tree benchmarks, including the arity ablation called out in
+//! DESIGN.md: wider nodes trade fewer levels (shorter freshness paths)
+//! for bigger per-node HMACs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ironsafe_storage::merkle::MerkleTree;
+
+fn macs(n: usize) -> Vec<[u8; 32]> {
+    (0..n).map(|i| [(i % 251) as u8; 32]).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_build");
+    for n in [1_000usize, 10_000] {
+        let leaves = macs(n);
+        g.bench_with_input(BenchmarkId::new("bulk", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::rebuild_from_macs([7; 32], 2, std::hint::black_box(leaves)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_arity_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_verify_arity");
+    let leaves = macs(10_000);
+    for arity in [2usize, 4, 8, 16] {
+        let mut tree = MerkleTree::rebuild_from_macs([7; 32], arity, &leaves);
+        let root = tree.root().unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 997) % 10_000;
+                assert!(tree.verify(i, &leaves[i as usize], std::hint::black_box(&root)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let leaves = macs(10_000);
+    let mut tree = MerkleTree::rebuild_from_macs([7; 32], 2, &leaves);
+    c.bench_function("merkle_update_10k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 10_000;
+            tree.update(i, std::hint::black_box(&[9u8; 32]));
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_verify_arity_ablation, bench_update);
+criterion_main!(benches);

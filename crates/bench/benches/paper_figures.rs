@@ -1,0 +1,28 @@
+//! Criterion wrapper over the paper-figure harnesses: `cargo bench`
+//! exercises every table and figure pipeline end-to-end (at a small scale
+//! factor so the full suite stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ironsafe_bench::*;
+use std::time::Duration;
+
+const BENCH_SF: f64 = 0.001;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(2));
+    g.bench_function("fig6_speedups", |b| b.iter(|| fig6(BENCH_SF)));
+    g.bench_function("fig7_io_reduction", |b| b.iter(|| fig7(BENCH_SF)));
+    g.bench_function("fig8_breakdown", |b| b.iter(|| fig8(BENCH_SF)));
+    g.bench_function("fig9b_selectivity", |b| b.iter(|| fig9b(BENCH_SF, &[20, 60, 100])));
+    g.bench_function("fig9c_storage_breakdown", |b| b.iter(|| fig9c(BENCH_SF, &[2, 9])));
+    g.bench_function("fig10_cores", |b| b.iter(|| fig10(BENCH_SF, &[1, 16])));
+    g.bench_function("fig11_memory", |b| b.iter(|| fig11(BENCH_SF, &[128 * 1024, 2 * 1024 * 1024])));
+    g.bench_function("table4_attestation", |b| b.iter(table4));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Policy language: parse + evaluate + rewrite costs, with a
+//! predicate-count scaling ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ironsafe_policy::eval::{evaluate, EvalContext, Obligation};
+use ironsafe_policy::rewrite::{rewrite_select, RewriteContext};
+use ironsafe_policy::{parse_policy, Perm};
+use ironsafe_sql::ast::Statement;
+use ironsafe_sql::parser::parse_statement;
+
+fn ctx() -> EvalContext {
+    EvalContext {
+        session_key: "Kb".into(),
+        host_loc: "EU".into(),
+        storage_loc: Some("EU".into()),
+        fw_host: 5,
+        fw_storage: Some(34),
+        latest_fw: 5,
+    }
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = "read :- sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)\n\
+               write :- sessionKeyIs(Ka)\n\
+               exec :- fwVersionStorage(latest) & fwVersionHost(latest) & storageLocIs(EU)";
+    c.bench_function("policy_parse", |b| b.iter(|| parse_policy(std::hint::black_box(src)).unwrap()));
+}
+
+fn bench_eval_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_eval_predicates");
+    for n in [1usize, 4, 16, 64] {
+        let src = format!(
+            "read :- {}",
+            (0..n).map(|i| format!("sessionKeyIs(K{i})")).collect::<Vec<_>>().join(" | ")
+        );
+        let policy = parse_policy(&src).unwrap();
+        let context = ctx(); // Kb matches none ⇒ worst case, all evaluated
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| evaluate(std::hint::black_box(&policy), Perm::Read, &context))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let stmt = parse_statement(
+        "SELECT p_name, p_income FROM people WHERE p_country = 'DE' AND p_income > 10000",
+    )
+    .unwrap();
+    let sel = match stmt {
+        Statement::Select(s) => s,
+        _ => unreachable!(),
+    };
+    let obligations = [Obligation::ExpiryFilter, Obligation::ReuseFilter];
+    let rw = RewriteContext { access_time: 100, service_bit: 3 };
+    c.bench_function("policy_rewrite_select", |b| {
+        b.iter(|| {
+            let mut s = sel.clone();
+            rewrite_select(&mut s, std::hint::black_box(&obligations), &rw);
+            s
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_eval_scaling, bench_rewrite);
+criterion_main!(benches);

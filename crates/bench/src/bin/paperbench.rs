@@ -1,0 +1,198 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! paperbench [fig6|...|fig12|table3|table4|ablation|all] [--sf <f>]
+//! ```
+
+use ironsafe_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_string();
+    let mut sf = DEFAULT_SF;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SF);
+            }
+            other => what = other.to_string(),
+        }
+        i += 1;
+    }
+    let all = what == "all";
+
+    println!("IronSafe paper-evaluation harness (TPC-H SF {sf} ≈ paper SF {} ÷ 1000)", sf * 1000.0);
+    println!("Table 2 configurations: hons, hos, vcs, scs (IronSafe), sos\n");
+
+    if all || what == "fig6" {
+        println!("== Figure 6: query speedup from CS execution (higher is better) ==");
+        println!("{:>5} {:>18} {:>18}", "query", "hons/vcs", "hos/scs");
+        let rows = fig6(sf);
+        let mut gm_ns = 1.0f64;
+        let mut gm_s = 1.0f64;
+        for r in &rows {
+            println!("{:>5} {:>17.2}x {:>17.2}x", format!("#{}", r.query), r.speedup_nonsecure, r.speedup_secure);
+            gm_ns *= r.speedup_nonsecure;
+            gm_s *= r.speedup_secure;
+        }
+        let n = rows.len() as f64;
+        println!("{:>5} {:>17.2}x {:>17.2}x  (geometric mean)\n", "avg", gm_ns.powf(1.0 / n), gm_s.powf(1.0 / n));
+    }
+
+    if all || what == "fig7" {
+        println!("== Figure 7: host<->storage I/O reduction (pages, hons/vcs) ==");
+        println!("{:>5} {:>14}", "query", "reduction");
+        for r in fig7(sf) {
+            println!("{:>5} {:>13.2}x", format!("#{}", r.query), r.io_reduction);
+        }
+        println!();
+    }
+
+    if all || what == "fig8" {
+        println!("== Figure 8: IronSafe (scs) cost breakdown per query ==");
+        println!("{:>5} {:>8} {:>10} {:>9} {:>8}", "query", "ndp", "freshness", "decrypt", "other");
+        for r in fig8(sf) {
+            println!(
+                "{:>5} {:>7.1}% {:>9.1}% {:>8.1}% {:>7.1}%",
+                format!("#{}", r.query),
+                r.ndp * 100.0,
+                r.freshness * 100.0,
+                r.crypto * 100.0,
+                r.other * 100.0
+            );
+        }
+        println!();
+    }
+
+    if all || what == "fig9a" {
+        println!("== Figure 9a: Q1 latency vs input size (simulated s, lower is better) ==");
+        println!("{:>6} {:>10} {:>10} {:>10}", "SF", "hos", "scs", "sos");
+        for p in fig9a(&[sf, sf * 4.0 / 3.0, sf * 5.0 / 3.0]) {
+            println!("{:>6.1} {:>10.4} {:>10.4} {:>10.4}", p.x, p.hos, p.scs, p.sos);
+        }
+        println!();
+    }
+
+    if all || what == "fig9b" {
+        println!("== Figure 9b: Q1 latency vs selectivity (simulated s) ==");
+        println!("{:>6} {:>10} {:>10} {:>10}", "sel%", "hos", "scs", "sos");
+        for p in fig9b(sf, &[10, 20, 40, 60, 80, 100]) {
+            println!("{:>6.0} {:>10.4} {:>10.4} {:>10.4}", p.x, p.hos, p.scs, p.sos);
+        }
+        println!();
+    }
+
+    if all || what == "fig9c" {
+        println!("== Figure 9c: sos secure-storage breakdown (Q2, Q9) ==");
+        println!("{:>5} {:>10} {:>9} {:>11}", "query", "freshness", "decrypt", "processing");
+        for r in fig9c(sf, &[2, 9]) {
+            println!(
+                "{:>5} {:>9.1}% {:>8.1}% {:>10.1}%",
+                format!("#{}", r.query),
+                r.freshness * 100.0,
+                r.decrypt * 100.0,
+                r.processing * 100.0
+            );
+        }
+        println!();
+    }
+
+    if all || what == "fig10" {
+        println!("== Figure 10: hos/scs speedup vs storage CPUs ==");
+        let cores = [1u32, 2, 4, 8, 16];
+        print!("{:>5}", "query");
+        for c in cores {
+            print!(" {:>8}", format!("{c} cpu"));
+        }
+        println!();
+        for r in fig10(sf, &cores) {
+            print!("{:>5}", format!("#{}", r.query));
+            for (_, s) in &r.series {
+                print!(" {:>7.2}x", s);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    if all || what == "fig11" {
+        println!("== Figure 11: scs speedup vs storage memory (vs smallest budget) ==");
+        let mems = [128 * 1024u64, 256 * 1024, 2 * 1024 * 1024];
+        print!("{:>5}", "query");
+        for m in mems {
+            print!(" {:>9}", format!("{}KiB", m / 1024));
+        }
+        println!("   (paper: 128MiB/256MiB/2GiB, scaled 1/1024)");
+        for r in fig11(sf, &mems) {
+            print!("{:>5}", format!("#{}", r.query));
+            for (_, s) in &r.series {
+                print!(" {:>8.2}x", s);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    if all || what == "fig12" {
+        println!("== Figure 12: storage engine scalability (wall-clock, per-instance vs ideal) ==");
+        let counts = [1usize, 2, 4, 8, 16];
+        let ids = [1u8, 6, 12, 13];
+        print!("{:>5}", "query");
+        for n in counts {
+            print!(" {:>8}", format!("{n} inst"));
+        }
+        println!("   (≈1.00 = linear scaling)");
+        for r in fig12(sf.min(0.002), &counts, &ids) {
+            print!("{:>5}", format!("#{}", r.query));
+            for (_, s) in &r.series {
+                print!(" {:>7.2}x", s);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    if all || what == "table3" {
+        println!("== Table 3: GDPR anti-patterns, non-secure vs IronSafe (wall-clock ms) ==");
+        println!("{:<28} {:>12} {:>12} {:>10}", "anti-pattern", "non-secure", "IronSafe", "overhead");
+        for r in table3(20_000) {
+            println!(
+                "{:<28} {:>10.2}ms {:>10.2}ms {:>9.1}x",
+                r.name,
+                r.nonsecure_ms,
+                r.ironsafe_ms,
+                r.overhead()
+            );
+        }
+        println!();
+    }
+
+    if all || what == "ablation" {
+        println!("== Ablation: static vs adaptive partitioner (scs, simulated ms) ==");
+        println!("{:>5} {:>12} {:>12} {:>8}", "query", "static", "adaptive", "gain");
+        for r in partitioner_ablation(sf) {
+            println!(
+                "{:>5} {:>10.2}ms {:>10.2}ms {:>7.2}x",
+                format!("#{}", r.query),
+                r.static_ns / 1e6,
+                r.adaptive_ns / 1e6,
+                r.static_ns / r.adaptive_ns
+            );
+        }
+        println!();
+    }
+
+    if all || what == "table4" {
+        println!("== Table 4: attestation latency breakdown (wall-clock) ==");
+        let t = table4();
+        println!("{:<28} {:>10}   (paper reference)", "component", "measured");
+        println!("{:<28} {:>8.2}ms   (140 ms)", "host: CAS response", t.host_cas_ms);
+        println!("{:<28} {:>8.2}ms   (453 ms)", "storage: TEE", t.storage_tee_ms);
+        println!("{:<28} {:>8.2}ms   ( 54 ms)", "storage: REE", t.storage_ree_ms);
+        println!("{:<28} {:>8.2}ms   ( 42 ms)", "interconnect", t.interconnect_ms);
+        println!("{:<28} {:>8.2}ms   (689 ms)", "total", t.total_ms());
+        println!();
+    }
+}

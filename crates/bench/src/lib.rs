@@ -1,0 +1,21 @@
+//! # ironsafe-bench
+//!
+//! Experiment harnesses regenerating every table and figure of the
+//! paper's evaluation (§6). The [`figures`] module computes each result
+//! series; the `paperbench` binary prints them in paper-shaped tables and
+//! `benches/paper_figures.rs` wires them into Criterion.
+//!
+//! Scale note: the paper's testbed runs TPC-H at scale factors 3–5 on
+//! real hardware; this reproduction runs at SF/1000 (0.003–0.005) and
+//! scales size-dependent resources (EPC, storage memory) by the same
+//! factor, so ratios, crossovers and breakdown shapes are preserved while
+//! a laptop finishes in minutes. Absolute times are *simulated
+//! nanoseconds* from the calibrated cost model, except where a harness
+//! explicitly measures wall-clock time (Figure 12, Tables 3 and 4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::*;

@@ -1,0 +1,107 @@
+//! # IronSafe
+//!
+//! Secure and policy-compliant query processing on heterogeneous
+//! computational storage — a complete reproduction of the SIGMOD 2022
+//! system, with every hardware dependency (Intel SGX, ARM TrustZone,
+//! RPMB, NVMe, 40 GbE) replaced by faithful behavioural models.
+//!
+//! The crate re-exports the whole stack and provides the end-to-end
+//! [`Deployment`] implementing the paper's Figure 2 workflow:
+//!
+//! ```text
+//! client ──1 query+policy──▶ host engine ──2 verify──▶ trusted monitor
+//!                              │   ▲                      (attestation,
+//!                    3 offload │   │ 4 filtered rows       policy, keys,
+//!                              ▼   │                       audit log)
+//!                         storage engine ⇄ untrusted medium
+//!                    5 results + proof of compliance ──▶ client
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ironsafe::{Deployment, Client};
+//!
+//! // A deployment: one SGX host + one TrustZone storage server, both
+//! // attested by the trusted monitor at build time.
+//! let mut dep = Deployment::builder()
+//!     .region("EU")
+//!     .build()
+//!     .expect("attestation succeeds");
+//!
+//! // The data producer creates a database with an access policy.
+//! dep.create_database(
+//!     "crm",
+//!     "read :- sessionKeyIs(alice) | sessionKeyIs(bob)\n\
+//!      write :- sessionKeyIs(alice)",
+//! );
+//! let alice = Client::new("alice");
+//! dep.submit(&alice, "crm", "CREATE TABLE t (a INT, b TEXT)", "").unwrap();
+//! dep.submit(&alice, "crm", "INSERT INTO t VALUES (1, 'x'), (2, 'y')", "").unwrap();
+//!
+//! // A consumer reads — and receives a verifiable proof of compliance.
+//! let bob = Client::new("bob");
+//! let resp = dep.submit(&bob, "crm", "SELECT b FROM t WHERE a = 2", "").unwrap();
+//! assert_eq!(resp.result.rows().len(), 1);
+//! assert!(resp.verify_proof(&dep));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+
+pub use deploy::{Client, Deployment, DeploymentBuilder, Response};
+
+pub use ironsafe_crypto as crypto;
+pub use ironsafe_csa as csa;
+pub use ironsafe_monitor as monitor;
+pub use ironsafe_policy as policy;
+pub use ironsafe_sql as sql;
+pub use ironsafe_storage as storage;
+pub use ironsafe_tee as tee;
+pub use ironsafe_tpch as tpch;
+
+/// Top-level error for the facade.
+#[derive(Debug)]
+pub enum IronSafeError {
+    /// Monitor refused (attestation or policy).
+    Monitor(ironsafe_monitor::MonitorError),
+    /// Execution failure in the CSA layer.
+    Csa(ironsafe_csa::CsaError),
+    /// SQL failure.
+    Sql(ironsafe_sql::SqlError),
+}
+
+impl std::fmt::Display for IronSafeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IronSafeError::Monitor(e) => write!(f, "monitor: {e}"),
+            IronSafeError::Csa(e) => write!(f, "csa: {e}"),
+            IronSafeError::Sql(e) => write!(f, "sql: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IronSafeError {}
+
+impl From<ironsafe_monitor::MonitorError> for IronSafeError {
+    fn from(e: ironsafe_monitor::MonitorError) -> Self {
+        IronSafeError::Monitor(e)
+    }
+}
+
+impl From<ironsafe_csa::CsaError> for IronSafeError {
+    fn from(e: ironsafe_csa::CsaError) -> Self {
+        IronSafeError::Csa(e)
+    }
+}
+
+impl From<ironsafe_sql::SqlError> for IronSafeError {
+    fn from(e: ironsafe_sql::SqlError) -> Self {
+        IronSafeError::Sql(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, IronSafeError>;

@@ -1,0 +1,581 @@
+//! Arbitrary-precision unsigned integers with modular arithmetic.
+//!
+//! Little-endian `u64` limbs, always normalized (no trailing zero limbs;
+//! zero is the empty limb vector). Provides exactly the operations the
+//! Schnorr signature scheme needs: add/sub/mul, binary division,
+//! and Montgomery-accelerated modular exponentiation.
+
+use std::cmp::Ordering;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized.
+    limbs: Vec<u64>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x")?;
+        if self.limbs.is_empty() {
+            write!(f, "0")?;
+        } else {
+            for (i, l) in self.limbs.iter().rev().enumerate() {
+                if i == 0 {
+                    write!(f, "{l:x}")?;
+                } else {
+                    write!(f, "{l:016x}")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Parse big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialize as big-endian bytes without leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.limbs.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Serialize as exactly `len` big-endian bytes (left-padded with zeros).
+    ///
+    /// Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parse a hexadecimal string (whitespace allowed).
+    pub fn from_hex(s: &str) -> Self {
+        let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        assert!(clean.chars().all(|c| c.is_ascii_hexdigit()), "invalid hex");
+        let padded = if clean.len() % 2 == 1 { format!("0{clean}") } else { clean };
+        let bytes: Vec<u8> = (0..padded.len() / 2)
+            .map(|i| u8::from_str_radix(&padded[2 * i..2 * i + 2], 16).expect("checked hexdigit"))
+            .collect();
+        Self::from_bytes_be(&bytes)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The `i`-th bit (LSB = bit 0).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        limb < self.limbs.len() && (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// Compare magnitudes.
+    pub fn cmp_mag(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = l.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`; panics on underflow.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self.cmp_mag(other) != Ordering::Less, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Shift left by one bit.
+    pub fn shl1(&self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u64;
+        for &l in &self.limbs {
+            out.push((l << 1) | carry);
+            carry = l >> 63;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Binary long division: returns `(quotient, remainder)`.
+    ///
+    /// Panics on division by zero. O(bits(self) · limbs(divisor)) — fine for
+    /// the sizes used by the signature scheme.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_mag(divisor) == Ordering::Less {
+            return (Self::zero(), self.clone());
+        }
+        let bits = self.bit_len();
+        let mut quotient_limbs = vec![0u64; self.limbs.len()];
+        let mut rem = Self::zero();
+        for i in (0..bits).rev() {
+            rem = rem.shl1();
+            if self.bit(i) {
+                if rem.limbs.is_empty() {
+                    rem.limbs.push(1);
+                } else {
+                    rem.limbs[0] |= 1;
+                }
+            }
+            if rem.cmp_mag(divisor) != Ordering::Less {
+                rem = rem.sub(divisor);
+                quotient_limbs[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        let mut q = BigUint { limbs: quotient_limbs };
+        q.normalize();
+        (q, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// `(self + other) mod m`; inputs must already be `< m`.
+    pub fn mod_add(&self, other: &Self, m: &Self) -> Self {
+        debug_assert!(self.cmp_mag(m) == Ordering::Less && other.cmp_mag(m) == Ordering::Less);
+        let s = self.add(other);
+        if s.cmp_mag(m) == Ordering::Less {
+            s
+        } else {
+            s.sub(m)
+        }
+    }
+
+    /// `(self * other) mod m` via full multiply + reduce.
+    pub fn mod_mul(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` using Montgomery multiplication (m must be odd).
+    pub fn mod_exp(&self, exp: &Self, m: &Self) -> Self {
+        let ctx = Montgomery::new(m);
+        ctx.pow(&self.rem(m), exp)
+    }
+}
+
+/// Montgomery-multiplication context for a fixed odd modulus.
+pub struct Montgomery {
+    n: Vec<u64>,
+    n0_inv_neg: u64,
+    /// R^2 mod n, where R = 2^(64·len).
+    r2: Vec<u64>,
+    modulus: BigUint,
+}
+
+impl Montgomery {
+    /// Build a context; panics if the modulus is even or zero.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero(), "Montgomery modulus must be nonzero");
+        assert!(modulus.limbs[0] & 1 == 1, "Montgomery modulus must be odd");
+        let n = modulus.limbs.clone();
+        let n0 = n[0];
+        // Newton iteration for n0^{-1} mod 2^64.
+        let mut inv = 1u64;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n0_inv_neg = inv.wrapping_neg();
+        // R^2 mod n computed with plain shifting arithmetic (one-time cost).
+        let len = n.len();
+        let mut r2 = BigUint::one();
+        for _ in 0..(2 * 64 * len) {
+            r2 = r2.shl1();
+            if r2.cmp_mag(modulus) != Ordering::Less {
+                r2 = r2.sub(modulus);
+            }
+        }
+        let mut r2_limbs = r2.limbs;
+        r2_limbs.resize(len, 0);
+        Montgomery { n, n0_inv_neg, r2: r2_limbs, modulus: modulus.clone() }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    fn montmul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let len = self.n.len();
+        debug_assert_eq!(a.len(), len);
+        debug_assert_eq!(b.len(), len);
+        // CIOS (coarsely integrated operand scanning).
+        let mut t = vec![0u64; len + 2];
+        for &ai in a.iter() {
+            let mut carry = 0u128;
+            for j in 0..len {
+                let v = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[len] as u128 + carry;
+            t[len] = v as u64;
+            t[len + 1] = (v >> 64) as u64;
+
+            let m = t[0].wrapping_mul(self.n0_inv_neg);
+            let v = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = v >> 64;
+            for j in 1..len {
+                let v = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = v as u64;
+                carry = v >> 64;
+            }
+            let v = t[len] as u128 + carry;
+            t[len - 1] = v as u64;
+            t[len] = t[len + 1] + ((v >> 64) as u64);
+            t[len + 1] = 0;
+        }
+        t.truncate(len + 1);
+        // Conditional final subtraction.
+        let mut result = BigUint { limbs: t };
+        result.normalize();
+        if result.cmp_mag(&self.modulus) != Ordering::Less {
+            result = result.sub(&self.modulus);
+        }
+        let mut limbs = result.limbs;
+        limbs.resize(len, 0);
+        limbs
+    }
+
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let mut limbs = a.rem(&self.modulus).limbs;
+        limbs.resize(self.n.len(), 0);
+        self.montmul(&limbs, &self.r2)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        let mut out = BigUint { limbs: self.montmul(a, &one) };
+        out.normalize();
+        out
+    }
+
+    /// `base^exp mod n` (left-to-right square and multiply).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_m = self.to_mont(base);
+        let mut acc = base_m.clone();
+        let bits = exp.bit_len();
+        for i in (0..bits - 1).rev() {
+            acc = self.montmul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.montmul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// `(a * b) mod n` through Montgomery representation.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.montmul(&am, &bm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        for v in [0u64, 1, 255, 256, u64::MAX] {
+            let b = n(v);
+            assert_eq!(BigUint::from_bytes_be(&b.to_bytes_be()), b);
+        }
+        let big = BigUint::from_hex("0123456789abcdef0123456789abcdef01");
+        assert_eq!(BigUint::from_bytes_be(&big.to_bytes_be()), big);
+    }
+
+    #[test]
+    fn padded_serialization() {
+        let v = BigUint::from_u64(0x1234);
+        assert_eq!(v.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+        assert_eq!(BigUint::zero().to_bytes_be_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert_eq!(n(2).add(&n(3)), n(5));
+        assert_eq!(n(5).sub(&n(3)), n(2));
+        assert_eq!(n(u64::MAX).add(&n(1)).to_bytes_be(), vec![1, 0, 0, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = n(1).sub(&n(2));
+    }
+
+    #[test]
+    fn mul_crosses_limbs() {
+        let a = BigUint::from_hex("ffffffffffffffff");
+        let b = BigUint::from_hex("ffffffffffffffff");
+        assert_eq!(a.mul(&b), BigUint::from_hex("fffffffffffffffe0000000000000001"));
+    }
+
+    #[test]
+    fn div_rem_matches_u128() {
+        let cases: &[(u128, u128)] = &[
+            (12345678901234567890, 97),
+            (u128::MAX, 0xdeadbeefcafebabe),
+            (1, 2),
+            (100, 100),
+            (0, 5),
+        ];
+        for &(a, b) in cases {
+            let big_a = BigUint::from_bytes_be(&a.to_be_bytes());
+            let big_b = BigUint::from_bytes_be(&b.to_be_bytes());
+            let (q, r) = big_a.div_rem(&big_b);
+            assert_eq!(q, BigUint::from_bytes_be(&(a / b).to_be_bytes()), "q for {a}/{b}");
+            assert_eq!(r, BigUint::from_bytes_be(&(a % b).to_be_bytes()), "r for {a}%{b}");
+        }
+    }
+
+    #[test]
+    fn mod_exp_small_values() {
+        // 3^7 mod 11 = 2187 mod 11 = 9
+        assert_eq!(n(3).mod_exp(&n(7), &n(11)), n(9));
+        // Fermat: a^(p-1) = 1 mod p for prime p.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 65537, 999999999] {
+            assert_eq!(n(a).mod_exp(&p.sub(&n(1)), &p), n(1), "a={a}");
+        }
+        // base^0 = 1
+        assert_eq!(n(5).mod_exp(&n(0), &n(7)), n(1));
+    }
+
+    #[test]
+    fn mod_exp_multi_limb() {
+        // 2^255 mod (2^127 - 1) — Mersenne prime M127. 2^127 ≡ 1, so
+        // 2^255 = 2^(127*2+1) ≡ 2.
+        let m127 = BigUint::from_hex("7fffffffffffffffffffffffffffffff");
+        assert_eq!(n(2).mod_exp(&n(255), &m127), n(2));
+    }
+
+    #[test]
+    fn montgomery_mul_matches_naive() {
+        let m = BigUint::from_hex("f123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdf1");
+        let ctx = Montgomery::new(&m);
+        let a = BigUint::from_hex("abcdef0123456789abcdef0123456789");
+        let b = BigUint::from_hex("123456789abcdef0123456789abcdef11234");
+        assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m));
+    }
+
+    #[test]
+    fn mod_add_wraps() {
+        let m = n(10);
+        assert_eq!(n(7).mod_add(&n(8), &m), n(5));
+        assert_eq!(n(2).mod_add(&n(3), &m), n(5));
+    }
+
+    #[test]
+    fn hex_parse_oddlen_and_whitespace() {
+        assert_eq!(BigUint::from_hex("f"), n(15));
+        assert_eq!(BigUint::from_hex("ff ff"), n(0xffff));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_biguint() -> impl Strategy<Value = BigUint> {
+            proptest::collection::vec(any::<u8>(), 0..40).prop_map(|v| BigUint::from_bytes_be(&v))
+        }
+
+        proptest! {
+            #[test]
+            fn add_commutes(a in arb_biguint(), b in arb_biguint()) {
+                prop_assert_eq!(a.add(&b), b.add(&a));
+            }
+
+            #[test]
+            fn add_then_sub_roundtrips(a in arb_biguint(), b in arb_biguint()) {
+                prop_assert_eq!(a.add(&b).sub(&b), a);
+            }
+
+            #[test]
+            fn mul_commutes(a in arb_biguint(), b in arb_biguint()) {
+                prop_assert_eq!(a.mul(&b), b.mul(&a));
+            }
+
+            #[test]
+            fn div_rem_reconstructs(a in arb_biguint(), b in arb_biguint()) {
+                prop_assume!(!b.is_zero());
+                let (q, r) = a.div_rem(&b);
+                prop_assert!(r.cmp_mag(&b) == std::cmp::Ordering::Less);
+                prop_assert_eq!(q.mul(&b).add(&r), a);
+            }
+
+            #[test]
+            fn bytes_roundtrip(a in arb_biguint()) {
+                prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+            }
+
+            #[test]
+            fn montgomery_matches_naive(a in arb_biguint(), b in arb_biguint(), mut mbytes in proptest::collection::vec(any::<u8>(), 1..32)) {
+                // Force odd, nonzero modulus > 1.
+                let last = mbytes.len() - 1;
+                mbytes[last] |= 1;
+                let m = BigUint::from_bytes_be(&mbytes);
+                prop_assume!(m.cmp_mag(&BigUint::one()) == std::cmp::Ordering::Greater);
+                let ctx = Montgomery::new(&m);
+                prop_assert_eq!(ctx.mul(&a, &b), a.mod_mul(&b, &m));
+            }
+
+            #[test]
+            fn pow_small_exponent_matches_repeated_mul(a in arb_biguint(), e in 0u32..16, mut mbytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+                let last = mbytes.len() - 1;
+                mbytes[last] |= 1;
+                let m = BigUint::from_bytes_be(&mbytes);
+                prop_assume!(m.cmp_mag(&BigUint::one()) == std::cmp::Ordering::Greater);
+                let ctx = Montgomery::new(&m);
+                let got = ctx.pow(&a, &BigUint::from_u64(e as u64));
+                let mut expect = BigUint::one().rem(&m);
+                for _ in 0..e {
+                    expect = expect.mod_mul(&a, &m);
+                }
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+}

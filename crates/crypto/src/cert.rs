@@ -1,0 +1,217 @@
+//! Minimal certificate chains.
+//!
+//! IronSafe's trust roots are modelled as in the paper:
+//!
+//! * The storage system's secure boot produces a **certificate chain** rooted
+//!   in the manufacturer's root-of-trust public key (ROTPK): ROM firmware →
+//!   trusted firmware → trusted OS → normal-world image. Each stage signs
+//!   the next stage's public key and measurement.
+//! * The SGX side has an attestation-service key (the IAS/CAS stand-in) that
+//!   certifies quote-signing keys.
+//! * The trusted monitor certifies per-session host keys after attestation.
+//!
+//! A [`Certificate`] binds a subject (name, role, firmware version,
+//! measurement) to a public key with an issuer signature;
+//! a [`CertificateChain`] verifies the links down from a trusted root.
+
+use crate::group::Group;
+use crate::schnorr::{PublicKey, SecretKey, Signature};
+use crate::{CryptoError, Result};
+
+/// Identity and claims carried by a certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubjectInfo {
+    /// Human-readable subject name (e.g. `"storage-node-0/trusted-os"`).
+    pub name: String,
+    /// Role string (e.g. `"rom"`, `"trusted-firmware"`, `"normal-world"`).
+    pub role: String,
+    /// Firmware/software version of the subject.
+    pub fw_version: u32,
+    /// Measurement (hash) of the subject image; empty when not applicable.
+    pub measurement: Vec<u8>,
+}
+
+impl SubjectInfo {
+    /// Canonical byte encoding signed by the issuer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.name.len() + self.role.len() + self.measurement.len() + 16);
+        for field in [self.name.as_bytes(), self.role.as_bytes(), &self.measurement] {
+            out.extend_from_slice(&(field.len() as u32).to_be_bytes());
+            out.extend_from_slice(field);
+        }
+        out.extend_from_slice(&self.fw_version.to_be_bytes());
+        out
+    }
+}
+
+/// A public key bound to a subject by an issuer's signature.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// The subject's identity and claims.
+    pub subject: SubjectInfo,
+    /// The subject's public key.
+    pub public_key: PublicKey,
+    /// Issuer signature over `subject ‖ public_key`.
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Issue a certificate for `(subject, public_key)` signed by `issuer`.
+    pub fn issue<R: rand::Rng + ?Sized>(
+        group: &Group,
+        issuer: &SecretKey,
+        subject: SubjectInfo,
+        public_key: PublicKey,
+        rng: &mut R,
+    ) -> Self {
+        let msg = Self::signed_bytes(group, &subject, &public_key);
+        let signature = issuer.sign(&msg, rng);
+        Certificate { subject, public_key, signature }
+    }
+
+    fn signed_bytes(group: &Group, subject: &SubjectInfo, pk: &PublicKey) -> Vec<u8> {
+        let mut msg = b"ironsafe-cert-v1".to_vec();
+        msg.extend_from_slice(&subject.encode());
+        msg.extend_from_slice(&pk.to_bytes(group));
+        msg
+    }
+
+    /// Verify the issuer's signature with `issuer_key`.
+    pub fn verify(&self, group: &Group, issuer_key: &PublicKey) -> Result<()> {
+        let msg = Self::signed_bytes(group, &self.subject, &self.public_key);
+        issuer_key.verify(group, &msg, &self.signature)
+    }
+}
+
+/// An ordered chain: `certs[0]` is signed by the root, `certs[i+1]` by
+/// `certs[i]`'s key.
+#[derive(Clone, Debug, Default)]
+pub struct CertificateChain {
+    /// Certificates from closest-to-root to leaf.
+    pub certs: Vec<Certificate>,
+}
+
+impl CertificateChain {
+    /// Empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a link.
+    pub fn push(&mut self, cert: Certificate) {
+        self.certs.push(cert);
+    }
+
+    /// The leaf certificate (last link), if any.
+    pub fn leaf(&self) -> Option<&Certificate> {
+        self.certs.last()
+    }
+
+    /// Verify every link starting from `root`. Returns the leaf on success.
+    pub fn verify(&self, group: &Group, root: &PublicKey) -> Result<&Certificate> {
+        if self.certs.is_empty() {
+            return Err(CryptoError::InvalidCertificate("empty chain"));
+        }
+        let mut issuer = root;
+        for cert in &self.certs {
+            cert.verify(group, issuer)?;
+            issuer = &cert.public_key;
+        }
+        Ok(self.certs.last().expect("non-empty"))
+    }
+
+    /// Locate a link by role (e.g. the normal-world measurement cert).
+    pub fn find_role(&self, role: &str) -> Option<&Certificate> {
+        self.certs.iter().find(|c| c.subject.role == role)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::KeyPair;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(4)
+    }
+
+    fn subject(name: &str, role: &str, v: u32) -> SubjectInfo {
+        SubjectInfo { name: name.into(), role: role.into(), fw_version: v, measurement: vec![0xaa; 32] }
+    }
+
+    #[test]
+    fn single_cert_verifies() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let root = KeyPair::generate(&g, &mut r);
+        let leaf = KeyPair::generate(&g, &mut r);
+        let cert = Certificate::issue(&g, &root.secret, subject("tf", "trusted-firmware", 3), leaf.public.clone(), &mut r);
+        assert!(cert.verify(&g, &root.public).is_ok());
+        let other = KeyPair::generate(&g, &mut r);
+        assert!(cert.verify(&g, &other.public).is_err());
+    }
+
+    #[test]
+    fn three_link_boot_chain() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let rotpk = KeyPair::generate(&g, &mut r);
+        let tf = KeyPair::generate(&g, &mut r);
+        let tos = KeyPair::generate(&g, &mut r);
+        let nw = KeyPair::generate(&g, &mut r);
+
+        let mut chain = CertificateChain::new();
+        chain.push(Certificate::issue(&g, &rotpk.secret, subject("atf", "trusted-firmware", 1), tf.public.clone(), &mut r));
+        chain.push(Certificate::issue(&g, &tf.secret, subject("optee", "trusted-os", 34), tos.public.clone(), &mut r));
+        chain.push(Certificate::issue(&g, &tos.secret, subject("linux", "normal-world", 5), nw.public.clone(), &mut r));
+
+        let leaf = chain.verify(&g, &rotpk.public).unwrap();
+        assert_eq!(leaf.subject.role, "normal-world");
+        assert_eq!(chain.find_role("trusted-os").unwrap().subject.fw_version, 34);
+    }
+
+    #[test]
+    fn broken_middle_link_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let rotpk = KeyPair::generate(&g, &mut r);
+        let tf = KeyPair::generate(&g, &mut r);
+        let impostor = KeyPair::generate(&g, &mut r);
+        let nw = KeyPair::generate(&g, &mut r);
+
+        let mut chain = CertificateChain::new();
+        chain.push(Certificate::issue(&g, &rotpk.secret, subject("atf", "trusted-firmware", 1), tf.public.clone(), &mut r));
+        // Signed by an impostor, not by tf.
+        chain.push(Certificate::issue(&g, &impostor.secret, subject("linux", "normal-world", 5), nw.public.clone(), &mut r));
+        assert!(chain.verify(&g, &rotpk.public).is_err());
+    }
+
+    #[test]
+    fn tampered_subject_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let root = KeyPair::generate(&g, &mut r);
+        let leaf = KeyPair::generate(&g, &mut r);
+        let mut cert = Certificate::issue(&g, &root.secret, subject("x", "normal-world", 7), leaf.public, &mut r);
+        cert.subject.fw_version = 99; // attacker claims a newer firmware
+        assert!(cert.verify(&g, &root.public).is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let root = KeyPair::generate(&g, &mut r);
+        let err = CertificateChain::new().verify(&g, &root.public).unwrap_err();
+        assert_eq!(err, CryptoError::InvalidCertificate("empty chain"));
+    }
+
+    #[test]
+    fn subject_encoding_is_injective_across_fields() {
+        // "ab"+"c" must not collide with "a"+"bc".
+        let s1 = SubjectInfo { name: "ab".into(), role: "c".into(), fw_version: 0, measurement: vec![] };
+        let s2 = SubjectInfo { name: "a".into(), role: "bc".into(), fw_version: 0, measurement: vec![] };
+        assert_ne!(s1.encode(), s2.encode());
+    }
+}

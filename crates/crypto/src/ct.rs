@@ -1,0 +1,43 @@
+//! Constant-time byte comparison.
+
+/// Compare two byte slices without early exit.
+///
+/// Returns `true` iff the slices have equal length and equal contents.
+/// The comparison time depends only on the slice lengths, never on the
+/// position of the first mismatch — required when comparing MACs so an
+/// attacker probing the secure storage cannot binary-search a valid tag.
+#[inline]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 32], &[0u8; 32]));
+    }
+
+    #[test]
+    fn unequal_contents() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"xbc", b"abc"));
+    }
+
+    #[test]
+    fn unequal_lengths() {
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"a"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Multiplicative Schnorr groups: a prime modulus `p` with a generator `g`
+//! of a prime-order-`q` subgroup of `Z_p^*`.
+//!
+//! The default group ([`Group::modp_1024`]) is a 1024-bit modulus with a
+//! 160-bit subgroup order (DSA-style parameters, generated offline and
+//! verified prime with Miller–Rabin; a verification test lives in this
+//! module). Short 160-bit exponents keep signing fast even in debug builds.
+//! [`Group::tiny_test`] is a deliberately small group for exhaustive
+//! property tests — never use it for anything security-relevant.
+
+use crate::bignum::{BigUint, Montgomery};
+use std::sync::Arc;
+
+/// 1024-bit prime modulus (hex). `P = Q·r + 1` with `Q` prime.
+const P_1024: &str = "862832b7a2783d6f40580e02ac5fb20f396d344c107ea27bc222d7cc1675e783\
+630679d54d8511268ab38365c578edfb4e079a2ae1b436687c47a186e6ba3698\
+43cadd772297316b5b7ee9634e0bbce247651e09624bdb7ab4f449ed38478a10\
+449772cec88ee5101c785d269525cb0bfbd56f4a72be025e93a052d56722c049";
+/// 160-bit prime subgroup order.
+const Q_160: &str = "a015b21ec4814e195b2ae491a60aef788045e333";
+/// Generator of the order-`Q` subgroup.
+const G_1024: &str = "232889ff03cbeefaacd94f4bd59743ae329a0cc741d8bbe4ccdca9b2f41309b4\
+2307bec366e5cdfe98a7ccc3f6e8bddc383d5f2feb6cf558ced3f52a5b969397\
+d02684298493848dbf414fb527d67b97671899a3905e2afe5b97642076ef9c9c\
+12e2699b1f08dadb08fedcd399b01c87c70e876e4387c1cc0cfc1bee38554c8b";
+
+/// Tiny test group (64-bit p, 32-bit q): for property tests only.
+const P_TINY: &str = "833b01447422d9e1";
+const Q_TINY: &str = "8c4bfced";
+const G_TINY: &str = "5f3839d5426de26e";
+
+/// A Schnorr group (shared, cheap to clone).
+#[derive(Clone)]
+pub struct Group {
+    inner: Arc<GroupInner>,
+}
+
+struct GroupInner {
+    p: BigUint,
+    q: BigUint,
+    g: BigUint,
+    mont: Montgomery,
+    /// Serialized size of a group element in bytes.
+    element_len: usize,
+    /// Serialized size of a scalar in bytes.
+    scalar_len: usize,
+}
+
+impl Group {
+    fn from_hex(p: &str, q: &str, g: &str) -> Self {
+        let p = BigUint::from_hex(p);
+        let q = BigUint::from_hex(q);
+        let g = BigUint::from_hex(g);
+        let mont = Montgomery::new(&p);
+        let element_len = p.bit_len().div_ceil(8);
+        let scalar_len = q.bit_len().div_ceil(8);
+        Group { inner: Arc::new(GroupInner { p, q, g, mont, element_len, scalar_len }) }
+    }
+
+    /// The default 1024/160-bit production group.
+    pub fn modp_1024() -> Self {
+        Self::from_hex(P_1024, Q_160, G_1024)
+    }
+
+    /// A tiny 64/32-bit group for fast property testing. **Insecure.**
+    pub fn tiny_test() -> Self {
+        Self::from_hex(P_TINY, Q_TINY, G_TINY)
+    }
+
+    /// Modulus `p`.
+    pub fn p(&self) -> &BigUint {
+        &self.inner.p
+    }
+
+    /// Subgroup order `q`.
+    pub fn q(&self) -> &BigUint {
+        &self.inner.q
+    }
+
+    /// Generator `g`.
+    pub fn g(&self) -> &BigUint {
+        &self.inner.g
+    }
+
+    /// Bytes needed to serialize a group element.
+    pub fn element_len(&self) -> usize {
+        self.inner.element_len
+    }
+
+    /// Bytes needed to serialize a scalar (mod q).
+    pub fn scalar_len(&self) -> usize {
+        self.inner.scalar_len
+    }
+
+    /// `base^exp mod p`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.inner.mont.pow(base, exp)
+    }
+
+    /// `g^exp mod p`.
+    pub fn pow_g(&self, exp: &BigUint) -> BigUint {
+        self.pow(&self.inner.g, exp)
+    }
+
+    /// `(a * b) mod p`.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.inner.mont.mul(a, b)
+    }
+
+    /// Reduce a scalar mod `q`.
+    pub fn reduce_scalar(&self, s: &BigUint) -> BigUint {
+        s.rem(&self.inner.q)
+    }
+
+    /// Sample a uniformly random nonzero scalar in `[1, q)`.
+    pub fn random_scalar<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> BigUint {
+        // Rejection-free: draw 2× the scalar width and reduce; the bias is
+        // 2^-160 — negligible, and this is a simulated platform anyway.
+        let mut bytes = vec![0u8; self.inner.scalar_len * 2];
+        loop {
+            rng.fill_bytes(&mut bytes);
+            let s = BigUint::from_bytes_be(&bytes).rem(&self.inner.q);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Membership check: `x` in `[1, p)` and `x^q == 1 (mod p)`.
+    pub fn is_element(&self, x: &BigUint) -> bool {
+        !x.is_zero()
+            && x.cmp_mag(&self.inner.p) == std::cmp::Ordering::Less
+            && self.pow(x, &self.inner.q) == BigUint::one()
+    }
+}
+
+impl std::fmt::Debug for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Group(p: {} bits, q: {} bits)", self.inner.p.bit_len(), self.inner.q.bit_len())
+    }
+}
+
+/// Miller–Rabin probabilistic primality test with the given witness bases.
+pub fn miller_rabin(n: &BigUint, bases: &[u64]) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    if n.cmp_mag(&two) == std::cmp::Ordering::Less {
+        return false;
+    }
+    if !n.bit(0) {
+        return *n == two;
+    }
+    // n - 1 = d * 2^s
+    let n_minus_1 = n.sub(&one);
+    let mut s = 0usize;
+    while !n_minus_1.bit(s) {
+        s += 1;
+    }
+    // d = (n-1) >> s
+    let mut d = n_minus_1.clone();
+    for _ in 0..s {
+        let (q, _) = d.div_rem(&two);
+        d = q;
+    }
+    'base: for &b in bases {
+        let a = BigUint::from_u64(b).rem(n);
+        if a.is_zero() || a == one {
+            continue;
+        }
+        let mut x = a.mod_exp(&d, n);
+        if x == one || x == n_minus_1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'base;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_group_parameters_are_prime_and_consistent() {
+        let g = Group::tiny_test();
+        assert!(miller_rabin(g.p(), &[2, 3, 5, 7, 11, 13, 17, 19, 23]));
+        assert!(miller_rabin(g.q(), &[2, 3, 5, 7, 11, 13, 17, 19, 23]));
+        // q | p - 1
+        let (_, r) = g.p().sub(&BigUint::one()).div_rem(g.q());
+        assert!(r.is_zero());
+        // g has order q
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+        assert!(g.is_element(g.g()));
+    }
+
+    #[test]
+    fn production_group_parameters_are_prime_and_consistent() {
+        let g = Group::modp_1024();
+        assert!(miller_rabin(g.p(), &[2, 3, 5]));
+        assert!(miller_rabin(g.q(), &[2, 3, 5, 7, 11]));
+        let (_, r) = g.p().sub(&BigUint::one()).div_rem(g.q());
+        assert!(r.is_zero());
+        assert_eq!(g.pow_g(g.q()), BigUint::one());
+    }
+
+    #[test]
+    fn exponent_laws_hold() {
+        let g = Group::tiny_test();
+        let a = BigUint::from_u64(12345);
+        let b = BigUint::from_u64(6789);
+        // g^(a+b) == g^a * g^b
+        let lhs = g.pow_g(&a.add(&b));
+        let rhs = g.mul(&g.pow_g(&a), &g.pow_g(&b));
+        assert_eq!(lhs, rhs);
+        // exponents work mod q
+        let a_red = g.reduce_scalar(&a.add(g.q()));
+        assert_eq!(g.pow_g(&a_red), g.pow_g(&g.reduce_scalar(&a)));
+    }
+
+    #[test]
+    fn random_scalars_in_range_and_distinct() {
+        use rand::SeedableRng;
+        let g = Group::modp_1024();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = g.random_scalar(&mut rng);
+        let b = g.random_scalar(&mut rng);
+        assert_ne!(a, b);
+        assert!(!a.is_zero());
+        assert!(a.cmp_mag(g.q()) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn non_elements_rejected() {
+        let g = Group::tiny_test();
+        assert!(!g.is_element(&BigUint::zero()));
+        assert!(!g.is_element(g.p()));
+        // p-1 has order 2, not q.
+        let p_minus_1 = g.p().sub(&BigUint::one());
+        assert!(!g.is_element(&p_minus_1));
+    }
+
+    #[test]
+    fn miller_rabin_classifies_small_numbers() {
+        let primes = [2u64, 3, 5, 7, 11, 101, 65537, 1_000_000_007];
+        let composites = [1u64, 4, 9, 15, 561 /* Carmichael */, 65536, 1_000_000_008];
+        for p in primes {
+            assert!(miller_rabin(&BigUint::from_u64(p), &[2, 3, 5, 7, 11, 13]), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!miller_rabin(&BigUint::from_u64(c), &[2, 3, 5, 7, 11, 13]), "{c} is composite");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! HKDF-SHA256 (RFC 5869).
+//!
+//! IronSafe derives every working key from a small number of roots:
+//! the TrustZone hardware-unique key (HUK) yields the RPMB authentication
+//! key and the TA storage key (TASK); attestation session secrets yield
+//! channel keys. HKDF's extract-then-expand structure keeps those
+//! derivations domain-separated via the `info` parameter.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: compress input keying material into a pseudorandom key.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: stretch a pseudorandom key to `len` bytes (len ≤ 255*32).
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut h = crate::hmac::HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        t = block.to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+/// One-shot HKDF: extract with `salt`, expand with `info` to `len` bytes.
+pub fn hkdf_sha256(ikm: &[u8], salt: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, len)
+}
+
+/// Derive a fixed 16-byte (AES-128) key.
+pub fn derive_key_128(ikm: &[u8], info: &[u8]) -> [u8; 16] {
+    let mut k = [0u8; 16];
+    k.copy_from_slice(&hkdf_sha256(ikm, b"ironsafe-hkdf-salt", info, 16));
+    k
+}
+
+/// Derive a fixed 32-byte (MAC / AES-256-class) key.
+pub fn derive_key_256(ikm: &[u8], info: &[u8]) -> [u8; 32] {
+    let mut k = [0u8; 32];
+    k.copy_from_slice(&hkdf_sha256(ikm, b"ironsafe-hkdf-salt", info, 32));
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let okm = hkdf_sha256(&ikm, &salt, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf_sha256(&ikm, &[], &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn info_separates_domains() {
+        assert_ne!(derive_key_128(b"root", b"rpmb"), derive_key_128(b"root", b"task"));
+        assert_ne!(derive_key_256(b"root", b"a"), derive_key_256(b"root", b"b"));
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let long = hkdf_expand(&prk, b"info", 100);
+        let short = hkdf_expand(&prk, b"info", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

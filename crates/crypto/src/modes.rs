@@ -1,0 +1,230 @@
+//! Block-cipher modes of operation: CTR and CBC (with PKCS#7 padding).
+//!
+//! * **CBC + HMAC (encrypt-then-MAC)** is used for database pages, matching
+//!   the SQLCipher layout the paper adopts: each 4 KiB page carries a random
+//!   IV and an HMAC over `IV || ciphertext`.
+//! * **CTR** is used for network records where random access and exact-size
+//!   ciphertexts matter.
+
+use crate::aes::{Aes128, BLOCK};
+use crate::{CryptoError, Result};
+
+/// Encrypt or decrypt `data` in place with AES-128-CTR.
+///
+/// The 16-byte `nonce` is used as the initial counter block; the low 32 bits
+/// are incremented per block (big-endian), as in NIST SP 800-38A.
+pub fn ctr_xor(aes: &Aes128, nonce: &[u8; BLOCK], data: &mut [u8]) {
+    let mut counter = *nonce;
+    for chunk in data.chunks_mut(BLOCK) {
+        let mut keystream = counter;
+        aes.encrypt_block(&mut keystream);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        increment_counter(&mut counter);
+    }
+}
+
+fn increment_counter(counter: &mut [u8; BLOCK]) {
+    for i in (12..BLOCK).rev() {
+        counter[i] = counter[i].wrapping_add(1);
+        if counter[i] != 0 {
+            return;
+        }
+    }
+}
+
+/// Encrypt `plain` with AES-128-CBC and PKCS#7 padding.
+///
+/// Output length is `plain.len()` rounded up to the next multiple of 16
+/// (a full padding block is added when the input is already aligned).
+pub fn cbc_encrypt(aes: &Aes128, iv: &[u8; BLOCK], plain: &[u8]) -> Vec<u8> {
+    let pad = BLOCK - plain.len() % BLOCK;
+    let mut out = Vec::with_capacity(plain.len() + pad);
+    out.extend_from_slice(plain);
+    out.resize(plain.len() + pad, pad as u8);
+    let mut prev = *iv;
+    for chunk in out.chunks_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("aligned");
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        aes.encrypt_block(block);
+        prev = *block;
+    }
+    out
+}
+
+/// Decrypt AES-128-CBC ciphertext and strip PKCS#7 padding.
+pub fn cbc_decrypt(aes: &Aes128, iv: &[u8; BLOCK], cipher: &[u8]) -> Result<Vec<u8>> {
+    if cipher.is_empty() || !cipher.len().is_multiple_of(BLOCK) {
+        return Err(CryptoError::MalformedCiphertext("CBC length not block-aligned"));
+    }
+    let mut out = cipher.to_vec();
+    let mut prev = *iv;
+    for chunk in out.chunks_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("aligned");
+        let saved = *block;
+        aes.decrypt_block(block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        prev = saved;
+    }
+    let pad = *out.last().expect("non-empty") as usize;
+    if pad == 0 || pad > BLOCK || pad > out.len() {
+        return Err(CryptoError::MalformedCiphertext("bad PKCS#7 padding length"));
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b as usize == pad) {
+        return Err(CryptoError::MalformedCiphertext("bad PKCS#7 padding bytes"));
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+/// Encrypt a fixed-size buffer with AES-128-CBC *without* padding.
+///
+/// Database pages are always an exact multiple of the block size, so the
+/// secure pager uses this unpadded variant to keep ciphertext the same size
+/// as plaintext. Panics if `data` is not block-aligned.
+pub fn cbc_encrypt_aligned(aes: &Aes128, iv: &[u8; BLOCK], data: &mut [u8]) {
+    assert_eq!(data.len() % BLOCK, 0, "aligned CBC requires block-multiple input");
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("aligned");
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        aes.encrypt_block(block);
+        prev = *block;
+    }
+}
+
+/// Inverse of [`cbc_encrypt_aligned`].
+pub fn cbc_decrypt_aligned(aes: &Aes128, iv: &[u8; BLOCK], data: &mut [u8]) -> Result<()> {
+    if !data.len().is_multiple_of(BLOCK) {
+        return Err(CryptoError::MalformedCiphertext("CBC length not block-aligned"));
+    }
+    let mut prev = *iv;
+    for chunk in data.chunks_mut(BLOCK) {
+        let block: &mut [u8; BLOCK] = chunk.try_into().expect("aligned");
+        let saved = *block;
+        aes.decrypt_block(block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        prev = saved;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn aes() -> Aes128 {
+        Aes128::new(&[7u8; 16])
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_symmetry() {
+        let cipher = aes();
+        let nonce = [1u8; 16];
+        let plain = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let mut data = plain.clone();
+        ctr_xor(&cipher, &nonce, &mut data);
+        assert_ne!(data, plain);
+        ctr_xor(&cipher, &nonce, &mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn ctr_nist_sp800_38a_f51() {
+        // NIST SP 800-38A F.5.1 CTR-AES128.Encrypt, first block.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ctr = [
+            0xf0, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa, 0xfb, 0xfc, 0xfd,
+            0xfe, 0xff,
+        ];
+        let mut data = [
+            0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e, 0x11, 0x73, 0x93,
+            0x17, 0x2a,
+        ];
+        ctr_xor(&Aes128::new(&key), &ctr, &mut data);
+        assert_eq!(
+            data,
+            [0x87, 0x4d, 0x61, 0x91, 0xb6, 0x20, 0xe3, 0x26, 0x1b, 0xef, 0x68, 0x64, 0x99, 0x0d, 0xb6, 0xce]
+        );
+    }
+
+    #[test]
+    fn ctr_counter_wraps_within_low_word() {
+        let mut c = [0xffu8; 16];
+        increment_counter(&mut c);
+        // Low 32 bits wrap to zero; upper bytes untouched.
+        assert_eq!(&c[..12], &[0xff; 12]);
+        assert_eq!(&c[12..], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cbc_padded_roundtrip_all_lengths() {
+        let cipher = aes();
+        let iv = [9u8; 16];
+        for len in 0..48 {
+            let plain: Vec<u8> = (0..len as u8).collect();
+            let ct = cbc_encrypt(&cipher, &iv, &plain);
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > plain.len(), "padding always adds bytes");
+            let back = cbc_decrypt(&cipher, &iv, &ct).unwrap();
+            assert_eq!(back, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn cbc_rejects_tampered_padding() {
+        let cipher = aes();
+        let iv = [0u8; 16];
+        let mut ct = cbc_encrypt(&cipher, &iv, b"hello");
+        let last = ct.len() - 1;
+        ct[last] ^= 0xff;
+        // Either padding error or garbage output — but for a single-block
+        // message tampering the last byte corrupts padding detection.
+        assert!(cbc_decrypt(&cipher, &iv, &ct).is_err());
+    }
+
+    #[test]
+    fn cbc_rejects_unaligned() {
+        let cipher = aes();
+        assert!(cbc_decrypt(&cipher, &[0; 16], &[0u8; 15]).is_err());
+        assert!(cbc_decrypt(&cipher, &[0; 16], &[]).is_err());
+    }
+
+    #[test]
+    fn aligned_cbc_roundtrip_page_sized() {
+        let cipher = aes();
+        let iv = [3u8; 16];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let plain: Vec<u8> = (0..4096).map(|_| rng.gen()).collect();
+        let mut data = plain.clone();
+        cbc_encrypt_aligned(&cipher, &iv, &mut data);
+        assert_eq!(data.len(), plain.len());
+        assert_ne!(data, plain);
+        cbc_decrypt_aligned(&cipher, &iv, &mut data).unwrap();
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn different_ivs_give_different_ciphertexts() {
+        let cipher = aes();
+        let plain = [0u8; 64];
+        let mut a = plain;
+        let mut b = plain;
+        cbc_encrypt_aligned(&cipher, &[1; 16], &mut a);
+        cbc_encrypt_aligned(&cipher, &[2; 16], &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! Schnorr signatures over a [`Group`].
+//!
+//! Classic scheme: for secret `x` and public `y = g^x`,
+//! a signature on `m` is `(R, s)` with `R = g^k`, `e = H(R ‖ y ‖ m) mod q`,
+//! `s = k + e·x mod q`; verification checks `g^s == R · y^e (mod p)`.
+//!
+//! These signatures back IronSafe's attestation quotes (signed by the
+//! simulated hardware keys), the trusted monitor's proofs of compliance,
+//! and the certificate chains produced during secure boot.
+
+use crate::bignum::BigUint;
+use crate::group::Group;
+use crate::sha256::sha256_concat;
+use crate::{CryptoError, Result};
+
+/// A Schnorr secret key: scalar `x` in `[1, q)`.
+#[derive(Clone)]
+pub struct SecretKey {
+    group: Group,
+    x: BigUint,
+}
+
+/// A Schnorr public key: group element `y = g^x`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    y: BigUint,
+}
+
+/// A signature `(R, s)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature {
+    r: BigUint,
+    s: BigUint,
+}
+
+/// A keypair.
+#[derive(Clone)]
+pub struct KeyPair {
+    /// The secret half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.y.to_bytes_be();
+        let show = &b[..b.len().min(6)];
+        write!(f, "PublicKey({})", show.iter().map(|x| format!("{x:02x}")).collect::<String>())
+    }
+}
+
+impl KeyPair {
+    /// Generate a keypair in `group` from `rng`.
+    pub fn generate<R: rand::Rng + ?Sized>(group: &Group, rng: &mut R) -> Self {
+        let x = group.random_scalar(rng);
+        let y = group.pow_g(&x);
+        KeyPair { secret: SecretKey { group: group.clone(), x }, public: PublicKey { y } }
+    }
+
+    /// Deterministically derive a keypair from seed material.
+    ///
+    /// Used to turn the simulated hardware-unique key (HUK) or ROTPK seed
+    /// into a stable signing identity for a device.
+    pub fn derive(group: &Group, seed: &[u8], info: &[u8]) -> Self {
+        let material = crate::hkdf::hkdf_sha256(seed, b"ironsafe-keypair", info, group.scalar_len() * 2);
+        let x = group.reduce_scalar(&BigUint::from_bytes_be(&material));
+        let x = if x.is_zero() { BigUint::one() } else { x };
+        let y = group.pow_g(&x);
+        KeyPair { secret: SecretKey { group: group.clone(), x }, public: PublicKey { y } }
+    }
+}
+
+fn challenge(group: &Group, r: &BigUint, y: &BigUint, msg: &[u8]) -> BigUint {
+    let elen = group.element_len();
+    let digest = sha256_concat(&[
+        b"ironsafe-schnorr-v1",
+        &r.to_bytes_be_padded(elen),
+        &y.to_bytes_be_padded(elen),
+        msg,
+    ]);
+    group.reduce_scalar(&BigUint::from_bytes_be(&digest))
+}
+
+impl SecretKey {
+    /// Sign `msg` using randomness from `rng`.
+    pub fn sign<R: rand::Rng + ?Sized>(&self, msg: &[u8], rng: &mut R) -> Signature {
+        let g = &self.group;
+        let k = g.random_scalar(rng);
+        let r = g.pow_g(&k);
+        let e = challenge(g, &r, &g.pow_g(&self.x), msg);
+        let s = k.mod_add(&g.reduce_scalar(&e.mul(&self.x)), g.q());
+        Signature { r, s }
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> PublicKey {
+        PublicKey { y: self.group.pow_g(&self.x) }
+    }
+}
+
+impl PublicKey {
+    /// Verify `sig` over `msg`.
+    pub fn verify(&self, group: &Group, msg: &[u8], sig: &Signature) -> Result<()> {
+        if !group.is_element(&sig.r) || sig.s.cmp_mag(group.q()) != std::cmp::Ordering::Less {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let e = challenge(group, &sig.r, &self.y, msg);
+        let lhs = group.pow_g(&sig.s);
+        let rhs = group.mul(&sig.r, &group.pow(&self.y, &e));
+        if lhs == rhs {
+            Ok(())
+        } else {
+            Err(CryptoError::VerificationFailed)
+        }
+    }
+
+    /// Serialize (fixed width for the group).
+    pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
+        self.y.to_bytes_be_padded(group.element_len())
+    }
+
+    /// Deserialize and validate group membership.
+    pub fn from_bytes(group: &Group, bytes: &[u8]) -> Result<Self> {
+        let y = BigUint::from_bytes_be(bytes);
+        if group.is_element(&y) {
+            Ok(PublicKey { y })
+        } else {
+            Err(CryptoError::InvalidKey("not a group element"))
+        }
+    }
+}
+
+impl Signature {
+    /// Serialize as `R ‖ s` with fixed widths.
+    pub fn to_bytes(&self, group: &Group) -> Vec<u8> {
+        let mut out = self.r.to_bytes_be_padded(group.element_len());
+        out.extend_from_slice(&self.s.to_bytes_be_padded(group.scalar_len()));
+        out
+    }
+
+    /// Deserialize; length must be exactly `element_len + scalar_len`.
+    pub fn from_bytes(group: &Group, bytes: &[u8]) -> Result<Self> {
+        let want = group.element_len() + group.scalar_len();
+        if bytes.len() != want {
+            return Err(CryptoError::MalformedCiphertext("bad signature length"));
+        }
+        let (rb, sb) = bytes.split_at(group.element_len());
+        Ok(Signature { r: BigUint::from_bytes_be(rb), s: BigUint::from_bytes_be(sb) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let kp = KeyPair::generate(&g, &mut r);
+        let sig = kp.secret.sign(b"attestation quote", &mut r);
+        assert!(kp.public.verify(&g, b"attestation quote", &sig).is_ok());
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let kp = KeyPair::generate(&g, &mut r);
+        let sig = kp.secret.sign(b"msg", &mut r);
+        assert_eq!(kp.public.verify(&g, b"other", &sig), Err(CryptoError::VerificationFailed));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let kp1 = KeyPair::generate(&g, &mut r);
+        let kp2 = KeyPair::generate(&g, &mut r);
+        let sig = kp1.secret.sign(b"msg", &mut r);
+        assert!(kp2.public.verify(&g, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let kp = KeyPair::generate(&g, &mut r);
+        let sig = kp.secret.sign(b"msg", &mut r);
+        let mut bytes = sig.to_bytes(&g);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        let bad = Signature::from_bytes(&g, &bytes).unwrap();
+        assert!(kp.public.verify(&g, b"msg", &bad).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let g = Group::modp_1024();
+        let mut r = rng();
+        let kp = KeyPair::generate(&g, &mut r);
+        let sig = kp.secret.sign(b"m", &mut r);
+        let sig2 = Signature::from_bytes(&g, &sig.to_bytes(&g)).unwrap();
+        assert_eq!(sig, sig2);
+        let pk2 = PublicKey::from_bytes(&g, &kp.public.to_bytes(&g)).unwrap();
+        assert_eq!(kp.public, pk2);
+    }
+
+    #[test]
+    fn derived_keys_are_stable_and_domain_separated() {
+        let g = Group::modp_1024();
+        let a1 = KeyPair::derive(&g, b"huk-device-1", b"attest");
+        let a2 = KeyPair::derive(&g, b"huk-device-1", b"attest");
+        let b = KeyPair::derive(&g, b"huk-device-1", b"storage");
+        let c = KeyPair::derive(&g, b"huk-device-2", b"attest");
+        assert_eq!(a1.public, a2.public);
+        assert_ne!(a1.public, b.public);
+        assert_ne!(a1.public, c.public);
+    }
+
+    #[test]
+    fn signature_wrong_length_rejected() {
+        let g = Group::modp_1024();
+        assert!(Signature::from_bytes(&g, &[0u8; 10]).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[test]
+            fn roundtrip_any_message(msg in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+                let g = Group::tiny_test();
+                let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+                let kp = KeyPair::generate(&g, &mut r);
+                let sig = kp.secret.sign(&msg, &mut r);
+                prop_assert!(kp.public.verify(&g, &msg, &sig).is_ok());
+            }
+
+            #[test]
+            fn flipped_message_bit_rejected(mut msg in proptest::collection::vec(any::<u8>(), 1..64), seed in any::<u64>(), idx in any::<usize>()) {
+                let g = Group::tiny_test();
+                let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+                let kp = KeyPair::generate(&g, &mut r);
+                let sig = kp.secret.sign(&msg, &mut r);
+                let i = idx % msg.len();
+                msg[i] ^= 1;
+                prop_assert!(kp.public.verify(&g, &msg, &sig).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Analytic cost model.
+//!
+//! All experiment figures report *simulated nanoseconds*: deterministic
+//! functions of operation counts measured while queries actually execute.
+//! The default parameters approximate the paper's testbed; every
+//! experiment harness that sweeps a resource (cores, memory, EPC size)
+//! does so by changing one parameter here.
+
+/// Host↔storage interconnect technologies (paper §5: "the layer can be
+/// configured as: NVMe/PCIe, NVMe over fabrics (NVMe-oF), or TCP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interconnect {
+    /// Direct-attached NVMe over PCIe (computational storage device).
+    NvmePcie,
+    /// NVMe over fabrics (storage server, RDMA-class latency).
+    NvmeOf,
+    /// TLS over TCP at 850 MB/s single-stream — the paper's evaluated
+    /// setup and the default here.
+    #[default]
+    TcpTls,
+}
+
+impl Interconnect {
+    /// `(latency_ns per message, ns per byte)` for this technology.
+    pub fn parameters(&self) -> (u64, f64) {
+        match self {
+            // ~10 µs submission/completion, ~7 GB/s (PCIe 4.0 x4).
+            Interconnect::NvmePcie => (10_000, 0.14),
+            // ~25 µs fabric round trip, ~3 GB/s effective.
+            Interconnect::NvmeOf => (25_000, 0.33),
+            // The paper's measured single-stream TLS/TCP numbers.
+            Interconnect::TcpTls => (40_000, 1.18),
+        }
+    }
+}
+
+/// Cost-model parameters.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// Host CPU time to process one row through one operator.
+    pub host_row_ns: f64,
+    /// Storage CPU slowdown relative to the host (A72 vs i9).
+    pub storage_cpu_factor: f64,
+    /// Cores available on the storage server (Figure 10 sweep).
+    pub storage_cores: u32,
+    /// Maximum useful scan parallelism on the storage side.
+    pub storage_max_parallel: u32,
+    /// Memory available to the storage-side application in bytes
+    /// (Figure 11 sweep). Intermediates beyond it pay a thrash penalty.
+    pub storage_mem_bytes: u64,
+    /// NVMe page (4 KiB) read cost.
+    pub device_read_ns_per_page: f64,
+    /// Per-message network latency (TLS record + TCP round trip share).
+    pub net_latency_ns: u64,
+    /// Per-byte network cost (the paper measures 850 MB/s single-stream).
+    pub net_ns_per_byte: f64,
+    /// Enclave transition (ECALL/OCALL) cost.
+    pub enclave_transition_ns: u64,
+    /// EPC page-fault (eviction + reload + re-encrypt) cost.
+    pub epc_fault_ns: u64,
+    /// AES-CBC decrypt of one 4 KiB page.
+    pub decrypt_ns_per_page: u64,
+    /// AES-CBC encrypt of one 4 KiB page.
+    pub encrypt_ns_per_page: u64,
+    /// One HMAC node evaluation in the Merkle tree.
+    pub merkle_node_ns: u64,
+    /// One RPMB authenticated read/write.
+    pub rpmb_op_ns: u64,
+    /// EPC bytes usable by one enclave.
+    pub epc_limit_bytes: usize,
+    /// Fixed per-session cost of channel setup + storage CS service
+    /// instantiation (the paper's "other").
+    pub session_setup_ns: u64,
+    /// Per-fragment cost of instantiating the storage-side CS service
+    /// (query shipping, statement preparation on the storage engine).
+    pub fragment_setup_ns: u64,
+    /// Storage-side cost to serialize one shipped row.
+    pub serialize_row_ns: u64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            host_row_ns: 180.0,
+            storage_cpu_factor: 3.2,
+            storage_cores: 16,
+            storage_max_parallel: 8,
+            storage_mem_bytes: 2 * 1024 * 1024 * 1024,
+            device_read_ns_per_page: 1_230.0, // ≈3.3 GB/s sequential
+            net_latency_ns: 40_000,
+            net_ns_per_byte: 1.18, // ≈850 MB/s single stream
+            enclave_transition_ns: 8_000,
+            epc_fault_ns: 14_000,
+            decrypt_ns_per_page: 3_000,
+            encrypt_ns_per_page: 3_000,
+            merkle_node_ns: 650,
+            rpmb_op_ns: 120_000,
+            epc_limit_bytes: 96 * 1024 * 1024,
+            session_setup_ns: 250_000,
+            fragment_setup_ns: 400_000,
+            serialize_row_ns: 600,
+        }
+    }
+}
+
+impl CostParams {
+    /// Configure the network parameters for an interconnect technology.
+    pub fn with_interconnect(mut self, kind: Interconnect) -> Self {
+        let (latency, per_byte) = kind.parameters();
+        self.net_latency_ns = latency;
+        self.net_ns_per_byte = per_byte;
+        self
+    }
+
+    /// Effective storage scan parallelism.
+    pub fn storage_parallel(&self) -> f64 {
+        self.storage_cores.min(self.storage_max_parallel).max(1) as f64
+    }
+
+    /// Storage CPU time for `rows` through `ops` operators, across cores.
+    pub fn storage_compute_ns(&self, rows: u64, ops: u64) -> f64 {
+        rows as f64 * ops as f64 * self.host_row_ns * self.storage_cpu_factor / self.storage_parallel()
+    }
+
+    /// Host CPU time for `rows` through `ops` operators (single stream —
+    /// the paper's host engine processes one query at a time).
+    pub fn host_compute_ns(&self, rows: u64, ops: u64) -> f64 {
+        rows as f64 * ops as f64 * self.host_row_ns
+    }
+
+    /// Network time for one transfer of `bytes`.
+    pub fn net_ns(&self, bytes: u64, messages: u64) -> f64 {
+        bytes as f64 * self.net_ns_per_byte + (messages * self.net_latency_ns) as f64
+    }
+
+    /// Thrash penalty multiplier when the storage-side working set
+    /// exceeds the available memory (Figure 11): linear in the overflow.
+    pub fn storage_mem_penalty(&self, working_set_bytes: u64) -> f64 {
+        if working_set_bytes <= self.storage_mem_bytes {
+            1.0
+        } else {
+            1.0 + (working_set_bytes - self.storage_mem_bytes) as f64 / self.storage_mem_bytes as f64
+        }
+    }
+}
+
+/// Simulated time, decomposed the way Figure 8 reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Near-data-processing work that vanilla CS would also pay: storage
+    /// compute + device I/O + network + host compute.
+    pub ndp_ns: f64,
+    /// Freshness verification (Merkle traversals + RPMB).
+    pub freshness_ns: f64,
+    /// Page decryption/encryption.
+    pub crypto_ns: f64,
+    /// Enclave transitions.
+    pub transitions_ns: f64,
+    /// EPC paging.
+    pub epc_ns: f64,
+    /// Channel encryption, session setup, monitor round trips.
+    pub other_ns: f64,
+}
+
+impl CostBreakdown {
+    /// Total simulated time.
+    pub fn total_ns(&self) -> f64 {
+        self.ndp_ns + self.freshness_ns + self.crypto_ns + self.transitions_ns + self.epc_ns + self.other_ns
+    }
+
+    /// Accumulate another breakdown.
+    pub fn add(&mut self, other: &CostBreakdown) {
+        self.ndp_ns += other.ndp_ns;
+        self.freshness_ns += other.freshness_ns;
+        self.crypto_ns += other.crypto_ns;
+        self.transitions_ns += other.transitions_ns;
+        self.epc_ns += other.epc_ns;
+        self.other_ns += other.other_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = CostParams::default();
+        assert!(p.storage_cpu_factor > 1.0, "storage CPU is weaker");
+        assert!(p.epc_fault_ns > p.enclave_transition_ns / 2);
+        assert_eq!(p.storage_parallel(), 8.0, "16 cores capped at 8-way scans");
+    }
+
+    #[test]
+    fn storage_compute_scales_down_with_cores() {
+        let mut p = CostParams { storage_cores: 1, ..CostParams::default() };
+        let one = p.storage_compute_ns(1000, 1);
+        p.storage_cores = 8;
+        let eight = p.storage_compute_ns(1000, 1);
+        assert!((one / eight - 8.0).abs() < 1e-9);
+        p.storage_cores = 16;
+        let sixteen = p.storage_compute_ns(1000, 1);
+        assert_eq!(eight, sixteen, "parallelism capped");
+    }
+
+    #[test]
+    fn memory_penalty_kicks_in_past_capacity() {
+        let p = CostParams { storage_mem_bytes: 1000, ..CostParams::default() };
+        assert_eq!(p.storage_mem_penalty(500), 1.0);
+        assert_eq!(p.storage_mem_penalty(1000), 1.0);
+        assert_eq!(p.storage_mem_penalty(3000), 3.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = CostBreakdown {
+            ndp_ns: 1.0,
+            freshness_ns: 2.0,
+            crypto_ns: 3.0,
+            transitions_ns: 4.0,
+            epc_ns: 5.0,
+            other_ns: 6.0,
+        };
+        assert_eq!(b.total_ns(), 21.0);
+        let mut acc = CostBreakdown::default();
+        acc.add(&b);
+        acc.add(&b);
+        assert_eq!(acc.total_ns(), 42.0);
+    }
+
+    #[test]
+    fn interconnects_order_by_speed() {
+        let bytes = 10_000_000;
+        let pcie = CostParams::default().with_interconnect(Interconnect::NvmePcie);
+        let fabric = CostParams::default().with_interconnect(Interconnect::NvmeOf);
+        let tcp = CostParams::default().with_interconnect(Interconnect::TcpTls);
+        assert!(pcie.net_ns(bytes, 10) < fabric.net_ns(bytes, 10));
+        assert!(fabric.net_ns(bytes, 10) < tcp.net_ns(bytes, 10));
+    }
+
+    #[test]
+    fn network_includes_latency_per_message() {
+        let p = CostParams::default();
+        let one_big = p.net_ns(1_000_000, 1);
+        let many_small = p.net_ns(1_000_000, 100);
+        assert!(many_small > one_big);
+    }
+}

@@ -1,0 +1,80 @@
+//! # ironsafe-csa
+//!
+//! The computational-storage architecture: host engine, storage engine,
+//! query partitioner, secure channel and the analytic cost model that
+//! turns *measured work* (pages read, rows shipped, Merkle nodes visited,
+//! EPC faults...) into *simulated time* for the paper's five system
+//! configurations (Table 2):
+//!
+//! | abbrev | system            | split | secure |
+//! |--------|-------------------|-------|--------|
+//! | `hons` | host-only         | no    | no     |
+//! | `hos`  | host-only         | no    | yes    |
+//! | `vcs`  | vanilla CS        | yes   | no     |
+//! | `scs`  | IronSafe          | yes   | yes    |
+//! | `sos`  | storage-only      | no    | yes    |
+//!
+//! Queries really execute — on real generated data through the real
+//! (secure) storage stack — and the cost model only converts the observed
+//! operation counts into nanoseconds using parameters calibrated to the
+//! paper's testbed (i9-10900K host, 16×A72 storage server, NVMe, 40 GbE).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod net;
+pub mod partition;
+pub mod system;
+
+pub use cost::{CostBreakdown, CostParams, Interconnect};
+pub use net::SecureChannel;
+pub use partition::{partition_select, Partition, StorageQuery};
+pub use system::{CsaSystem, QueryReport, SystemConfig};
+
+/// Errors raised by the CSA layer.
+#[derive(Debug)]
+pub enum CsaError {
+    /// SQL-level failure.
+    Sql(ironsafe_sql::SqlError),
+    /// Monitor refused the operation.
+    Monitor(ironsafe_monitor::MonitorError),
+    /// Channel-level failure (MAC mismatch etc.).
+    Channel(&'static str),
+    /// Storage-level failure.
+    Storage(ironsafe_storage::StorageError),
+}
+
+impl std::fmt::Display for CsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsaError::Sql(e) => write!(f, "sql: {e}"),
+            CsaError::Monitor(e) => write!(f, "monitor: {e}"),
+            CsaError::Channel(m) => write!(f, "channel: {m}"),
+            CsaError::Storage(e) => write!(f, "storage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsaError {}
+
+impl From<ironsafe_sql::SqlError> for CsaError {
+    fn from(e: ironsafe_sql::SqlError) -> Self {
+        CsaError::Sql(e)
+    }
+}
+
+impl From<ironsafe_monitor::MonitorError> for CsaError {
+    fn from(e: ironsafe_monitor::MonitorError) -> Self {
+        CsaError::Monitor(e)
+    }
+}
+
+impl From<ironsafe_storage::StorageError> for CsaError {
+    fn from(e: ironsafe_storage::StorageError) -> Self {
+        CsaError::Storage(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CsaError>;

@@ -1,0 +1,789 @@
+//! The five evaluated system configurations and the query runner.
+//!
+//! A [`CsaSystem`] owns the storage-resident database (plaintext for the
+//! non-secure baselines, the full encrypted + Merkle + RPMB stack for the
+//! secure ones) and executes the paper's (multi-stage) queries under one
+//! of the Table 2 configurations, producing a [`QueryReport`] with the
+//! simulated-time breakdown and data-movement counters every figure is
+//! built from.
+
+use crate::cost::{CostBreakdown, CostParams};
+use crate::net::channel_pair;
+use crate::partition::{partition_select, partition_select_strategic, OffloadDecision, Partition, StorageQuery};
+use crate::Result;
+use ironsafe_crypto::group::Group;
+use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
+use ironsafe_sql::{Database, QueryResult, Schema};
+use ironsafe_storage::pager::{PagerStats, PlainPager};
+use ironsafe_storage::SecurePager;
+use ironsafe_tee::sgx::epc::EpcSimulator;
+use ironsafe_tee::trustzone::Manufacturer;
+use ironsafe_tpch::queries::PaperQuery;
+use ironsafe_tpch::TpchData;
+use rand::SeedableRng;
+
+/// The Table 2 configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemConfig {
+    /// `hons`: host-only, non-secure (NFS-attached storage).
+    HostOnlyNonSecure,
+    /// `hos`: host-only, secure (SGX enclave + host-side page crypto).
+    HostOnlySecure,
+    /// `vcs`: vanilla computational storage (split, non-secure).
+    VanillaCs,
+    /// `scs`: IronSafe (split, secure).
+    IronSafe,
+    /// `sos`: storage-only, secure.
+    StorageOnlySecure,
+}
+
+impl SystemConfig {
+    /// Paper abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            SystemConfig::HostOnlyNonSecure => "hons",
+            SystemConfig::HostOnlySecure => "hos",
+            SystemConfig::VanillaCs => "vcs",
+            SystemConfig::IronSafe => "scs",
+            SystemConfig::StorageOnlySecure => "sos",
+        }
+    }
+
+    /// Does this configuration split queries across host and storage?
+    pub fn split(&self) -> bool {
+        matches!(self, SystemConfig::VanillaCs | SystemConfig::IronSafe)
+    }
+
+    /// Does this configuration run the secure storage stack?
+    pub fn secure(&self) -> bool {
+        matches!(
+            self,
+            SystemConfig::HostOnlySecure | SystemConfig::IronSafe | SystemConfig::StorageOnlySecure
+        )
+    }
+
+    /// All five, paper order.
+    pub fn all() -> [SystemConfig; 5] {
+        [
+            SystemConfig::HostOnlyNonSecure,
+            SystemConfig::HostOnlySecure,
+            SystemConfig::VanillaCs,
+            SystemConfig::IronSafe,
+            SystemConfig::StorageOnlySecure,
+        ]
+    }
+}
+
+/// Outcome of one query run.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Configuration used.
+    pub config: SystemConfig,
+    /// TPC-H query number.
+    pub query_id: u8,
+    /// The actual query result (identical across configurations).
+    pub result: QueryResult,
+    /// Simulated-time breakdown.
+    pub breakdown: CostBreakdown,
+    /// Pages read from the medium near the data.
+    pub pages_read_storage: u64,
+    /// Page-equivalents moved between storage and host.
+    pub pages_shipped: u64,
+    /// Rows shipped storage→host (0 for non-split configs' row count view).
+    pub rows_shipped: u64,
+    /// Bytes moved across the interconnect.
+    pub bytes_shipped: u64,
+}
+
+impl QueryReport {
+    /// Total simulated time.
+    pub fn total_ns(&self) -> f64 {
+        self.breakdown.total_ns()
+    }
+}
+
+/// How split configurations decide per-table offloading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Always push filters + projection down (the paper's heuristic).
+    #[default]
+    Static,
+    /// Sample each table's first pages, estimate the fragment's
+    /// selectivity, and offload only when the shipped intermediate is
+    /// estimated to be meaningfully smaller than the raw pages — the
+    /// paper's §8 future work, implemented.
+    Adaptive,
+}
+
+/// A host+storage deployment in one configuration.
+pub struct CsaSystem {
+    /// Active configuration.
+    pub config: SystemConfig,
+    /// Cost-model parameters.
+    pub params: CostParams,
+    /// Offloading strategy for split configurations.
+    pub strategy: PartitionStrategy,
+    storage_db: Database,
+    session_key: [u8; 32],
+}
+
+fn complexity(stmt: &SelectStmt) -> u64 {
+    let joins = stmt.from.len().saturating_sub(1) as u64;
+    let has_agg = !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            SelectItem::Star => false,
+        });
+    let has_sort = !stmt.order_by.is_empty();
+    1 + joins + has_agg as u64 + has_sort as u64
+}
+
+impl CsaSystem {
+    /// Build a system in `config`, loading `data` into its storage node.
+    pub fn build(config: SystemConfig, data: &TpchData, params: CostParams) -> Result<CsaSystem> {
+        let mut storage_db = if config.secure() {
+            let group = Group::modp_1024();
+            let mfr = Manufacturer::from_seed(&group, b"ironsafe-storage-vendor");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xC5A);
+            let device = mfr.make_device("storage-0", 8, &mut rng);
+            Database::new(SecurePager::create(device, 0xC5A).map_err(crate::CsaError::Storage)?)
+        } else {
+            Database::new(PlainPager::new())
+        };
+        ironsafe_tpch::load_into(&mut storage_db, data)?;
+        storage_db.reset_pager_stats();
+        Ok(CsaSystem { config, params, strategy: PartitionStrategy::default(), storage_db, session_key: [0x5e; 32] })
+    }
+
+    /// Build over an already-populated database (e.g. the GDPR workload).
+    pub fn from_database(config: SystemConfig, storage_db: Database, params: CostParams) -> Self {
+        CsaSystem { config, params, strategy: PartitionStrategy::default(), storage_db, session_key: [0x5e; 32] }
+    }
+
+    /// The storage-resident database (e.g. to inspect the catalog).
+    pub fn storage_db(&self) -> &Database {
+        &self.storage_db
+    }
+
+    /// Mutable access (loaders, policy experiments).
+    pub fn storage_db_mut(&mut self) -> &mut Database {
+        &mut self.storage_db
+    }
+
+    /// Install the per-request session key (from the trusted monitor).
+    pub fn set_session_key(&mut self, key: [u8; 32]) {
+        self.session_key = key;
+    }
+
+    fn pager_delta(&self, before: PagerStats) -> PagerStats {
+        let after = self.storage_db.pager_stats();
+        PagerStats {
+            page_reads: after.page_reads - before.page_reads,
+            page_writes: after.page_writes - before.page_writes,
+            decrypts: after.decrypts - before.decrypts,
+            encrypts: after.encrypts - before.encrypts,
+            merkle_nodes: after.merkle_nodes - before.merkle_nodes,
+            rpmb_ops: after.rpmb_ops - before.rpmb_ops,
+        }
+    }
+
+    /// Run a single (possibly monitor-rewritten) statement.
+    ///
+    /// `SELECT`s go through the configuration's normal execution path;
+    /// DML and DDL run directly on the storage-resident database (writes
+    /// always land next to the data).
+    pub fn run_statement(&mut self, stmt: &Statement) -> Result<QueryReport> {
+        match stmt {
+            Statement::Select(sel) => {
+                let sql = crate::partition::render_select(sel);
+                let q = PaperQuery {
+                    id: 0,
+                    name: "ad-hoc",
+                    stages: vec![ironsafe_tpch::QueryStage { sql, into: None }],
+                };
+                self.run_query(&q)
+            }
+            other => {
+                let before = self.storage_db.pager_stats();
+                let result = self.storage_db.execute_statement(other)?;
+                let delta = self.pager_delta(before);
+                let p = &self.params;
+                let breakdown = CostBreakdown {
+                    ndp_ns: (delta.page_reads + delta.page_writes) as f64 * p.device_read_ns_per_page,
+                    crypto_ns: (delta.decrypts * p.decrypt_ns_per_page
+                        + delta.encrypts * p.encrypt_ns_per_page) as f64,
+                    freshness_ns: (delta.merkle_nodes * p.merkle_node_ns
+                        + delta.rpmb_ops * p.rpmb_op_ns) as f64,
+                    ..CostBreakdown::default()
+                };
+                Ok(QueryReport {
+                    config: self.config,
+                    query_id: 0,
+                    result,
+                    breakdown,
+                    pages_read_storage: delta.page_reads,
+                    pages_shipped: 0,
+                    rows_shipped: 0,
+                    bytes_shipped: 0,
+                })
+            }
+        }
+    }
+
+    /// Run a paper query, producing its report.
+    pub fn run_query(&mut self, q: &PaperQuery) -> Result<QueryReport> {
+        match self.config {
+            SystemConfig::StorageOnlySecure => self.run_storage_only(q),
+            SystemConfig::HostOnlyNonSecure | SystemConfig::HostOnlySecure => self.run_host_only(q),
+            SystemConfig::VanillaCs | SystemConfig::IronSafe => self.run_split(q),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // sos: the whole query runs next to the data, on the weak CPU.
+    // ---------------------------------------------------------------
+    fn run_storage_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
+        let before = self.storage_db.pager_stats();
+        let mut scanned_rows = 0u64;
+        let mut ops_total = 0u64;
+        let mut probe_requests = 0u64;
+        let mut result = None;
+        let mut temps = Vec::new();
+        for stage in &q.stages {
+            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+            if let Statement::Select(sel) = &stmt {
+                let mut stage_rows = 0u64;
+                for t in &sel.from {
+                    if let Ok(info) = self.storage_db.catalog().table(&t.name) {
+                        stage_rows += info.heap.row_count;
+                    }
+                }
+                scanned_rows += stage_rows;
+                ops_total += complexity(sel);
+                // SQLite-style access amplification: every join probe
+                // re-requests an inner page through the pager, and each
+                // request pays decrypt + freshness (the paper's Q2/Q9
+                // "request pages ~200K / ~23M times").
+                if sel.from.len() > 1 {
+                    probe_requests += stage_rows;
+                }
+            }
+            let r = self.storage_db.execute_statement(&stmt)?;
+            match &stage.into {
+                Some(name) => {
+                    self.storage_db.create_table(name, r.schema())?;
+                    self.storage_db.insert_rows(name, r.rows().to_vec())?;
+                    temps.push(name.clone());
+                }
+                None => result = Some(r),
+            }
+        }
+        for t in temps {
+            self.storage_db.execute(&format!("DROP TABLE {t}"))?;
+        }
+        let delta = self.pager_delta(before);
+        let db_pages = self
+            .storage_db
+            .catalog()
+            .tables()
+            .map(|t| t.heap.pages.len() as u64)
+            .sum::<u64>()
+            .max(2);
+        let p = &self.params;
+        let compute_ns = scanned_rows as f64
+            * ops_total.max(1) as f64
+            * p.host_row_ns
+            * p.storage_cpu_factor;
+        let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
+        let breakdown = CostBreakdown {
+            ndp_ns: compute_ns + delta.page_reads as f64 * p.device_read_ns_per_page,
+            freshness_ns: ((delta.merkle_nodes + probe_requests * path_nodes) * p.merkle_node_ns
+                + delta.rpmb_ops * p.rpmb_op_ns) as f64,
+            crypto_ns: ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
+                + delta.encrypts * p.encrypt_ns_per_page) as f64,
+            transitions_ns: 0.0,
+            epc_ns: 0.0,
+            other_ns: 0.0,
+        };
+        Ok(QueryReport {
+            config: self.config,
+            query_id: q.id,
+            result: result.expect("query has an output stage"),
+            breakdown,
+            pages_read_storage: delta.page_reads,
+            pages_shipped: 0,
+            rows_shipped: 0,
+            bytes_shipped: 0,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // hons / hos: all pages cross the network; the host does everything.
+    // hos additionally pays enclave transitions, host-side page crypto +
+    // Merkle freshness, and EPC paging for data pages and tree nodes.
+    // ---------------------------------------------------------------
+    fn run_host_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
+        let secure = self.config.secure();
+        let before = self.storage_db.pager_stats();
+        let mut scanned_rows = 0u64;
+        let mut ops_total = 0u64;
+        let mut probe_requests = 0u64;
+        let mut result = None;
+        let mut temps = Vec::new();
+        let db_pages = {
+            // Total pages of all base tables (Merkle leaf count).
+            self.storage_db
+                .catalog()
+                .tables()
+                .map(|t| t.heap.pages.len() as u64)
+                .sum::<u64>()
+                .max(2)
+        };
+        for stage in &q.stages {
+            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+            if let Statement::Select(sel) = &stmt {
+                ops_total += complexity(sel);
+                let mut stage_rows = 0u64;
+                for t in &sel.from {
+                    if let Ok(info) = self.storage_db.catalog().table(&t.name) {
+                        stage_rows += info.heap.row_count;
+                        scanned_rows += info.heap.row_count;
+                    }
+                }
+                // Join probes re-request pages through the in-enclave
+                // SQLCipher pager (same amplification as sos).
+                if sel.from.len() > 1 {
+                    probe_requests += stage_rows;
+                }
+            }
+            let r = self.storage_db.execute_statement(&stmt)?;
+            match &stage.into {
+                Some(name) => {
+                    self.storage_db.create_table(name, r.schema())?;
+                    self.storage_db.insert_rows(name, r.rows().to_vec())?;
+                    temps.push(name.clone());
+                }
+                None => result = Some(r),
+            }
+        }
+        for t in temps {
+            self.storage_db.execute(&format!("DROP TABLE {t}"))?;
+        }
+        let delta = self.pager_delta(before);
+        let p = &self.params;
+        let bytes = delta.page_reads * 4096;
+        // NFS-style page fetches batch ~64 pages per round trip.
+        let messages = delta.page_reads.div_ceil(64).max(1);
+        let host_compute = p.host_compute_ns(scanned_rows, ops_total.max(1));
+        let mut breakdown = CostBreakdown {
+            ndp_ns: host_compute
+                + delta.page_reads as f64 * p.device_read_ns_per_page
+                + p.net_ns(bytes, messages),
+            ..CostBreakdown::default()
+        };
+        if secure {
+            let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
+            breakdown.crypto_ns = ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
+                + delta.encrypts * p.encrypt_ns_per_page) as f64;
+            breakdown.freshness_ns = ((delta.merkle_nodes + probe_requests * path_nodes)
+                * p.merkle_node_ns
+                + delta.rpmb_ops * p.rpmb_op_ns) as f64;
+            // One OCALL round per page batch fetched into the enclave.
+            breakdown.transitions_ns = (delta.page_reads * 2 * p.enclave_transition_ns) as f64;
+            // EPC paging: the in-enclave Merkle tree is the resident
+            // working set (the paper's Figure 9a: 59/78/98 MiB at SF
+            // 3/4/5 against 96 MiB of EPC). While the tree fits, path
+            // verifications hit; once it overflows, the uncached fraction
+            // of every path faults — the paging cliff.
+            let tree_bytes = 2 * db_pages * 32;
+            let overflow = 1.0 - (p.epc_limit_bytes as f64 / tree_bytes as f64).min(1.0);
+            let verifications = delta.page_reads + probe_requests;
+            breakdown.epc_ns =
+                verifications as f64 * path_nodes as f64 * overflow * p.epc_fault_ns as f64;
+        }
+        Ok(QueryReport {
+            config: self.config,
+            query_id: q.id,
+            result: result.expect("query has an output stage"),
+            breakdown,
+            pages_read_storage: delta.page_reads,
+            pages_shipped: delta.page_reads,
+            rows_shipped: scanned_rows,
+            bytes_shipped: bytes,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // vcs / scs: per-table filter fragments run near the data; filtered
+    // rows ship to the host, which joins/aggregates them.
+    // ---------------------------------------------------------------
+    fn run_split(&mut self, q: &PaperQuery) -> Result<QueryReport> {
+        let secure = self.config == SystemConfig::IronSafe;
+        let p = self.params.clone();
+        let before = self.storage_db.pager_stats();
+        let mut host_db = Database::new(PlainPager::new());
+        let mut epc = EpcSimulator::new(p.epc_limit_bytes);
+        let (mut tx, mut rx) = channel_pair(&self.session_key);
+
+        let mut scanned_rows = 0u64;
+        let mut rows_shipped = 0u64;
+        let mut rows_serialized = 0u64;
+        let mut page_transfer_bytes = 0u64;
+        let mut host_input_rows = 0u64;
+        let mut host_ops = 0u64;
+        let mut fragments = 0u64;
+        let mut result = None;
+
+        for stage in &q.stages {
+            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+            let sel = match stmt {
+                Statement::Select(s) => s,
+                other => {
+                    // Non-SELECT stages run on the host.
+                    host_db.execute_statement(&other)?;
+                    continue;
+                }
+            };
+            let catalog_lookup = |name: &str| -> Option<Schema> {
+                self.storage_db.catalog().table(name).ok().map(|t| t.schema.clone())
+            };
+            let Partition { storage, host } = match self.strategy {
+                PartitionStrategy::Static => partition_select(&sel, &catalog_lookup),
+                PartitionStrategy::Adaptive => {
+                    let db = &self.storage_db;
+                    partition_select_strategic(&sel, &catalog_lookup, &|table, frag| {
+                        decide_offload(db, table, frag)
+                    })
+                }
+            };
+
+            // Run fragments near the data, ship results.
+            let mut shipped_tables = Vec::new();
+            for StorageQuery { table, stmt, mode, .. } in &storage {
+                let info = self.storage_db.catalog().table(table)?;
+                scanned_rows += info.heap.row_count;
+                let table_pages = info.heap.pages.len() as u64;
+                let frag_result = self.storage_db.select(stmt)?;
+                let schema = frag_result.schema();
+                let rows = frag_result.rows().to_vec();
+                rows_shipped += rows.len() as u64;
+                fragments += 1;
+
+                match mode {
+                    crate::partition::OffloadDecision::ShipPages => {
+                        // Raw page transfer: no storage-side serialization,
+                        // whole pages cross the wire.
+                        page_transfer_bytes += table_pages * 4096;
+                    }
+                    crate::partition::OffloadDecision::Offload => {
+                        rows_serialized += rows.len() as u64;
+                        // Serialize through the channel (records of ≤4096 rows).
+                        for chunk in rows.chunks(4096) {
+                            let record = tx.seal_rows(&schema, chunk);
+                            let back = rx.open_rows(&record)?;
+                            debug_assert_eq!(back.len(), chunk.len());
+                        }
+                    }
+                }
+                if host_db.catalog().has_table(table) {
+                    host_db.execute(&format!("DROP TABLE {table}"))?;
+                }
+                host_db.create_table(table, schema)?;
+                host_db.insert_rows(table, rows)?;
+                shipped_tables.push(table.clone());
+            }
+
+            // Host-side execution over the shipped intermediates.
+            host_input_rows += shipped_tables
+                .iter()
+                .map(|t| host_db.catalog().table(t).map(|i| i.heap.row_count).unwrap_or(0))
+                .sum::<u64>();
+            host_ops += complexity(&host);
+            if secure {
+                // The host engine's enclave touches every temp page.
+                for t in &shipped_tables {
+                    if let Ok(info) = host_db.catalog().table(t) {
+                        for &page in &info.heap.pages {
+                            epc.access(1_000_000 + page);
+                        }
+                    }
+                }
+            }
+            let r = host_db.select(&host)?;
+            match &stage.into {
+                Some(name) => {
+                    host_db.create_table(name, r.schema())?;
+                    host_db.insert_rows(name, r.rows().to_vec())?;
+                }
+                None => result = Some(r),
+            }
+            for t in shipped_tables {
+                host_db.execute(&format!("DROP TABLE {t}"))?;
+            }
+        }
+
+        let delta = self.pager_delta(before);
+        let bytes = tx.bytes_sent + page_transfer_bytes;
+        // The storage-side application buffers the intermediates it ships.
+        let mem_penalty = p.storage_mem_penalty(bytes);
+        let storage_compute = p.storage_compute_ns(scanned_rows, 1) * mem_penalty;
+        // Serializing shipped rows and instantiating the per-fragment CS
+        // service are storage-side costs vanilla CS also pays — this is
+        // why weakly-selective queries regress under CS (paper Figure 6).
+        let serialize = rows_serialized as f64 * p.serialize_row_ns as f64 * p.storage_cpu_factor
+            / p.storage_parallel();
+        let setup = fragments as f64 * p.fragment_setup_ns as f64;
+        let host_compute = p.host_compute_ns(host_input_rows, host_ops.max(1));
+        let mut breakdown = CostBreakdown {
+            ndp_ns: storage_compute
+                + serialize
+                + setup
+                + host_compute
+                + delta.page_reads as f64 * p.device_read_ns_per_page
+                + p.net_ns(bytes, tx.messages.max(1)),
+            ..CostBreakdown::default()
+        };
+        if secure {
+            // No probe amplification here: the host side of scs joins
+            // in-memory temp tables (no SQLCipher pager on that path).
+            breakdown.crypto_ns =
+                (delta.decrypts * p.decrypt_ns_per_page + delta.encrypts * p.encrypt_ns_per_page) as f64;
+            breakdown.freshness_ns =
+                (delta.merkle_nodes * p.merkle_node_ns + delta.rpmb_ops * p.rpmb_op_ns) as f64;
+            // A couple of transitions per shipped record batch.
+            breakdown.transitions_ns = (tx.messages * 2 * p.enclave_transition_ns) as f64;
+            breakdown.epc_ns = epc.faults() as f64 * p.epc_fault_ns as f64;
+            breakdown.other_ns = p.session_setup_ns as f64 + bytes as f64 * 0.05;
+        }
+        Ok(QueryReport {
+            config: self.config,
+            query_id: q.id,
+            result: result.expect("query has an output stage"),
+            breakdown,
+            pages_read_storage: delta.page_reads,
+            pages_shipped: bytes.div_ceil(4096),
+            rows_shipped,
+            bytes_shipped: bytes,
+        })
+    }
+}
+
+/// Adaptive offload decision: sample the table's first pages, estimate
+/// the fragment's selectivity and output width, and decline the pushdown
+/// when shipping rows would not beat shipping raw pages.
+fn decide_offload(db: &Database, table: &str, frag: &SelectStmt) -> OffloadDecision {
+    let Ok(info) = db.catalog().table(table) else {
+        return OffloadDecision::Offload;
+    };
+    let total_cols = info.schema.len().max(1);
+    let needed_cols = frag.projections.len().max(1);
+    let selectivity = match &frag.where_clause {
+        None => 1.0,
+        Some(pred) => {
+            // Sample up to the first two heap pages.
+            let mut sampled = 0usize;
+            let mut hits = 0usize;
+            for page in 0..info.heap.pages.len().min(2) {
+                let Ok(rows) = info.heap.read_page_rows(db.pager(), page, info.schema.len()) else {
+                    return OffloadDecision::Offload;
+                };
+                for row in &rows {
+                    sampled += 1;
+                    if ironsafe_sql::expr::eval(pred, &info.schema, row)
+                        .map(|v| v.is_truthy())
+                        .unwrap_or(false)
+                    {
+                        hits += 1;
+                    }
+                }
+            }
+            if sampled == 0 {
+                1.0
+            } else {
+                hits as f64 / sampled as f64
+            }
+        }
+    };
+    // Estimated shipped fraction of the raw table bytes.
+    let shipped_fraction = selectivity * needed_cols as f64 / total_cols as f64;
+    if shipped_fraction < 0.8 {
+        OffloadDecision::Offload
+    } else {
+        OffloadDecision::ShipPages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_tee::sgx::epc::PAGE_SIZE;
+    use ironsafe_tpch::queries::{paper_queries, query};
+
+    fn data() -> TpchData {
+        ironsafe_tpch::generate(0.002, 42)
+    }
+
+    fn run(config: SystemConfig, qid: u8, data: &TpchData) -> QueryReport {
+        let mut sys = CsaSystem::build(config, data, CostParams::default()).unwrap();
+        sys.run_query(&query(qid).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn q6_results_identical_across_all_configs() {
+        let d = data();
+        let reference = run(SystemConfig::HostOnlyNonSecure, 6, &d).result;
+        for config in SystemConfig::all().into_iter().skip(1) {
+            let r = run(config, 6, &d);
+            assert_eq!(r.result, reference, "{}", config.abbrev());
+        }
+    }
+
+    #[test]
+    fn q3_results_identical_across_all_configs() {
+        let d = data();
+        let reference = run(SystemConfig::HostOnlyNonSecure, 3, &d).result;
+        for config in SystemConfig::all().into_iter().skip(1) {
+            let r = run(config, 3, &d);
+            assert_eq!(r.result, reference, "{}", config.abbrev());
+        }
+    }
+
+    #[test]
+    fn split_ships_fewer_bytes_than_host_only() {
+        let d = data();
+        let hons = run(SystemConfig::HostOnlyNonSecure, 6, &d);
+        let vcs = run(SystemConfig::VanillaCs, 6, &d);
+        assert!(
+            vcs.bytes_shipped < hons.bytes_shipped / 2,
+            "Q6 filters hard: vcs {} vs hons {}",
+            vcs.bytes_shipped,
+            hons.bytes_shipped
+        );
+        assert!(vcs.pages_shipped < hons.pages_shipped);
+    }
+
+    #[test]
+    fn secure_costs_more_than_non_secure() {
+        let d = data();
+        let hons = run(SystemConfig::HostOnlyNonSecure, 6, &d);
+        let hos = run(SystemConfig::HostOnlySecure, 6, &d);
+        assert!(hos.total_ns() > hons.total_ns());
+        assert!(hos.breakdown.freshness_ns > 0.0);
+        assert!(hos.breakdown.crypto_ns > 0.0);
+        let vcs = run(SystemConfig::VanillaCs, 6, &d);
+        let scs = run(SystemConfig::IronSafe, 6, &d);
+        assert!(scs.total_ns() > vcs.total_ns());
+    }
+
+    #[test]
+    fn ironsafe_beats_host_only_secure_on_selective_queries() {
+        let d = data();
+        let hos = run(SystemConfig::HostOnlySecure, 6, &d);
+        let scs = run(SystemConfig::IronSafe, 6, &d);
+        assert!(
+            scs.total_ns() < hos.total_ns(),
+            "scs {} should beat hos {}",
+            scs.total_ns(),
+            hos.total_ns()
+        );
+    }
+
+    #[test]
+    fn all_paper_queries_run_in_scs() {
+        let d = data();
+        let mut sys = CsaSystem::build(SystemConfig::IronSafe, &d, CostParams::default()).unwrap();
+        for q in paper_queries() {
+            let r = sys.run_query(&q).unwrap_or_else(|e| panic!("Q{}: {e}", q.id));
+            assert!(r.total_ns() > 0.0);
+        }
+    }
+
+    #[test]
+    fn storage_cores_speed_up_split_execution() {
+        let d = data();
+        let p1 = CostParams { storage_cores: 1, ..CostParams::default() };
+        let mut sys1 = CsaSystem::build(SystemConfig::IronSafe, &d, p1).unwrap();
+        let r1 = sys1.run_query(&query(6).unwrap()).unwrap();
+        let p8 = CostParams { storage_cores: 8, ..CostParams::default() };
+        let mut sys8 = CsaSystem::build(SystemConfig::IronSafe, &d, p8).unwrap();
+        let r8 = sys8.run_query(&query(6).unwrap()).unwrap();
+        assert!(r8.total_ns() < r1.total_ns());
+    }
+
+    #[test]
+    fn tiny_epc_causes_paging_in_hos() {
+        let d = data();
+        let p = CostParams { epc_limit_bytes: 8 * PAGE_SIZE, ..CostParams::default() };
+        let mut sys = CsaSystem::build(SystemConfig::HostOnlySecure, &d, p).unwrap();
+        let r = sys.run_query(&query(1).unwrap()).unwrap();
+        assert!(r.breakdown.epc_ns > 0.0, "thrashing EPC must fault");
+    }
+
+    #[test]
+    fn sos_pays_weak_cpu_but_no_network() {
+        let d = data();
+        let r = run(SystemConfig::StorageOnlySecure, 1, &d);
+        assert_eq!(r.bytes_shipped, 0);
+        assert!(r.breakdown.ndp_ns > 0.0);
+        assert!(r.breakdown.freshness_ns > 0.0);
+    }
+
+    #[test]
+    fn multi_stage_query_runs_split() {
+        let d = data();
+        let r = run(SystemConfig::IronSafe, 18, &d);
+        let reference = run(SystemConfig::HostOnlyNonSecure, 18, &d);
+        assert_eq!(r.result, reference.result);
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+    use ironsafe_tpch::queries::query;
+
+    fn data() -> TpchData {
+        ironsafe_tpch::generate(0.002, 42)
+    }
+
+    fn run_with(strategy: PartitionStrategy, qid: u8, data: &TpchData) -> QueryReport {
+        let mut sys = CsaSystem::build(SystemConfig::IronSafe, data, CostParams::default()).unwrap();
+        sys.strategy = strategy;
+        sys.run_query(&query(qid).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn adaptive_matches_static_results() {
+        let d = data();
+        for qid in [1u8, 3, 6, 13, 18] {
+            let a = run_with(PartitionStrategy::Static, qid, &d);
+            let b = run_with(PartitionStrategy::Adaptive, qid, &d);
+            assert_eq!(a.result, b.result, "Q{qid}: strategy must never change answers");
+        }
+    }
+
+    #[test]
+    fn adaptive_keeps_selective_pushdowns() {
+        // Q6's filter is brutal: the adaptive partitioner must keep it.
+        let d = data();
+        let a = run_with(PartitionStrategy::Adaptive, 6, &d);
+        let s = run_with(PartitionStrategy::Static, 6, &d);
+        assert_eq!(a.bytes_shipped, s.bytes_shipped, "Q6 still offloads fully");
+    }
+
+    #[test]
+    fn adaptive_withdraws_weak_pushdowns() {
+        // Q13's NOT LIKE keeps nearly every order: the adaptive strategy
+        // withdraws the pushdown; the host applies the filter instead.
+        let d = data();
+        let a = run_with(PartitionStrategy::Adaptive, 13, &d);
+        let s = run_with(PartitionStrategy::Static, 13, &d);
+        assert!(
+            a.rows_shipped >= s.rows_shipped,
+            "withdrawn pushdown ships at least as many rows ({} vs {})",
+            a.rows_shipped,
+            s.rows_shipped
+        );
+        assert_eq!(a.result, s.result);
+    }
+}

@@ -1,0 +1,185 @@
+//! Tamper-evident audit log.
+//!
+//! The paper requires every data-sharing operation (and every attack
+//! attempt, e.g. crafted queries) to land in a log that cannot be
+//! silently truncated or edited. Entries form a hash chain; the monitor
+//! countersigns the chain head on demand, so a regulator holding the
+//! monitor's public key can verify the full history offline.
+
+use ironsafe_crypto::sha256::sha256_concat;
+
+/// One audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Sequence number (0-based).
+    pub seq: u64,
+    /// Logical timestamp supplied by the monitor.
+    pub timestamp: i64,
+    /// Which log stream this entry belongs to (from `logUpdate(l, ...)`),
+    /// or `"monitor"` for the monitor's own decisions.
+    pub stream: String,
+    /// Identity key of the involved client.
+    pub client_key: String,
+    /// What happened (query text, decision, attack note...).
+    pub message: String,
+    /// Hash of the previous entry (all zero for the first).
+    pub prev_hash: [u8; 32],
+    /// Hash over this entry's contents ‖ `prev_hash`.
+    pub hash: [u8; 32],
+}
+
+fn entry_hash(
+    seq: u64,
+    timestamp: i64,
+    stream: &str,
+    client_key: &str,
+    message: &str,
+    prev: &[u8; 32],
+) -> [u8; 32] {
+    sha256_concat(&[
+        b"ironsafe-audit-v1",
+        &seq.to_be_bytes(),
+        &timestamp.to_be_bytes(),
+        &(stream.len() as u32).to_be_bytes(),
+        stream.as_bytes(),
+        &(client_key.len() as u32).to_be_bytes(),
+        client_key.as_bytes(),
+        &(message.len() as u32).to_be_bytes(),
+        message.as_bytes(),
+        prev,
+    ])
+}
+
+/// Hash-chained append-only log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry; returns its sequence number.
+    pub fn append(&mut self, timestamp: i64, stream: &str, client_key: &str, message: &str) -> u64 {
+        let seq = self.entries.len() as u64;
+        let prev_hash = self.entries.last().map(|e| e.hash).unwrap_or([0; 32]);
+        let hash = entry_hash(seq, timestamp, stream, client_key, message, &prev_hash);
+        self.entries.push(AuditEntry {
+            seq,
+            timestamp,
+            stream: stream.to_string(),
+            client_key: client_key.to_string(),
+            message: message.to_string(),
+            prev_hash,
+            hash,
+        });
+        seq
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Entries of one stream (what the regulator asks for).
+    pub fn stream<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a AuditEntry> + 'a {
+        self.entries.iter().filter(move |e| e.stream == name)
+    }
+
+    /// Hash of the chain head (all zero when empty).
+    pub fn head(&self) -> [u8; 32] {
+        self.entries.last().map(|e| e.hash).unwrap_or([0; 32])
+    }
+
+    /// Recompute every link; `false` if any entry was modified, reordered
+    /// or removed from the middle.
+    pub fn verify(&self) -> bool {
+        let mut prev = [0u8; 32];
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.seq != i as u64 || e.prev_hash != prev {
+                return false;
+            }
+            let expect = entry_hash(e.seq, e.timestamp, &e.stream, &e.client_key, &e.message, &prev);
+            if expect != e.hash {
+                return false;
+            }
+            prev = e.hash;
+        }
+        true
+    }
+
+    /// Test/attack helper: raw mutable entry access.
+    #[doc(hidden)]
+    pub fn raw_entries_mut(&mut self) -> &mut Vec<AuditEntry> {
+        &mut self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditLog {
+        let mut log = AuditLog::new();
+        log.append(1, "monitor", "Ka", "grant read");
+        log.append(2, "audit", "Kb", "SELECT arrival FROM people");
+        log.append(3, "monitor", "Kc", "DENY write");
+        log
+    }
+
+    #[test]
+    fn clean_chain_verifies() {
+        let log = sample();
+        assert!(log.verify());
+        assert_eq!(log.entries().len(), 3);
+        assert_ne!(log.head(), [0; 32]);
+    }
+
+    #[test]
+    fn edited_message_detected() {
+        let mut log = sample();
+        log.raw_entries_mut()[1].message = "SELECT ssn FROM people".into();
+        assert!(!log.verify());
+    }
+
+    #[test]
+    fn dropped_middle_entry_detected() {
+        let mut log = sample();
+        log.raw_entries_mut().remove(1);
+        assert!(!log.verify());
+    }
+
+    #[test]
+    fn reordered_entries_detected() {
+        let mut log = sample();
+        log.raw_entries_mut().swap(0, 2);
+        assert!(!log.verify());
+    }
+
+    #[test]
+    fn truncation_changes_head() {
+        let mut log = sample();
+        let head = log.head();
+        log.raw_entries_mut().pop();
+        // Still internally consistent (an attacker may truncate the tail),
+        // but the head no longer matches what the monitor signed.
+        assert!(log.verify());
+        assert_ne!(log.head(), head);
+    }
+
+    #[test]
+    fn stream_filter() {
+        let log = sample();
+        assert_eq!(log.stream("audit").count(), 1);
+        assert_eq!(log.stream("monitor").count(), 2);
+    }
+
+    #[test]
+    fn empty_log_verifies() {
+        assert!(AuditLog::new().verify());
+        assert_eq!(AuditLog::new().head(), [0; 32]);
+    }
+}

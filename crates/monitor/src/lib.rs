@@ -1,0 +1,71 @@
+//! # ironsafe-monitor
+//!
+//! The trusted monitor (§4.2 of the paper): a supervising service, itself
+//! running inside an SGX enclave, that is the single root of trust clients
+//! need. It
+//!
+//! * remotely attests **hosts** (SGX quote verification + per-session key
+//!   certification, Figure 4a) and **storage systems** (challenge/response
+//!   over the secure-boot certificate chain, Figure 4b) — [`monitor`];
+//! * evaluates client **execution policies** and owner **access policies**
+//!   and rewrites queries to discharge their obligations — [`monitor`];
+//! * manages **session keys** between host and storage and runs session
+//!   cleanup;
+//! * maintains a hash-chained, signed **audit log** a regulator can
+//!   verify — [`audit`];
+//! * issues per-query **proofs of compliance** — [`proof`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod monitor;
+pub mod proof;
+
+pub use audit::{AuditEntry, AuditLog};
+pub use monitor::{Authorization, MonitorConfig, NodeInfo, Placement, TrustedMonitor};
+pub use proof::ProofOfCompliance;
+
+/// Errors raised by the monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorError {
+    /// A node failed attestation.
+    Attestation(String),
+    /// The client or query violates policy.
+    PolicyViolation(String),
+    /// Unknown entity (node, database, session...).
+    Unknown(String),
+    /// Policy-language failure.
+    Policy(ironsafe_policy::PolicyError),
+    /// SQL-level failure while rewriting.
+    Sql(ironsafe_sql::SqlError),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::Attestation(m) => write!(f, "attestation: {m}"),
+            MonitorError::PolicyViolation(m) => write!(f, "policy violation: {m}"),
+            MonitorError::Unknown(m) => write!(f, "unknown entity: {m}"),
+            MonitorError::Policy(e) => write!(f, "policy: {e}"),
+            MonitorError::Sql(e) => write!(f, "sql: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<ironsafe_policy::PolicyError> for MonitorError {
+    fn from(e: ironsafe_policy::PolicyError) -> Self {
+        MonitorError::Policy(e)
+    }
+}
+
+impl From<ironsafe_sql::SqlError> for MonitorError {
+    fn from(e: ironsafe_sql::SqlError) -> Self {
+        MonitorError::Sql(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MonitorError>;

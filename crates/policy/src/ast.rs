@@ -1,0 +1,91 @@
+//! Policy AST.
+
+/// Permission a rule grants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perm {
+    /// Read (SELECT) access.
+    Read,
+    /// Write (INSERT/UPDATE/DELETE) access.
+    Write,
+    /// Execution-environment constraints (checked before any query runs).
+    Exec,
+}
+
+impl std::fmt::Display for Perm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Perm::Read => write!(f, "read"),
+            Perm::Write => write!(f, "write"),
+            Perm::Exec => write!(f, "exec"),
+        }
+    }
+}
+
+/// The paper's predicate vocabulary (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// `sessionKeyIs(K)` — the requesting client's identity key is `K`.
+    SessionKeyIs(String),
+    /// `storageLocIs(l)` — the storage node is located in region `l`.
+    StorageLocIs(String),
+    /// `hostLocIs(l)` — the host node is located in region `l`.
+    HostLocIs(String),
+    /// `fwVersionStorage(v)` — storage firmware version ≥ `v`.
+    FwVersionStorage(u32),
+    /// `fwVersionHost(v)` — host firmware version ≥ `v`.
+    FwVersionHost(u32),
+    /// `le(T, TIMESTAMP)` — only records whose expiry `TIMESTAMP` is at or
+    /// after the access time `T` may be touched (GDPR anti-pattern #1).
+    /// Obligation: the monitor injects an expiry filter.
+    Le,
+    /// `reuseMap(m)` — only records whose reuse bitmap opts in to the
+    /// requesting service may be touched (anti-pattern #2). Obligation:
+    /// the monitor injects a bitmap filter for the client's service bit.
+    ReuseMap,
+    /// `logUpdate(l, K, Q)` — the identity key and query must be appended
+    /// to audit log `l` (anti-pattern #3). Obligation: the monitor logs.
+    LogUpdate {
+        /// Log name.
+        log: String,
+    },
+}
+
+/// A condition tree over predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// A single predicate.
+    Pred(Predicate),
+    /// All must hold (`&`).
+    And(Box<Cond>, Box<Cond>),
+    /// Any may hold (`|`).
+    Or(Box<Cond>, Box<Cond>),
+}
+
+/// One rule: `perm :- condition`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyRule {
+    /// Granted permission.
+    pub perm: Perm,
+    /// Condition under which it is granted.
+    pub cond: Cond,
+}
+
+/// A full policy: several rules; a permission is granted if *any* of its
+/// rules is satisfied, and denied when no rule for it exists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PolicySet {
+    /// The rules in source order.
+    pub rules: Vec<PolicyRule>,
+}
+
+impl PolicySet {
+    /// Rules granting `perm`.
+    pub fn rules_for(&self, perm: Perm) -> impl Iterator<Item = &PolicyRule> {
+        self.rules.iter().filter(move |r| r.perm == perm)
+    }
+
+    /// Does the policy mention `perm` at all?
+    pub fn mentions(&self, perm: Perm) -> bool {
+        self.rules.iter().any(|r| r.perm == perm)
+    }
+}

@@ -1,0 +1,233 @@
+//! Policy evaluation.
+//!
+//! Check-predicates are decided against an [`EvalContext`] snapshot of the
+//! session (who is asking, where the attested nodes are, what firmware
+//! they run). Obligation-predicates (`le`, `reuseMap`, `logUpdate`) hold
+//! by construction but emit an [`Obligation`] the trusted monitor must
+//! discharge — by rewriting the query or appending to the audit log —
+//! *before* the query may run.
+
+use crate::ast::{Cond, Perm, PolicySet, Predicate};
+
+/// Session facts a policy is evaluated against.
+#[derive(Debug, Clone, Default)]
+pub struct EvalContext {
+    /// Identity key of the requesting client.
+    pub session_key: String,
+    /// Region of the host node.
+    pub host_loc: String,
+    /// Region of the storage node (None when no storage node attested).
+    pub storage_loc: Option<String>,
+    /// Host firmware version (from attestation).
+    pub fw_host: u32,
+    /// Storage firmware version (from attestation); None when unattested.
+    pub fw_storage: Option<u32>,
+    /// Highest firmware version known to the monitor ("latest").
+    pub latest_fw: u32,
+}
+
+/// Something the monitor must do before running the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Obligation {
+    /// Filter out expired records (inject `__expiry >= T`).
+    ExpiryFilter,
+    /// Filter out records that did not opt in to this service (inject a
+    /// bitmap test on `__reuse`).
+    ReuseFilter,
+    /// Append `(client key, query)` to the named audit log.
+    Log {
+        /// Log name.
+        log: String,
+    },
+}
+
+/// Outcome of evaluating one permission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDecision {
+    /// Whether the permission is granted.
+    pub allowed: bool,
+    /// Obligations from the satisfied rule (empty when denied).
+    pub obligations: Vec<Obligation>,
+}
+
+impl PolicyDecision {
+    /// A denial.
+    pub fn deny() -> Self {
+        PolicyDecision { allowed: false, obligations: Vec::new() }
+    }
+}
+
+fn eval_pred(p: &Predicate, ctx: &EvalContext, obligations: &mut Vec<Obligation>) -> bool {
+    match p {
+        Predicate::SessionKeyIs(k) => &ctx.session_key == k,
+        Predicate::HostLocIs(l) => &ctx.host_loc == l,
+        // Storage predicates constrain *offloading*: with no storage node
+        // in the placement they hold vacuously, so the query falls back to
+        // host-only execution (paper §4.3: "If no nodes satisfy this
+        // property then the entire query may be run on the host node").
+        Predicate::StorageLocIs(l) => match ctx.storage_loc.as_deref() {
+            Some(loc) => loc == l.as_str(),
+            None => true,
+        },
+        Predicate::FwVersionHost(v) => {
+            let need = if *v == u32::MAX { ctx.latest_fw } else { *v };
+            ctx.fw_host >= need
+        }
+        Predicate::FwVersionStorage(v) => {
+            let need = if *v == u32::MAX { ctx.latest_fw } else { *v };
+            ctx.fw_storage.is_none_or(|fw| fw >= need)
+        }
+        Predicate::Le => {
+            obligations.push(Obligation::ExpiryFilter);
+            true
+        }
+        Predicate::ReuseMap => {
+            obligations.push(Obligation::ReuseFilter);
+            true
+        }
+        Predicate::LogUpdate { log } => {
+            obligations.push(Obligation::Log { log: log.clone() });
+            true
+        }
+    }
+}
+
+fn eval_cond(c: &Cond, ctx: &EvalContext, obligations: &mut Vec<Obligation>) -> bool {
+    match c {
+        Cond::Pred(p) => eval_pred(p, ctx, obligations),
+        Cond::And(l, r) => {
+            // Evaluate both into a scratch list so a failed AND leaves no
+            // stray obligations behind.
+            let mut scratch = Vec::new();
+            let ok = eval_cond(l, ctx, &mut scratch) && eval_cond(r, ctx, &mut scratch);
+            if ok {
+                obligations.extend(scratch);
+            }
+            ok
+        }
+        Cond::Or(l, r) => {
+            let mut scratch = Vec::new();
+            if eval_cond(l, ctx, &mut scratch) {
+                obligations.extend(scratch);
+                return true;
+            }
+            let mut scratch = Vec::new();
+            if eval_cond(r, ctx, &mut scratch) {
+                obligations.extend(scratch);
+                return true;
+            }
+            false
+        }
+    }
+}
+
+/// Evaluate `perm` against the policy: the first satisfied rule grants it
+/// (with that rule's obligations); no satisfiable rule means denial.
+pub fn evaluate(policy: &PolicySet, perm: Perm, ctx: &EvalContext) -> PolicyDecision {
+    for rule in policy.rules_for(perm) {
+        let mut obligations = Vec::new();
+        if eval_cond(&rule.cond, ctx, &mut obligations) {
+            obligations.dedup();
+            return PolicyDecision { allowed: true, obligations };
+        }
+    }
+    PolicyDecision::deny()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_policy;
+
+    fn ctx(key: &str) -> EvalContext {
+        EvalContext {
+            session_key: key.into(),
+            host_loc: "EU".into(),
+            storage_loc: Some("EU".into()),
+            fw_host: 5,
+            fw_storage: Some(34),
+            latest_fw: 5,
+        }
+    }
+
+    #[test]
+    fn identity_grant_and_deny() {
+        let p = parse_policy("read :- sessionKeyIs(Ka)\nwrite :- sessionKeyIs(Kb)").unwrap();
+        assert!(evaluate(&p, Perm::Read, &ctx("Ka")).allowed);
+        assert!(!evaluate(&p, Perm::Read, &ctx("Kb")).allowed);
+        assert!(evaluate(&p, Perm::Write, &ctx("Kb")).allowed);
+        assert!(!evaluate(&p, Perm::Write, &ctx("Ka")).allowed);
+        // No exec rule: exec denied.
+        assert!(!evaluate(&p, Perm::Exec, &ctx("Ka")).allowed);
+    }
+
+    #[test]
+    fn anti_pattern_1_obligations_attach_to_matching_branch() {
+        // A reads freely; B reads only unexpired records.
+        let p = parse_policy("read :- sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)").unwrap();
+        let a = evaluate(&p, Perm::Read, &ctx("Ka"));
+        assert!(a.allowed);
+        assert!(a.obligations.is_empty(), "owner branch carries no expiry filter");
+        let b = evaluate(&p, Perm::Read, &ctx("Kb"));
+        assert!(b.allowed);
+        assert_eq!(b.obligations, vec![Obligation::ExpiryFilter]);
+        let c = evaluate(&p, Perm::Read, &ctx("Kc"));
+        assert!(!c.allowed);
+    }
+
+    #[test]
+    fn failed_and_leaves_no_obligations() {
+        let p = parse_policy("read :- sessionKeyIs(Ka) & logUpdate(l, K, Q)").unwrap();
+        let d = evaluate(&p, Perm::Read, &ctx("Kb"));
+        assert!(!d.allowed);
+        assert!(d.obligations.is_empty());
+    }
+
+    #[test]
+    fn location_predicates() {
+        let p = parse_policy("exec :- storageLocIs(EU) & hostLocIs(EU)").unwrap();
+        assert!(evaluate(&p, Perm::Exec, &ctx("x")).allowed);
+        let mut us = ctx("x");
+        us.storage_loc = Some("US".into());
+        assert!(!evaluate(&p, Perm::Exec, &us).allowed);
+        let mut none = ctx("x");
+        none.storage_loc = None;
+        assert!(
+            evaluate(&p, Perm::Exec, &none).allowed,
+            "storage predicates hold vacuously in a host-only placement"
+        );
+    }
+
+    #[test]
+    fn firmware_versions_including_latest() {
+        let p = parse_policy("exec :- fwVersionStorage(30) & fwVersionHost(latest)").unwrap();
+        assert!(evaluate(&p, Perm::Exec, &ctx("x")).allowed);
+        let mut old_host = ctx("x");
+        old_host.fw_host = 4; // latest is 5
+        assert!(!evaluate(&p, Perm::Exec, &old_host).allowed);
+        let mut old_storage = ctx("x");
+        old_storage.fw_storage = Some(29);
+        assert!(!evaluate(&p, Perm::Exec, &old_storage).allowed);
+    }
+
+    #[test]
+    fn reuse_and_log_obligations() {
+        let p = parse_policy("read :- reuseMap(m) & logUpdate(audit, K, Q)").unwrap();
+        let d = evaluate(&p, Perm::Read, &ctx("anyone"));
+        assert!(d.allowed);
+        assert_eq!(
+            d.obligations,
+            vec![Obligation::ReuseFilter, Obligation::Log { log: "audit".into() }]
+        );
+    }
+
+    #[test]
+    fn multiple_rules_for_same_perm_are_ored() {
+        let p = parse_policy("read :- sessionKeyIs(a)\nread :- sessionKeyIs(b) & le(T, TS)").unwrap();
+        assert!(evaluate(&p, Perm::Read, &ctx("a")).allowed);
+        let b = evaluate(&p, Perm::Read, &ctx("b"));
+        assert!(b.allowed);
+        assert_eq!(b.obligations, vec![Obligation::ExpiryFilter]);
+        assert!(!evaluate(&p, Perm::Read, &ctx("c")).allowed);
+    }
+}

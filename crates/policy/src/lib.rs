@@ -1,0 +1,58 @@
+//! # ironsafe-policy
+//!
+//! IronSafe's declarative policy specification language (§4.3 of the
+//! paper): the Rust counterpart of the paper's Python interpreter, living
+//! inside the trusted monitor's TCB.
+//!
+//! A policy is a set of rules `perm :- condition` where `perm` is `read`,
+//! `write` or `exec` and the condition combines the paper's predicates
+//! with `&` (all) and `|` (any):
+//!
+//! ```text
+//! read  :- sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)
+//! write :- sessionKeyIs(Ka)
+//! exec  :- fwVersionStorage(3) & fwVersionHost(2) & storageLocIs(EU)
+//! ```
+//!
+//! Predicates split into *checks* (identity, location, firmware) decided
+//! against an [`eval::EvalContext`], and *obligations* (`le`, `reuseMap`,
+//! `logUpdate`) that always hold but oblige the monitor to rewrite the
+//! query or append to the audit log — implemented in [`rewrite`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::{Cond, Perm, PolicyRule, PolicySet, Predicate};
+pub use eval::{EvalContext, Obligation, PolicyDecision};
+pub use parser::parse_policy;
+
+/// Errors raised by the policy subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The policy text failed to parse.
+    Parse(String),
+    /// A predicate was used with the wrong arguments.
+    BadPredicate(String),
+    /// Query rewriting failed.
+    Rewrite(String),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::Parse(m) => write!(f, "policy parse error: {m}"),
+            PolicyError::BadPredicate(m) => write!(f, "bad predicate: {m}"),
+            PolicyError::Rewrite(m) => write!(f, "policy rewrite error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PolicyError>;

@@ -1,0 +1,298 @@
+//! Policy-language parser.
+//!
+//! Grammar (newline- or `;`-separated rules):
+//!
+//! ```text
+//! rule   := perm (":-" | "::=" | ":=") or
+//! or     := and ("|" and)*
+//! and    := atom ("&" atom)*
+//! atom   := ident "(" args ")" | "(" or ")"
+//! ```
+//!
+//! `&` binds tighter than `|`, matching the paper's examples.
+
+use crate::ast::{Cond, Perm, PolicyRule, PolicySet, Predicate};
+use crate::{PolicyError, Result};
+
+/// Parse a policy document.
+pub fn parse_policy(src: &str) -> Result<PolicySet> {
+    let mut rules = Vec::new();
+    for raw_line in src.split(['\n', ';']) {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("--") {
+            continue;
+        }
+        rules.push(parse_rule(line)?);
+    }
+    Ok(PolicySet { rules })
+}
+
+fn parse_rule(line: &str) -> Result<PolicyRule> {
+    let (perm_str, cond_str) = split_rule(line)
+        .ok_or_else(|| PolicyError::Parse(format!("missing `:-` in rule `{line}`")))?;
+    let perm = match perm_str.trim().to_ascii_lowercase().as_str() {
+        "read" => Perm::Read,
+        "write" => Perm::Write,
+        "exec" => Perm::Exec,
+        other => return Err(PolicyError::Parse(format!("unknown permission `{other}`"))),
+    };
+    let mut p = CondParser { src: cond_str.trim(), pos: 0 };
+    let cond = p.or()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(PolicyError::Parse(format!("trailing input in rule `{line}`")));
+    }
+    Ok(PolicyRule { perm, cond })
+}
+
+fn split_rule(line: &str) -> Option<(&str, &str)> {
+    for sep in ["::=", ":-", ":="] {
+        if let Some(idx) = line.find(sep) {
+            return Some((&line[..idx], &line[idx + sep.len()..]));
+        }
+    }
+    None
+}
+
+struct CondParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> CondParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with([' ', '\t']) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn or(&mut self) -> Result<Cond> {
+        let mut left = self.and()?;
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            let right = self.and()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Cond> {
+        let mut left = self.atom()?;
+        while self.peek() == Some('&') {
+            self.pos += 1;
+            let right = self.atom()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Cond> {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.or()?;
+                if self.peek() != Some(')') {
+                    return Err(PolicyError::Parse("expected `)`".into()));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let name = self.ident();
+                if self.peek() != Some('(') {
+                    return Err(PolicyError::Parse(format!("predicate `{name}` needs arguments")));
+                }
+                self.pos += 1;
+                let args = self.args()?;
+                Ok(Cond::Pred(build_predicate(&name, &args)?))
+            }
+            other => Err(PolicyError::Parse(format!("unexpected {other:?} in condition"))),
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn args(&mut self) -> Result<Vec<String>> {
+        let mut args = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(')') {
+                self.pos += 1;
+                return Ok(args);
+            }
+            let start = self.pos;
+            // An argument runs until `,` or `)` (quotes optional).
+            while let Some(c) = self.src[self.pos..].chars().next() {
+                if c == ',' || c == ')' {
+                    break;
+                }
+                self.pos += c.len_utf8();
+            }
+            let arg = self.src[start..self.pos].trim().trim_matches('\'').trim_matches('"');
+            if arg.is_empty() {
+                return Err(PolicyError::Parse("empty predicate argument".into()));
+            }
+            args.push(arg.to_string());
+            self.skip_ws();
+            if self.peek() == Some(',') {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+fn build_predicate(name: &str, args: &[String]) -> Result<Predicate> {
+    let want = |n: usize| -> Result<()> {
+        if args.len() != n {
+            Err(PolicyError::BadPredicate(format!("{name} takes {n} argument(s), got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    let version = |s: &str| -> Result<u32> {
+        if s.eq_ignore_ascii_case("latest") {
+            Ok(u32::MAX)
+        } else {
+            s.parse().map_err(|_| PolicyError::BadPredicate(format!("bad version `{s}`")))
+        }
+    };
+    // Accept both `sessionKeyIs` and the paper's `sessionKeysIs` spelling.
+    match name.to_ascii_lowercase().as_str() {
+        "sessionkeyis" | "sessionkeysis" => {
+            want(1)?;
+            Ok(Predicate::SessionKeyIs(args[0].clone()))
+        }
+        "storagelocis" | "storagelocs" => {
+            want(1)?;
+            Ok(Predicate::StorageLocIs(args[0].clone()))
+        }
+        "hostlocis" | "hostlocs" => {
+            want(1)?;
+            Ok(Predicate::HostLocIs(args[0].clone()))
+        }
+        "fwversionstorage" => {
+            want(1)?;
+            Ok(Predicate::FwVersionStorage(version(&args[0])?))
+        }
+        "fwversionhost" => {
+            want(1)?;
+            Ok(Predicate::FwVersionHost(version(&args[0])?))
+        }
+        "le" => {
+            want(2)?;
+            Ok(Predicate::Le)
+        }
+        "reusemap" => {
+            want(1)?;
+            Ok(Predicate::ReuseMap)
+        }
+        "logupdate" => {
+            if args.is_empty() {
+                return Err(PolicyError::BadPredicate("logUpdate needs a log name".into()));
+            }
+            Ok(Predicate::LogUpdate { log: args[0].clone() })
+        }
+        other => Err(PolicyError::BadPredicate(format!("unknown predicate `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_access_policy() {
+        let p = parse_policy(
+            "read ::= sessionKeyIs(Ka)\n\
+             write ::= sessionKeyIs(Kb)\n\
+             exec ::= fwVersionStorage(latest) & fwVersionHost(latest)",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[0].perm, Perm::Read);
+        assert_eq!(p.rules[0].cond, Cond::Pred(Predicate::SessionKeyIs("Ka".into())));
+        match &p.rules[2].cond {
+            Cond::And(l, r) => {
+                assert_eq!(**l, Cond::Pred(Predicate::FwVersionStorage(u32::MAX)));
+                assert_eq!(**r, Cond::Pred(Predicate::FwVersionHost(u32::MAX)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn anti_pattern_1_expiry_rule() {
+        let p = parse_policy("read :- sessionKeyIs(Ka) | sessionKeyIs(Kb) & le(T, TIMESTAMP)").unwrap();
+        // `&` binds tighter: Ka | (Kb & le).
+        match &p.rules[0].cond {
+            Cond::Or(l, r) => {
+                assert_eq!(**l, Cond::Pred(Predicate::SessionKeyIs("Ka".into())));
+                assert!(matches!(**r, Cond::And(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reuse_and_log_predicates() {
+        let p = parse_policy("read :- reuseMap(m)\nread :- logUpdate(l, K, Q)").unwrap();
+        assert_eq!(p.rules[0].cond, Cond::Pred(Predicate::ReuseMap));
+        assert_eq!(p.rules[1].cond, Cond::Pred(Predicate::LogUpdate { log: "l".into() }));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let p = parse_policy("read :- (sessionKeyIs(a) | sessionKeyIs(b)) & hostLocIs(EU)").unwrap();
+        assert!(matches!(p.rules[0].cond, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn quoted_and_bare_arguments() {
+        let p = parse_policy("exec :- storageLocIs('EU') & hostLocIs(US)").unwrap();
+        match &p.rules[0].cond {
+            Cond::And(l, r) => {
+                assert_eq!(**l, Cond::Pred(Predicate::StorageLocIs("EU".into())));
+                assert_eq!(**r, Cond::Pred(Predicate::HostLocIs("US".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let p = parse_policy("# access policy\n\nread :- sessionKeyIs(a)\n-- trailing note\n").unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_policy("read sessionKeyIs(a)").is_err(), "missing :-");
+        assert!(parse_policy("admin :- sessionKeyIs(a)").is_err(), "unknown perm");
+        assert!(parse_policy("read :- nonsense(a)").is_err(), "unknown predicate");
+        assert!(parse_policy("read :- sessionKeyIs(a) &").is_err(), "dangling operator");
+        assert!(parse_policy("read :- le(T)").is_err(), "arity");
+        assert!(parse_policy("read :- fwVersionHost(abc)").is_err(), "bad version");
+    }
+
+    #[test]
+    fn numeric_versions() {
+        let p = parse_policy("exec :- fwVersionStorage(34)").unwrap();
+        assert_eq!(p.rules[0].cond, Cond::Pred(Predicate::FwVersionStorage(34)));
+    }
+}

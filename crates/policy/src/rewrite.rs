@@ -1,0 +1,227 @@
+//! Policy-driven query rewriting (the trusted monitor's second task).
+//!
+//! The paper's monitor makes queries compliant *by construction*: expiry
+//! and reuse obligations become extra predicates stitched into the WHERE
+//! clause, and inserts into policy-protected tables gain the bookkeeping
+//! columns. Because the rewrite happens inside the monitor's TCB, clients
+//! cannot bypass it.
+
+use crate::eval::Obligation;
+use crate::{PolicyError, Result};
+use ironsafe_sql::ast::{BinOp, Expr, SelectStmt, Statement};
+use ironsafe_sql::value::Value;
+
+/// Bookkeeping column holding a record's expiry timestamp.
+pub const EXPIRY_COL: &str = "__expiry";
+/// Bookkeeping column holding a record's service opt-in bitmap.
+pub const REUSE_COL: &str = "__reuse";
+
+/// Facts needed to materialize obligations into SQL.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteContext {
+    /// Logical access time `T` (compared against `__expiry`).
+    pub access_time: i64,
+    /// The requesting service's bit position in the reuse bitmap, as
+    /// resolved by the monitor's identity→bit registry.
+    pub service_bit: u32,
+}
+
+fn and_with(where_clause: &mut Option<Expr>, extra: Expr) {
+    *where_clause = Some(match where_clause.take() {
+        None => extra,
+        Some(w) => Expr::bin(BinOp::And, w, extra),
+    });
+}
+
+/// The injected expiry predicate: `__expiry >= T`.
+pub fn expiry_predicate(access_time: i64) -> Expr {
+    Expr::bin(BinOp::GtEq, Expr::col(EXPIRY_COL), Expr::int(access_time))
+}
+
+/// The injected reuse predicate: `(__reuse / 2^bit) % 2 = 1`.
+pub fn reuse_predicate(service_bit: u32) -> Expr {
+    let shifted = Expr::bin(BinOp::Div, Expr::col(REUSE_COL), Expr::int(1i64 << service_bit));
+    let bit = Expr::bin(BinOp::Mod, shifted, Expr::int(2));
+    Expr::bin(BinOp::Eq, bit, Expr::int(1))
+}
+
+/// Stitch read obligations into a `SELECT`'s WHERE clause.
+pub fn rewrite_select(stmt: &mut SelectStmt, obligations: &[Obligation], ctx: &RewriteContext) {
+    for ob in obligations {
+        match ob {
+            Obligation::ExpiryFilter => and_with(&mut stmt.where_clause, expiry_predicate(ctx.access_time)),
+            Obligation::ReuseFilter => and_with(&mut stmt.where_clause, reuse_predicate(ctx.service_bit)),
+            Obligation::Log { .. } => {} // discharged by the monitor's audit log
+        }
+    }
+}
+
+/// Stitch obligations into any statement's data-touching predicate and,
+/// for inserts, append the bookkeeping column values.
+///
+/// * `default_ttl` — lifetime granted to newly inserted records.
+/// * `default_reuse` — opt-in bitmap for newly inserted records.
+pub fn rewrite_statement(
+    stmt: &mut Statement,
+    obligations: &[Obligation],
+    ctx: &RewriteContext,
+    default_ttl: i64,
+    default_reuse: i64,
+) -> Result<()> {
+    match stmt {
+        Statement::Select(sel) => {
+            rewrite_select(sel, obligations, ctx);
+            Ok(())
+        }
+        Statement::Update { where_clause, .. } | Statement::Delete { where_clause, .. } => {
+            for ob in obligations {
+                match ob {
+                    Obligation::ExpiryFilter => and_with(where_clause, expiry_predicate(ctx.access_time)),
+                    Obligation::ReuseFilter => and_with(where_clause, reuse_predicate(ctx.service_bit)),
+                    Obligation::Log { .. } => {}
+                }
+            }
+            Ok(())
+        }
+        Statement::Insert { columns, values, .. } => {
+            let needs_expiry = obligations.contains(&Obligation::ExpiryFilter);
+            let needs_reuse = obligations.contains(&Obligation::ReuseFilter);
+            if !(needs_expiry || needs_reuse) {
+                return Ok(());
+            }
+            let cols = columns.as_mut().ok_or_else(|| {
+                PolicyError::Rewrite(
+                    "INSERT into a policy-protected table must name its columns".into(),
+                )
+            })?;
+            if needs_expiry {
+                cols.push(EXPIRY_COL.to_string());
+            }
+            if needs_reuse {
+                cols.push(REUSE_COL.to_string());
+            }
+            for row in values.iter_mut() {
+                if needs_expiry {
+                    row.push(Expr::Literal(Value::Int(ctx.access_time + default_ttl)));
+                }
+                if needs_reuse {
+                    row.push(Expr::Literal(Value::Int(default_reuse)));
+                }
+            }
+            Ok(())
+        }
+        Statement::CreateTable { .. } | Statement::DropTable { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_sql::ast::expr_to_sql;
+    use ironsafe_sql::parser::parse_statement;
+    use ironsafe_sql::Database;
+    use ironsafe_storage::pager::PlainPager;
+
+    fn ctx() -> RewriteContext {
+        RewriteContext { access_time: 100, service_bit: 2 }
+    }
+
+    #[test]
+    fn select_gains_expiry_filter() {
+        let mut stmt = match parse_statement("SELECT p_name FROM people WHERE p_country = 'DE'").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        rewrite_select(&mut stmt, &[Obligation::ExpiryFilter], &ctx());
+        let w = expr_to_sql(stmt.where_clause.as_ref().unwrap());
+        assert!(w.contains("__expiry >= 100"), "{w}");
+        assert!(w.contains("p_country"), "original predicate kept: {w}");
+    }
+
+    #[test]
+    fn select_gains_reuse_filter() {
+        let mut stmt = match parse_statement("SELECT p_name FROM people").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        rewrite_select(&mut stmt, &[Obligation::ReuseFilter], &ctx());
+        let w = expr_to_sql(stmt.where_clause.as_ref().unwrap());
+        assert!(w.contains("__reuse / 4"), "bit 2 ⇒ divide by 4: {w}");
+    }
+
+    #[test]
+    fn insert_gains_bookkeeping_columns() {
+        let mut stmt = parse_statement("INSERT INTO people (p_id, p_name) VALUES (1, 'x'), (2, 'y')").unwrap();
+        rewrite_statement(
+            &mut stmt,
+            &[Obligation::ExpiryFilter, Obligation::ReuseFilter],
+            &ctx(),
+            365,
+            0b101,
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { columns, values, .. } => {
+                let cols = columns.unwrap();
+                assert_eq!(cols.last().unwrap(), REUSE_COL);
+                assert_eq!(cols[cols.len() - 2], EXPIRY_COL);
+                for row in &values {
+                    assert_eq!(row.len(), 4);
+                    assert_eq!(row[2], Expr::int(465));
+                    assert_eq!(row[3], Expr::int(5));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_without_column_list_rejected() {
+        let mut stmt = parse_statement("INSERT INTO people VALUES (1)").unwrap();
+        assert!(rewrite_statement(&mut stmt, &[Obligation::ExpiryFilter], &ctx(), 1, 0).is_err());
+    }
+
+    #[test]
+    fn log_obligation_does_not_touch_sql() {
+        let mut stmt = match parse_statement("SELECT p_name FROM people").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        rewrite_select(&mut stmt, &[Obligation::Log { log: "audit".into() }], &ctx());
+        assert!(stmt.where_clause.is_none());
+    }
+
+    #[test]
+    fn rewritten_queries_filter_end_to_end() {
+        let mut db = Database::new(PlainPager::new());
+        db.execute("CREATE TABLE people (p_id INT, p_name TEXT, __expiry INT, __reuse INT)").unwrap();
+        db.execute(
+            "INSERT INTO people VALUES \
+             (1, 'fresh-optin', 200, 4), \
+             (2, 'fresh-optout', 200, 3), \
+             (3, 'expired-optin', 50, 4)",
+        )
+        .unwrap();
+        let mut stmt = match parse_statement("SELECT p_name FROM people").unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        rewrite_select(&mut stmt, &[Obligation::ExpiryFilter, Obligation::ReuseFilter], &ctx());
+        let r = db.select(&stmt).unwrap();
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(r.rows()[0][0].as_str().unwrap(), "fresh-optin");
+    }
+
+    #[test]
+    fn delete_gains_expiry_filter() {
+        let mut stmt = parse_statement("DELETE FROM people WHERE p_id = 3").unwrap();
+        rewrite_statement(&mut stmt, &[Obligation::ExpiryFilter], &ctx(), 0, 0).unwrap();
+        match stmt {
+            Statement::Delete { where_clause, .. } => {
+                let w = expr_to_sql(where_clause.as_ref().unwrap());
+                assert!(w.contains("__expiry >= 100"), "{w}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

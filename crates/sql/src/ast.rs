@@ -1,0 +1,452 @@
+//! Abstract syntax tree.
+
+use crate::value::{DataType, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, DataType)>,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (...), (...)`
+    Insert {
+        /// Target table.
+        table: String,
+        /// Optional explicit column list.
+        columns: Option<Vec<String>>,
+        /// Row value expressions.
+        values: Vec<Vec<Expr>>,
+    },
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `UPDATE name SET col = expr, ... [WHERE ...]`
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Optional predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM name [WHERE ...]`
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate.
+        where_clause: Option<Expr>,
+    },
+    /// `DROP TABLE name`
+    DropTable {
+        /// Target table.
+        name: String,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub projections: Vec<SelectItem>,
+    /// Tables in the `FROM` clause (comma join syntax).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys with `desc` flags.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// One projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `expr [AS alias]`
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub name: String,
+    /// Alias (defaults to the name).
+    pub alias: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `NOT`
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference (possibly qualified, e.g. `l.l_quantity`).
+    Column(String),
+    /// A literal.
+    Literal(Value),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%` and `_` wildcards.
+        pattern: String,
+        /// Negated?
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negated (`IS NOT NULL`)?
+        negated: bool,
+    },
+    /// `CASE WHEN c THEN v ... [ELSE e] END`
+    Case {
+        /// `(condition, result)` arms.
+        when_then: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Scalar function call, e.g. `SUBSTR(s, 1, 4)` or `YEAR(d)`.
+    Func {
+        /// Function name (uppercase).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call, e.g. `SUM(expr)` or `COUNT(*)` (arg = `None`).
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Argument (`None` for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+        /// `DISTINCT` flag.
+        distinct: bool,
+    },
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Shorthand for a string literal.
+    pub fn text(v: &str) -> Expr {
+        Expr::Literal(Value::Text(v.to_string()))
+    }
+
+    /// Shorthand for a binary expression.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Binary { left, right, .. } => left.contains_aggregate() || right.contains_aggregate(),
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Func { args, .. } => args.iter().any(|e| e.contains_aggregate()),
+            Expr::Case { when_then, else_expr } => {
+                when_then.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+
+    /// Collect the names of all referenced columns.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Literal(_) => {}
+            Expr::Unary { expr, .. } => expr.referenced_columns(out),
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Like { expr, .. } | Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Case { when_then, else_expr } => {
+                for (c, v) in when_then {
+                    c.referenced_columns(out);
+                    v.referenced_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// Render an expression back to SQL text (used by the policy rewriter and
+/// the query partitioner to ship query fragments to the storage engine).
+pub fn expr_to_sql(e: &Expr) -> String {
+    match e {
+        Expr::Column(c) => c.clone(),
+        Expr::Literal(Value::Null) => "NULL".into(),
+        Expr::Literal(Value::Int(i)) => i.to_string(),
+        Expr::Literal(Value::Float(f)) => format!("{f:?}"),
+        Expr::Literal(Value::Text(s)) => format!("'{}'", s.replace('\'', "''")),
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Neg => format!("(-{})", expr_to_sql(expr)),
+            UnaryOp::Not => format!("(NOT {})", expr_to_sql(expr)),
+        },
+        Expr::Binary { op, left, right } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Eq => "=",
+                BinOp::NotEq => "<>",
+                BinOp::Lt => "<",
+                BinOp::LtEq => "<=",
+                BinOp::Gt => ">",
+                BinOp::GtEq => ">=",
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+            };
+            format!("({} {} {})", expr_to_sql(left), o, expr_to_sql(right))
+        }
+        Expr::Between { expr, low, high, negated } => format!(
+            "({} {}BETWEEN {} AND {})",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            expr_to_sql(low),
+            expr_to_sql(high)
+        ),
+        Expr::InList { expr, list, negated } => format!(
+            "({} {}IN ({}))",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            list.iter().map(expr_to_sql).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Like { expr, pattern, negated } => format!(
+            "({} {}LIKE '{}')",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" },
+            pattern.replace('\'', "''")
+        ),
+        Expr::IsNull { expr, negated } => format!(
+            "({} IS {}NULL)",
+            expr_to_sql(expr),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::Case { when_then, else_expr } => {
+            let mut s = String::from("CASE");
+            for (c, v) in when_then {
+                s.push_str(&format!(" WHEN {} THEN {}", expr_to_sql(c), expr_to_sql(v)));
+            }
+            if let Some(e) = else_expr {
+                s.push_str(&format!(" ELSE {}", expr_to_sql(e)));
+            }
+            s.push_str(" END");
+            s
+        }
+        Expr::Func { name, args } => {
+            format!("{name}({})", args.iter().map(expr_to_sql).collect::<Vec<_>>().join(", "))
+        }
+        Expr::Agg { func, arg, distinct } => {
+            let f = match func {
+                AggFunc::Count => "COUNT",
+                AggFunc::Sum => "SUM",
+                AggFunc::Avg => "AVG",
+                AggFunc::Min => "MIN",
+                AggFunc::Max => "MAX",
+            };
+            match arg {
+                None => format!("{f}(*)"),
+                Some(a) => format!("{f}({}{})", if *distinct { "DISTINCT " } else { "" }, expr_to_sql(a)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::int(1),
+            Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false },
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let e = Expr::bin(BinOp::Mul, Expr::col("a"), Expr::bin(BinOp::Sub, Expr::int(1), Expr::col("b")));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn expr_to_sql_roundtrips_through_parser() {
+        use crate::parser::parse_expression;
+        let cases = [
+            "(a + 1)",
+            "((a * b) >= 10)",
+            "(a BETWEEN 1 AND 2)",
+            "(x IN (1, 2, 3))",
+            "(name LIKE 'a%b_c')",
+            "(d IS NOT NULL)",
+            "CASE WHEN (a = 1) THEN 2 ELSE 3 END",
+            "SUM((price * (1 - disc)))",
+        ];
+        for c in cases {
+            let e = parse_expression(c).unwrap();
+            let rendered = expr_to_sql(&e);
+            let reparsed = parse_expression(&rendered).unwrap();
+            assert_eq!(e, reparsed, "case `{c}` rendered `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let e = Expr::text("it's");
+        assert_eq!(expr_to_sql(&e), "'it''s'");
+    }
+}

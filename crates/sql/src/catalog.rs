@@ -1,0 +1,108 @@
+//! The table catalog.
+
+use crate::heap::HeapFile;
+use crate::schema::Schema;
+use crate::{Result, SqlError};
+use std::collections::BTreeMap;
+
+/// Metadata and storage handle for one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInfo {
+    /// Table name (lowercase).
+    pub name: String,
+    /// Column layout.
+    pub schema: Schema,
+    /// Row storage.
+    pub heap: HeapFile,
+}
+
+/// The set of tables in a database.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableInfo>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table; errors if it exists.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::Plan(format!("table `{key}` already exists")));
+        }
+        self.tables.insert(key.clone(), TableInfo { name: key, schema, heap: HeapFile::new() });
+        Ok(())
+    }
+
+    /// Drop a table; errors if missing.
+    pub fn drop_table(&mut self, name: &str) -> Result<TableInfo> {
+        self.tables
+            .remove(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::Plan(format!("unknown table `{name}`")))
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&TableInfo> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::Plan(format!("unknown table `{name}`")))
+    }
+
+    /// Mutable lookup.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut TableInfo> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::Plan(format!("unknown table `{name}`")))
+    }
+
+    /// Does the table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableInfo> {
+        self.tables.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("id", DataType::Int)])
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut c = Catalog::new();
+        c.create_table("T1", schema()).unwrap();
+        assert!(c.has_table("t1"));
+        assert!(c.has_table("T1"), "case-insensitive");
+        assert_eq!(c.table("t1").unwrap().schema.len(), 1);
+        c.drop_table("t1").unwrap();
+        assert!(!c.has_table("t1"));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut c = Catalog::new();
+        c.create_table("t", schema()).unwrap();
+        assert!(c.create_table("T", schema()).is_err());
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let c = Catalog::new();
+        assert!(c.table("ghost").is_err());
+        let mut c = Catalog::new();
+        assert!(c.drop_table("ghost").is_err());
+    }
+}

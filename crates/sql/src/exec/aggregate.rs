@@ -1,0 +1,415 @@
+//! Hash aggregation.
+
+use crate::ast::{AggFunc, Expr};
+use crate::exec::{BoxOp, Operator};
+use crate::expr::eval;
+use crate::schema::{Column, Row, Schema};
+use crate::value::{DataType, Value};
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// One aggregate to compute.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input expression (`None` for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Accumulator for one aggregate in one group.
+enum AggState {
+    Count(i64),
+    Sum { int: i64, float: f64, all_int: bool, seen: bool },
+    Avg { sum: f64, count: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum { int: 0, float: 0.0, all_int: true, seen: false },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(()); // aggregates skip NULLs
+        }
+        match self {
+            AggState::Count(c) => *c += 1,
+            AggState::Sum { int, float, all_int, seen } => {
+                *seen = true;
+                match v {
+                    Value::Int(i) => {
+                        *int = int.wrapping_add(*i);
+                        *float += *i as f64;
+                    }
+                    _ => {
+                        *all_int = false;
+                        *float += v.as_f64()?;
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v.as_f64()?;
+                *count += 1;
+            }
+            AggState::Min(cur) => {
+                if cur.as_ref().is_none_or(|c| v.sort_cmp(c) == std::cmp::Ordering::Less) {
+                    *cur = Some(v.clone());
+                }
+            }
+            AggState::Max(cur) => {
+                if cur.as_ref().is_none_or(|c| v.sort_cmp(c) == std::cmp::Ordering::Greater) {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum { int, float, all_int, seen } => {
+                if !seen {
+                    Value::Null
+                } else if all_int {
+                    Value::Int(int)
+                } else {
+                    Value::Float(float)
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Hash aggregate: groups by `group_exprs`, computes `aggs` per group.
+///
+/// Output schema: the group expressions (named `g0..gN` unless overridden)
+/// followed by the aggregates (named per spec). With no group expressions,
+/// exactly one output row is produced even for empty input (SQL global
+/// aggregate semantics).
+pub struct HashAggregate {
+    input: Option<BoxOp>,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    output: std::vec::IntoIter<Row>,
+}
+
+impl HashAggregate {
+    /// Build the operator. `group_names` label the group-by outputs.
+    pub fn new(input: BoxOp, group_exprs: Vec<Expr>, group_names: Vec<String>, aggs: Vec<AggSpec>) -> Self {
+        assert_eq!(group_exprs.len(), group_names.len());
+        let mut columns = Vec::with_capacity(group_exprs.len() + aggs.len());
+        for (name, _e) in group_names.iter().zip(group_exprs.iter()) {
+            // Output types are dynamic; Text is a safe declared default.
+            columns.push(Column::new(name.clone(), DataType::Text));
+        }
+        for a in &aggs {
+            let ty = match a.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                _ => DataType::Float,
+            };
+            columns.push(Column::new(a.name.clone(), ty));
+        }
+        HashAggregate {
+            input: Some(input),
+            group_exprs,
+            aggs,
+            schema: Schema::new(columns),
+            output: Vec::new().into_iter(),
+        }
+    }
+
+    fn materialize(&mut self) -> Result<()> {
+        let mut input = self.input.take().expect("materialize called once");
+        struct Group {
+            keys: Row,
+            states: Vec<AggState>,
+            distinct_seen: Vec<Option<HashSet<Vec<u8>>>>,
+        }
+        let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
+        let mut order: Vec<Vec<u8>> = Vec::new(); // first-seen group order
+
+        let global = self.group_exprs.is_empty();
+        if global {
+            let g = Group {
+                keys: Vec::new(),
+                states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                distinct_seen: self.aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
+            };
+            groups.insert(Vec::new(), g);
+            order.push(Vec::new());
+        }
+
+        while let Some(row) = input.next()? {
+            let schema = input.schema();
+            let mut key = Vec::new();
+            let mut key_vals = Vec::with_capacity(self.group_exprs.len());
+            for e in &self.group_exprs {
+                let v = eval(e, schema, &row)?;
+                v.key_bytes(&mut key);
+                key_vals.push(v);
+            }
+            if !groups.contains_key(&key) {
+                order.push(key.clone());
+                groups.insert(
+                    key.clone(),
+                    Group {
+                        keys: key_vals,
+                        states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        distinct_seen: self.aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
+                    },
+                );
+            }
+            let group = groups.get_mut(&key).expect("just ensured");
+            for (i, spec) in self.aggs.iter().enumerate() {
+                let v = match &spec.arg {
+                    None => Value::Int(1), // COUNT(*) counts rows
+                    Some(e) => eval(e, schema, &row)?,
+                };
+                if spec.arg.is_none() || !v.is_null() {
+                    if let Some(seen) = &mut group.distinct_seen[i] {
+                        let mut kb = Vec::new();
+                        v.key_bytes(&mut kb);
+                        if !seen.insert(kb) {
+                            continue;
+                        }
+                    }
+                    group.states[i].update(&v)?;
+                }
+            }
+        }
+
+        let mut rows = Vec::with_capacity(order.len());
+        for key in order {
+            let g = groups.remove(&key).expect("tracked key");
+            let mut row = g.keys;
+            for s in g.states {
+                row.push(s.finish());
+            }
+            rows.push(row);
+        }
+        self.output = rows.into_iter();
+        Ok(())
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn describe(&self) -> String {
+        let groups: Vec<String> = self.group_exprs.iter().map(crate::ast::expr_to_sql).collect();
+        let aggs: Vec<String> = self.aggs.iter().map(|a| a.name.clone()).collect();
+        format!(
+            "HashAggregate: group by [{}], compute [{}]",
+            groups.join(", "),
+            aggs.join(", ")
+        )
+    }
+
+    fn children(&self) -> Vec<&BoxOp> {
+        self.input.as_ref().map(|i| vec![i]).unwrap_or_default()
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.input.is_some() {
+            self.materialize()?;
+        }
+        Ok(self.output.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{collect, Values};
+    use crate::parser::parse_expression;
+
+    fn input() -> BoxOp {
+        let schema = Schema::new(vec![
+            Column::new("grp", DataType::Text),
+            Column::new("x", DataType::Int),
+        ]);
+        let rows = vec![
+            vec![Value::Text("a".into()), Value::Int(1)],
+            vec![Value::Text("b".into()), Value::Int(10)],
+            vec![Value::Text("a".into()), Value::Int(2)],
+            vec![Value::Text("b".into()), Value::Int(20)],
+            vec![Value::Text("a".into()), Value::Int(3)],
+            vec![Value::Text("a".into()), Value::Null],
+        ];
+        Box::new(Values::new(schema, rows))
+    }
+
+    fn spec(func: AggFunc, arg: Option<&str>, distinct: bool, name: &str) -> AggSpec {
+        AggSpec {
+            func,
+            arg: arg.map(|a| parse_expression(a).unwrap()),
+            distinct,
+            name: name.into(),
+        }
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let agg = HashAggregate::new(
+            input(),
+            vec![parse_expression("grp").unwrap()],
+            vec!["grp".into()],
+            vec![
+                spec(AggFunc::Count, None, false, "cnt"),
+                spec(AggFunc::Sum, Some("x"), false, "total"),
+                spec(AggFunc::Avg, Some("x"), false, "mean"),
+                spec(AggFunc::Min, Some("x"), false, "lo"),
+                spec(AggFunc::Max, Some("x"), false, "hi"),
+            ],
+        );
+        let (schema, rows) = collect(Box::new(agg)).unwrap();
+        assert_eq!(schema.columns.iter().map(|c| c.name.as_str()).collect::<Vec<_>>(), vec!["grp", "cnt", "total", "mean", "lo", "hi"]);
+        assert_eq!(rows.len(), 2);
+        // First-seen order: a then b.
+        assert_eq!(rows[0][0].as_str().unwrap(), "a");
+        assert_eq!(rows[0][1], Value::Int(4), "COUNT(*) counts the NULL row");
+        assert_eq!(rows[0][2], Value::Int(6), "SUM skips NULL");
+        assert_eq!(rows[0][3], Value::Float(2.0), "AVG skips NULL");
+        assert_eq!(rows[0][4], Value::Int(1));
+        assert_eq!(rows[0][5], Value::Int(3));
+        assert_eq!(rows[1][2], Value::Int(30));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let empty = Box::new(Values::new(schema, vec![]));
+        let agg = HashAggregate::new(
+            empty,
+            vec![],
+            vec![],
+            vec![spec(AggFunc::Count, None, false, "cnt"), spec(AggFunc::Sum, Some("x"), false, "s")],
+        );
+        let (_, rows) = collect(Box::new(agg)).unwrap();
+        assert_eq!(rows.len(), 1, "global aggregate always yields one row");
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert!(rows[0][1].is_null(), "SUM of nothing is NULL");
+    }
+
+    #[test]
+    fn grouped_aggregate_on_empty_input_yields_nothing() {
+        let schema = Schema::new(vec![Column::new("g", DataType::Int), Column::new("x", DataType::Int)]);
+        let empty = Box::new(Values::new(schema, vec![]));
+        let agg = HashAggregate::new(
+            empty,
+            vec![parse_expression("g").unwrap()],
+            vec!["g".into()],
+            vec![spec(AggFunc::Count, None, false, "cnt")],
+        );
+        let (_, rows) = collect(Box::new(agg)).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn count_distinct() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]);
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Int(1)],
+            vec![Value::Int(2)],
+            vec![Value::Null],
+        ];
+        let v = Box::new(Values::new(schema, rows));
+        let agg = HashAggregate::new(
+            v,
+            vec![],
+            vec![],
+            vec![
+                spec(AggFunc::Count, Some("x"), true, "distinct_x"),
+                spec(AggFunc::Count, Some("x"), false, "all_x"),
+            ],
+        );
+        let (_, out) = collect(Box::new(agg)).unwrap();
+        assert_eq!(out[0][0], Value::Int(2));
+        assert_eq!(out[0][1], Value::Int(3), "plain COUNT(x) skips NULL");
+    }
+
+    #[test]
+    fn sum_over_expression() {
+        let agg = HashAggregate::new(
+            input(),
+            vec![],
+            vec![],
+            vec![spec(AggFunc::Sum, Some("x * 2"), false, "s")],
+        );
+        let (_, rows) = collect(Box::new(agg)).unwrap();
+        assert_eq!(rows[0][0], Value::Int(72));
+    }
+
+    #[test]
+    fn sum_promotes_to_float_on_mixed() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Float)]);
+        let rows = vec![vec![Value::Int(1)], vec![Value::Float(2.5)]];
+        let v = Box::new(Values::new(schema, rows));
+        let agg = HashAggregate::new(v, vec![], vec![], vec![spec(AggFunc::Sum, Some("x"), false, "s")]);
+        let (_, out) = collect(Box::new(agg)).unwrap();
+        assert_eq!(out[0][0], Value::Float(3.5));
+    }
+
+    #[test]
+    fn min_max_on_text() {
+        let schema = Schema::new(vec![Column::new("d", DataType::Text)]);
+        let rows = vec![
+            vec![Value::Text("1995-03-15".into())],
+            vec![Value::Text("1994-01-01".into())],
+            vec![Value::Text("1996-06-30".into())],
+        ];
+        let v = Box::new(Values::new(schema, rows));
+        let agg = HashAggregate::new(
+            v,
+            vec![],
+            vec![],
+            vec![spec(AggFunc::Min, Some("d"), false, "lo"), spec(AggFunc::Max, Some("d"), false, "hi")],
+        );
+        let (_, out) = collect(Box::new(agg)).unwrap();
+        assert_eq!(out[0][0].as_str().unwrap(), "1994-01-01");
+        assert_eq!(out[0][1].as_str().unwrap(), "1996-06-30");
+    }
+
+    #[test]
+    fn null_group_keys_group_together() {
+        let schema = Schema::new(vec![Column::new("g", DataType::Int)]);
+        let rows = vec![vec![Value::Null], vec![Value::Null], vec![Value::Int(1)]];
+        let v = Box::new(Values::new(schema, rows));
+        let agg = HashAggregate::new(
+            v,
+            vec![parse_expression("g").unwrap()],
+            vec!["g".into()],
+            vec![spec(AggFunc::Count, None, false, "cnt")],
+        );
+        let (_, out) = collect(Box::new(agg)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0][1], Value::Int(2), "two NULL-keyed rows in one group");
+    }
+}

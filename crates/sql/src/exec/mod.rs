@@ -1,0 +1,262 @@
+//! Physical operators (volcano iterators).
+//!
+//! Every operator pulls rows from its child via [`Operator::next`]. Scans
+//! stream pages through the shared pager; pipeline breakers (sort, hash
+//! aggregate, hash-join build side) materialize on first pull.
+
+pub mod aggregate;
+pub mod join;
+pub mod scan;
+pub mod sort;
+
+pub use aggregate::{AggSpec, HashAggregate};
+pub use join::{HashJoin, NestedLoopJoin};
+pub use scan::SeqScan;
+pub use sort::Sort;
+
+use crate::ast::Expr;
+use crate::expr::eval;
+use crate::schema::{Row, Schema};
+use crate::Result;
+
+/// A pull-based physical operator.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next row, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<Row>>;
+    /// One-line description for `EXPLAIN`.
+    fn describe(&self) -> String;
+    /// Child operators (for `EXPLAIN`), when still attached.
+    fn children(&self) -> Vec<&BoxOp> {
+        Vec::new()
+    }
+}
+
+/// Render an operator tree as an indented `EXPLAIN` listing.
+pub fn explain(op: &BoxOp) -> String {
+    fn walk(op: &BoxOp, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&op.describe());
+        out.push('\n');
+        for c in op.children() {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(op, 0, &mut out);
+    out
+}
+
+/// Boxed operator (the tree's edge type).
+pub type BoxOp = Box<dyn Operator + Send>;
+
+/// Materialized input rows (used for policy tests and for tables shipped
+/// from the storage engine to the host).
+pub struct Values {
+    schema: Schema,
+    rows: std::vec::IntoIter<Row>,
+}
+
+impl Values {
+    /// Wrap rows with their schema.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        Values { schema, rows: rows.into_iter() }
+    }
+}
+
+impl Operator for Values {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        Ok(self.rows.next())
+    }
+
+    fn describe(&self) -> String {
+        format!("Values ({} columns)", self.schema.len())
+    }
+}
+
+/// Filter: passes rows whose predicate is truthy.
+pub struct Filter {
+    input: BoxOp,
+    predicate: Expr,
+}
+
+impl Filter {
+    /// Wrap `input` with `predicate`.
+    pub fn new(input: BoxOp, predicate: Expr) -> Self {
+        Filter { input, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn describe(&self) -> String {
+        format!("Filter: {}", crate::ast::expr_to_sql(&self.predicate))
+    }
+
+    fn children(&self) -> Vec<&BoxOp> {
+        vec![&self.input]
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        while let Some(row) = self.input.next()? {
+            if eval(&self.predicate, self.input.schema(), &row)?.is_truthy() {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection: computes output expressions per row.
+pub struct Project {
+    input: BoxOp,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Project `exprs` out of `input`, naming outputs per `schema`.
+    pub fn new(input: BoxOp, exprs: Vec<Expr>, schema: Schema) -> Self {
+        debug_assert_eq!(exprs.len(), schema.len());
+        Project { input, exprs, schema }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn describe(&self) -> String {
+        let cols: Vec<String> = self.schema.columns.iter().map(|c| c.name.clone()).collect();
+        format!("Project: {}", cols.join(", "))
+    }
+
+    fn children(&self) -> Vec<&BoxOp> {
+        vec![&self.input]
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        match self.input.next()? {
+            None => Ok(None),
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(eval(e, self.input.schema(), &row)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Limit: stops after `n` rows.
+pub struct Limit {
+    input: BoxOp,
+    remaining: u64,
+}
+
+impl Limit {
+    /// Pass at most `n` rows of `input`.
+    pub fn new(input: BoxOp, n: u64) -> Self {
+        Limit { input, remaining: n }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn describe(&self) -> String {
+        format!("Limit: {}", self.remaining)
+    }
+
+    fn children(&self) -> Vec<&BoxOp> {
+        vec![&self.input]
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.remaining -= 1;
+                Ok(Some(row))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Drain an operator into a row vector.
+pub fn collect(mut op: BoxOp) -> Result<(Schema, Vec<Row>)> {
+    let schema = op.schema().clone();
+    let mut rows = Vec::new();
+    while let Some(r) = op.next()? {
+        rows.push(r);
+    }
+    Ok((schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use crate::schema::Column;
+    use crate::value::{DataType, Value};
+
+    pub(crate) fn test_schema() -> Schema {
+        Schema::new(vec![Column::new("a", DataType::Int), Column::new("b", DataType::Text)])
+    }
+
+    pub(crate) fn test_rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i), Value::Text(format!("s{i}"))]).collect()
+    }
+
+    #[test]
+    fn values_streams_rows() {
+        let (_, rows) = collect(Box::new(Values::new(test_schema(), test_rows(5)))).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let v = Box::new(Values::new(test_schema(), test_rows(10)));
+        let f = Box::new(Filter::new(v, parse_expression("a >= 7").unwrap()));
+        let (_, rows) = collect(f).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Int(7));
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let v = Box::new(Values::new(test_schema(), test_rows(3)));
+        let out_schema = Schema::new(vec![Column::new("double_a", DataType::Int)]);
+        let p = Box::new(Project::new(v, vec![parse_expression("a * 2").unwrap()], out_schema));
+        let (schema, rows) = collect(p).unwrap();
+        assert_eq!(schema.columns[0].name, "double_a");
+        assert_eq!(rows[2][0], Value::Int(4));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let v = Box::new(Values::new(test_schema(), test_rows(10)));
+        let (_, rows) = collect(Box::new(Limit::new(v, 4))).unwrap();
+        assert_eq!(rows.len(), 4);
+        let v = Box::new(Values::new(test_schema(), test_rows(2)));
+        let (_, rows) = collect(Box::new(Limit::new(v, 100))).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+}

@@ -1,0 +1,494 @@
+//! Expression evaluation against a row.
+
+use crate::ast::{BinOp, Expr, UnaryOp};
+use crate::schema::{Row, Schema};
+use crate::value::Value;
+use crate::{Result, SqlError};
+use std::cmp::Ordering;
+
+/// Evaluate `expr` against `row` described by `schema`.
+///
+/// Aggregate calls are *not* valid here — the aggregation operator
+/// replaces them with computed columns before evaluation.
+pub fn eval(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = schema.resolve(name)?;
+            Ok(row[idx].clone())
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, schema, row)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(SqlError::Eval(format!("cannot negate {other:?}"))),
+                },
+                UnaryOp::Not => {
+                    if v.is_null() {
+                        Ok(Value::Null)
+                    } else {
+                        Ok(Value::Int(!v.is_truthy() as i64))
+                    }
+                }
+            }
+        }
+        Expr::Binary { op, left, right } => eval_binary(*op, left, right, schema, row),
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, schema, row)?;
+            let lo = eval(low, schema, row)?;
+            let hi = eval(high, schema, row)?;
+            match (v.compare(&lo), v.compare(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Int((inside ^ negated) as i64))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, schema, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, schema, row)?;
+                if v.compare(&iv) == Some(Ordering::Equal) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Int((found ^ negated) as i64))
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, schema, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Int((like_match(pattern, &s) ^ negated) as i64)),
+                other => Err(SqlError::Eval(format!("LIKE needs text, got {other:?}"))),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, row)?;
+            Ok(Value::Int((v.is_null() ^ negated) as i64))
+        }
+        Expr::Case { when_then, else_expr } => {
+            for (cond, val) in when_then {
+                if eval(cond, schema, row)?.is_truthy() {
+                    return eval(val, schema, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, schema, row),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Func { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, schema, row)?);
+            }
+            eval_func(name, &vals)
+        }
+        Expr::Agg { .. } => Err(SqlError::Eval("aggregate outside aggregation context".into())),
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
+    // Short-circuit logical operators with SQL three-valued logic.
+    match op {
+        BinOp::And => {
+            let l = eval(left, schema, row)?;
+            if !l.is_null() && !l.is_truthy() {
+                return Ok(Value::Int(0));
+            }
+            let r = eval(right, schema, row)?;
+            if !r.is_null() && !r.is_truthy() {
+                return Ok(Value::Int(0));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            return Ok(Value::Int(1));
+        }
+        BinOp::Or => {
+            let l = eval(left, schema, row)?;
+            if !l.is_null() && l.is_truthy() {
+                return Ok(Value::Int(1));
+            }
+            let r = eval(right, schema, row)?;
+            if !r.is_null() && r.is_truthy() {
+                return Ok(Value::Int(1));
+            }
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            return Ok(Value::Int(0));
+        }
+        _ => {}
+    }
+
+    let l = eval(left, schema, row)?;
+    let r = eval(right, schema, row)?;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, &l, &r),
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let ord = l
+                .compare(&r)
+                .ok_or_else(|| SqlError::Eval(format!("cannot compare {l:?} and {r:?}")))?;
+            let b = match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::NotEq => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::LtEq => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(b as i64))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    // Int op Int stays Int (except division, which is exact only when even).
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinOp::Div => {
+                if *b == 0 {
+                    Err(SqlError::Eval("division by zero".into()))
+                } else if a % b == 0 {
+                    Ok(Value::Int(a / b))
+                } else {
+                    Ok(Value::Float(*a as f64 / *b as f64))
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    Err(SqlError::Eval("modulo by zero".into()))
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        };
+    }
+    let a = l.as_f64()?;
+    let b = r.as_f64()?;
+    match op {
+        BinOp::Add => Ok(Value::Float(a + b)),
+        BinOp::Sub => Ok(Value::Float(a - b)),
+        BinOp::Mul => Ok(Value::Float(a * b)),
+        BinOp::Div => {
+            if b == 0.0 {
+                Err(SqlError::Eval("division by zero".into()))
+            } else {
+                Ok(Value::Float(a / b))
+            }
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                Err(SqlError::Eval("modulo by zero".into()))
+            } else {
+                Ok(Value::Float(a % b))
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Evaluate a built-in scalar function over already-evaluated arguments.
+fn eval_func(name: &str, args: &[Value]) -> Result<Value> {
+    // NULL in, NULL out for every built-in.
+    if args.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    match name {
+        "SUBSTR" => {
+            // SUBSTR(s, start [, len]) — 1-based start, char-wise.
+            if args.len() != 2 && args.len() != 3 {
+                return Err(SqlError::Eval("SUBSTR takes 2 or 3 arguments".into()));
+            }
+            let s = args[0].as_str()?;
+            let start = args[1].as_i64()?.max(1) as usize - 1;
+            let chars: Vec<char> = s.chars().collect();
+            let end = match args.get(2) {
+                Some(l) => (start + l.as_i64()?.max(0) as usize).min(chars.len()),
+                None => chars.len(),
+            };
+            let start = start.min(chars.len());
+            Ok(Value::Text(chars[start..end].iter().collect()))
+        }
+        "LENGTH" => {
+            if args.len() != 1 {
+                return Err(SqlError::Eval("LENGTH takes 1 argument".into()));
+            }
+            Ok(Value::Int(args[0].as_str()?.chars().count() as i64))
+        }
+        "YEAR" => {
+            // YEAR('YYYY-MM-DD') — the four leading digits as an integer.
+            if args.len() != 1 {
+                return Err(SqlError::Eval("YEAR takes 1 argument".into()));
+            }
+            let s = args[0].as_str()?;
+            let y: i64 = s
+                .get(..4)
+                .and_then(|p| p.parse().ok())
+                .ok_or_else(|| SqlError::Eval(format!("YEAR: `{s}` is not an ISO date")))?;
+            Ok(Value::Int(y))
+        }
+        "ABS" => {
+            if args.len() != 1 {
+                return Err(SqlError::Eval("ABS takes 1 argument".into()));
+            }
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                v => Ok(Value::Float(v.as_f64()?.abs())),
+            }
+        }
+        "ROUND" => {
+            // ROUND(x [, digits])
+            if args.is_empty() || args.len() > 2 {
+                return Err(SqlError::Eval("ROUND takes 1 or 2 arguments".into()));
+            }
+            let x = args[0].as_f64()?;
+            let digits = match args.get(1) {
+                Some(d) => d.as_i64()?,
+                None => 0,
+            };
+            let m = 10f64.powi(digits as i32);
+            Ok(Value::Float((x * m).round() / m))
+        }
+        other => Err(SqlError::Eval(format!("unknown function `{other}`"))),
+    }
+}
+
+/// SQL `LIKE` matcher: `%` matches any run, `_` matches one character.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    like_rec(&p, &t)
+}
+
+fn like_rec(p: &[char], t: &[char]) -> bool {
+    match p.first() {
+        None => t.is_empty(),
+        Some('%') => {
+            // Collapse consecutive %.
+            let rest = &p[1..];
+            if rest.is_empty() {
+                return true;
+            }
+            for skip in 0..=t.len() {
+                if like_rec(rest, &t[skip..]) {
+                    return true;
+                }
+            }
+            false
+        }
+        Some('_') => !t.is_empty() && like_rec(&p[1..], &t[1..]),
+        Some(c) => t.first() == Some(c) && like_rec(&p[1..], &t[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Float),
+            Column::new("s", DataType::Text),
+            Column::new("n", DataType::Int),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(10), Value::Float(2.5), Value::Text("hello".into()), Value::Null]
+    }
+
+    fn run(src: &str) -> Value {
+        eval(&parse_expression(src).unwrap(), &schema(), &row()).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("a + 5"), Value::Int(15));
+        assert_eq!(run("a * b"), Value::Float(25.0));
+        assert_eq!(run("a / 4"), Value::Float(2.5));
+        assert_eq!(run("a / 5"), Value::Int(2));
+        assert_eq!(run("a % 3"), Value::Int(1));
+        assert_eq!(run("-a"), Value::Int(-10));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = parse_expression("a / 0").unwrap();
+        assert!(eval(&e, &schema(), &row()).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run("a = 10"), Value::Int(1));
+        assert_eq!(run("a <> 10"), Value::Int(0));
+        assert_eq!(run("b < 3"), Value::Int(1));
+        assert_eq!(run("s = 'hello'"), Value::Int(1));
+        assert_eq!(run("s < 'world'"), Value::Int(1));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert!(run("n + 1").is_null());
+        assert!(run("n = n").is_null());
+        assert!(run("NOT n").is_null());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+        assert_eq!(run("n = 1 AND a = 99"), Value::Int(0));
+        assert!(run("n = 1 AND a = 10").is_null());
+        // NULL OR TRUE = TRUE; NULL OR FALSE = NULL.
+        assert_eq!(run("n = 1 OR a = 10"), Value::Int(1));
+        assert!(run("n = 1 OR a = 99").is_null());
+    }
+
+    #[test]
+    fn between_in() {
+        assert_eq!(run("a BETWEEN 5 AND 15"), Value::Int(1));
+        assert_eq!(run("a BETWEEN 11 AND 15"), Value::Int(0));
+        assert_eq!(run("a NOT BETWEEN 11 AND 15"), Value::Int(1));
+        assert_eq!(run("a IN (1, 10, 100)"), Value::Int(1));
+        assert_eq!(run("a NOT IN (1, 10, 100)"), Value::Int(0));
+        assert_eq!(run("s IN ('x', 'hello')"), Value::Int(1));
+    }
+
+    #[test]
+    fn is_null_checks() {
+        assert_eq!(run("n IS NULL"), Value::Int(1));
+        assert_eq!(run("n IS NOT NULL"), Value::Int(0));
+        assert_eq!(run("a IS NULL"), Value::Int(0));
+    }
+
+    #[test]
+    fn case_expr() {
+        assert_eq!(run("CASE WHEN a = 10 THEN 'ten' ELSE 'other' END"), Value::Text("ten".into()));
+        assert_eq!(run("CASE WHEN a = 11 THEN 'x' END"), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("h%", "hello"));
+        assert!(like_match("%llo", "hello"));
+        assert!(like_match("%ell%", "hello"));
+        assert!(like_match("h_llo", "hello"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("h_llo", "hllo"));
+        assert!(!like_match("hello", "hell"));
+        assert!(!like_match("", "x"));
+        assert!(like_match("%%x%%", "aaxbb"));
+    }
+
+    #[test]
+    fn like_in_sql() {
+        assert_eq!(run("s LIKE 'hel%'"), Value::Int(1));
+        assert_eq!(run("s NOT LIKE '%z%'"), Value::Int(1));
+    }
+
+    #[test]
+    fn aggregate_outside_context_errors() {
+        let e = parse_expression("SUM(a)").unwrap();
+        assert!(eval(&e, &schema(), &row()).is_err());
+    }
+
+    #[test]
+    fn date_comparison_as_text() {
+        let schema = Schema::new(vec![Column::new("d", DataType::Text)]);
+        let row = vec![Value::Text("1995-06-17".into())];
+        let e = parse_expression("d BETWEEN '1995-01-01' AND '1995-12-31'").unwrap();
+        assert_eq!(eval(&e, &schema, &row).unwrap(), Value::Int(1));
+    }
+}
+
+#[cfg(test)]
+mod func_tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use crate::schema::{Column, Schema};
+    use crate::value::DataType;
+
+    fn run(src: &str) -> Value {
+        let schema = Schema::new(vec![Column::new("d", DataType::Text), Column::new("x", DataType::Float)]);
+        let row = vec![Value::Text("1995-06-17".into()), Value::Float(-2.7173)];
+        eval(&parse_expression(src).unwrap(), &schema, &row).unwrap()
+    }
+
+    #[test]
+    fn year_extracts_leading_digits() {
+        assert_eq!(run("YEAR(d)"), Value::Int(1995));
+    }
+
+    #[test]
+    fn substr_is_one_based_and_clamped() {
+        assert_eq!(run("SUBSTR(d, 1, 4)"), Value::Text("1995".into()));
+        assert_eq!(run("SUBSTR(d, 6, 2)"), Value::Text("06".into()));
+        assert_eq!(run("SUBSTR(d, 9)"), Value::Text("17".into()));
+        assert_eq!(run("SUBSTR(d, 100, 5)"), Value::Text(String::new()));
+    }
+
+    #[test]
+    fn length_abs_round() {
+        assert_eq!(run("LENGTH(d)"), Value::Int(10));
+        assert_eq!(run("ABS(x)"), Value::Float(2.7173));
+        assert_eq!(run("ROUND(x, 2)"), Value::Float(-2.72));
+        assert_eq!(run("ROUND(x)"), Value::Float(-3.0));
+        assert_eq!(run("ABS(0 - 5)"), Value::Int(5));
+    }
+
+    #[test]
+    fn null_propagates_through_functions() {
+        let schema = Schema::new(vec![Column::new("n", DataType::Text)]);
+        let row = vec![Value::Null];
+        let v = eval(&parse_expression("YEAR(n)").unwrap(), &schema, &row).unwrap();
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn unknown_function_rejected_at_parse() {
+        // Unknown names parse as column refs and fail resolution later;
+        // known-but-misused arities fail at eval.
+        let schema = Schema::new(vec![Column::new("d", DataType::Text)]);
+        let row = vec![Value::Text("x".into())];
+        assert!(eval(&parse_expression("SUBSTR(d)").unwrap(), &schema, &row).is_err());
+    }
+
+    #[test]
+    fn functions_inside_aggregates_via_db() {
+        use crate::db::Database;
+        use ironsafe_storage::pager::PlainPager;
+        let mut db = Database::new(PlainPager::new());
+        db.execute("CREATE TABLE t (d DATE, v FLOAT)").unwrap();
+        db.execute("INSERT INTO t VALUES ('1995-01-01', 10.0), ('1995-06-01', 20.0), ('1996-01-01', 40.0)").unwrap();
+        let r = db
+            .execute("SELECT YEAR(d) AS y, SUM(v) FROM t GROUP BY YEAR(d) ORDER BY y")
+            .unwrap();
+        assert_eq!(r.rows().len(), 2);
+        assert_eq!(r.rows()[0][0], Value::Int(1995));
+        assert_eq!(r.rows()[0][1], Value::Float(30.0));
+    }
+}

@@ -1,0 +1,344 @@
+//! Heap-file row storage on fixed-size pages.
+//!
+//! Each table is a list of page ids. A page payload holds a small header
+//! (`u32` used bytes, `u16` row count) followed by length-prefixed encoded
+//! rows. Bulk loads buffer whole pages in memory before writing — one page
+//! write per filled page — while single-row appends read-modify-write the
+//! tail page, like SQLite's append path.
+
+use crate::schema::Row;
+use crate::value::{decode_value, encode_value};
+use crate::{Result, SqlError};
+use ironsafe_storage::pager::{PageId, Pager};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared, lockable pager handle used across operators.
+pub type SharedPager = Arc<Mutex<dyn Pager + Send>>;
+
+/// Wrap a pager for shared use.
+pub fn shared<P: Pager + Send + 'static>(pager: P) -> SharedPager {
+    Arc::new(Mutex::new(pager))
+}
+
+const HEADER: usize = 6; // u32 used + u16 nrows
+
+/// A table's page list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapFile {
+    /// Pages owned by this heap, in order.
+    pub pages: Vec<PageId>,
+    /// Total rows stored.
+    pub row_count: u64,
+}
+
+fn encode_row(row: &Row) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(row.len() * 12);
+    for v in row {
+        encode_value(v, &mut buf);
+    }
+    buf
+}
+
+fn decode_page_rows(payload: &[u8], ncols: usize) -> Result<Vec<Row>> {
+    let used = u32::from_be_bytes(payload[0..4].try_into().expect("4")) as usize;
+    let nrows = u16::from_be_bytes(payload[4..6].try_into().expect("2")) as usize;
+    let mut rows = Vec::with_capacity(nrows);
+    let mut pos = HEADER;
+    for _ in 0..nrows {
+        if pos + 4 > used {
+            return Err(SqlError::Eval("corrupt heap page: truncated record header".into()));
+        }
+        let len = u32::from_be_bytes(payload[pos..pos + 4].try_into().expect("4")) as usize;
+        pos += 4;
+        let end = pos + len;
+        if end > used {
+            return Err(SqlError::Eval("corrupt heap page: record overruns page".into()));
+        }
+        let mut vpos = pos;
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(decode_value(&payload[..end], &mut vpos)?);
+        }
+        if vpos != end {
+            return Err(SqlError::Eval("corrupt heap page: record length mismatch".into()));
+        }
+        rows.push(row);
+        pos = end;
+    }
+    Ok(rows)
+}
+
+impl HeapFile {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Append many rows, buffering page-at-a-time.
+    pub fn append_rows<I>(&mut self, pager: &SharedPager, rows: I) -> Result<()>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let mut pager = pager.lock();
+        let payload_size = pager.payload_size();
+        let mut page = vec![0u8; payload_size];
+        let mut used = HEADER;
+        let mut nrows: u16 = 0;
+        // Start by loading the tail page if it has room.
+        let mut tail_page: Option<PageId> = self.pages.last().copied();
+        if let Some(id) = tail_page {
+            pager.read_page(id, &mut page)?;
+            used = u32::from_be_bytes(page[0..4].try_into().expect("4")) as usize;
+            nrows = u16::from_be_bytes(page[4..6].try_into().expect("2"));
+        }
+        let flush = |pager: &mut dyn Pager, page: &mut [u8], id: PageId, used: usize, nrows: u16| -> Result<()> {
+            page[0..4].copy_from_slice(&(used as u32).to_be_bytes());
+            page[4..6].copy_from_slice(&nrows.to_be_bytes());
+            pager.write_page(id, page)?;
+            Ok(())
+        };
+        for row in rows {
+            let rec = encode_row(&row);
+            if rec.len() + 4 > payload_size - HEADER {
+                return Err(SqlError::Eval(format!(
+                    "row of {} bytes exceeds page payload",
+                    rec.len()
+                )));
+            }
+            if used + 4 + rec.len() > payload_size || nrows == u16::MAX {
+                // Flush current page and start a new one.
+                if let Some(id) = tail_page {
+                    flush(&mut *pager, &mut page, id, used, nrows)?;
+                }
+                tail_page = Some(pager.allocate_page()?);
+                page.iter_mut().for_each(|b| *b = 0);
+                used = HEADER;
+                nrows = 0;
+                if self.pages.last() != tail_page.as_ref() {
+                    self.pages.push(tail_page.expect("just set"));
+                }
+            } else if tail_page.is_none() {
+                tail_page = Some(pager.allocate_page()?);
+                self.pages.push(tail_page.expect("just set"));
+            }
+            page[used..used + 4].copy_from_slice(&(rec.len() as u32).to_be_bytes());
+            page[used + 4..used + 4 + rec.len()].copy_from_slice(&rec);
+            used += 4 + rec.len();
+            nrows += 1;
+            self.row_count += 1;
+        }
+        if let Some(id) = tail_page {
+            flush(&mut *pager, &mut page, id, used, nrows)?;
+        }
+        Ok(())
+    }
+
+    /// Append one row.
+    pub fn append_row(&mut self, pager: &SharedPager, row: Row) -> Result<()> {
+        self.append_rows(pager, std::iter::once(row))
+    }
+
+    /// Read every row of one page.
+    pub fn read_page_rows(&self, pager: &SharedPager, page_index: usize, ncols: usize) -> Result<Vec<Row>> {
+        let id = *self
+            .pages
+            .get(page_index)
+            .ok_or_else(|| SqlError::Eval(format!("heap page index {page_index} out of range")))?;
+        let mut pager = pager.lock();
+        let mut payload = vec![0u8; pager.payload_size()];
+        pager.read_page(id, &mut payload)?;
+        decode_page_rows(&payload, ncols)
+    }
+
+    /// Materialize all rows (test/debug convenience; scans stream instead).
+    pub fn all_rows(&self, pager: &SharedPager, ncols: usize) -> Result<Vec<Row>> {
+        let mut out = Vec::with_capacity(self.row_count as usize);
+        for i in 0..self.pages.len() {
+            out.extend(self.read_page_rows(pager, i, ncols)?);
+        }
+        Ok(out)
+    }
+
+    /// Replace the heap's contents with `rows`, reusing existing pages.
+    pub fn rewrite(&mut self, pager: &SharedPager, rows: Vec<Row>) -> Result<()> {
+        // Clear bookkeeping but keep the allocated pages for reuse.
+        let old_pages = std::mem::take(&mut self.pages);
+        self.row_count = 0;
+        // Write rows through a fresh heap that draws from `old_pages` first.
+        let payload_size = pager.lock().payload_size();
+        let mut page = vec![0u8; payload_size];
+        let mut old_iter = old_pages.into_iter();
+        let mut used = HEADER;
+        let mut nrows: u16 = 0;
+        let mut cur: Option<PageId> = None;
+        {
+            let mut pager = pager.lock();
+            for row in rows {
+                let rec = encode_row(&row);
+                if rec.len() + 4 > payload_size - HEADER {
+                    return Err(SqlError::Eval("row exceeds page payload".into()));
+                }
+                if cur.is_none() || used + 4 + rec.len() > payload_size || nrows == u16::MAX {
+                    if let Some(id) = cur {
+                        page[0..4].copy_from_slice(&(used as u32).to_be_bytes());
+                        page[4..6].copy_from_slice(&nrows.to_be_bytes());
+                        pager.write_page(id, &page)?;
+                    }
+                    let id = match old_iter.next() {
+                        Some(id) => id,
+                        None => pager.allocate_page()?,
+                    };
+                    self.pages.push(id);
+                    cur = Some(id);
+                    page.iter_mut().for_each(|b| *b = 0);
+                    used = HEADER;
+                    nrows = 0;
+                }
+                page[used..used + 4].copy_from_slice(&(rec.len() as u32).to_be_bytes());
+                page[used + 4..used + 4 + rec.len()].copy_from_slice(&rec);
+                used += 4 + rec.len();
+                nrows += 1;
+                self.row_count += 1;
+            }
+            if let Some(id) = cur {
+                page[0..4].copy_from_slice(&(used as u32).to_be_bytes());
+                page[4..6].copy_from_slice(&nrows.to_be_bytes());
+                pager.write_page(id, &page)?;
+            }
+            // Zero any leftover old pages so stale rows are unreachable.
+            for id in old_iter {
+                let zeros = vec![0u8; payload_size];
+                pager.write_page(id, &zeros)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use ironsafe_storage::pager::PlainPager;
+
+    fn pager() -> SharedPager {
+        shared(PlainPager::new())
+    }
+
+    fn row(i: i64) -> Row {
+        vec![Value::Int(i), Value::Text(format!("row-{i}")), Value::Float(i as f64 / 2.0)]
+    }
+
+    #[test]
+    fn append_and_scan_roundtrip() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        heap.append_rows(&p, (0..100).map(row)).unwrap();
+        assert_eq!(heap.row_count, 100);
+        let rows = heap.all_rows(&p, 3).unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(rows[42], row(42));
+    }
+
+    #[test]
+    fn spans_multiple_pages() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        // Rows with ~500-byte strings force several per-page boundaries.
+        let big = |i: i64| vec![Value::Int(i), Value::Text("x".repeat(500))];
+        heap.append_rows(&p, (0..50).map(big)).unwrap();
+        assert!(heap.page_count() > 1, "got {} pages", heap.page_count());
+        let rows = heap.all_rows(&p, 2).unwrap();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[49][0], Value::Int(49));
+    }
+
+    #[test]
+    fn single_row_appends_continue_tail_page() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        for i in 0..10 {
+            heap.append_row(&p, row(i)).unwrap();
+        }
+        assert_eq!(heap.page_count(), 1, "small rows share one page");
+        assert_eq!(heap.all_rows(&p, 3).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn oversized_row_rejected() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        let huge = vec![Value::Text("y".repeat(10_000))];
+        assert!(heap.append_row(&p, huge).is_err());
+    }
+
+    #[test]
+    fn rewrite_shrinks_and_reuses_pages() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        let big = |i: i64| vec![Value::Int(i), Value::Text("x".repeat(500))];
+        heap.append_rows(&p, (0..50).map(big)).unwrap();
+        let pages_before = p.lock().num_pages();
+
+        // Delete all but 3 rows.
+        heap.rewrite(&p, (0..3).map(big).collect()).unwrap();
+        assert_eq!(heap.row_count, 3);
+        assert_eq!(heap.all_rows(&p, 2).unwrap().len(), 3);
+        assert_eq!(p.lock().num_pages(), pages_before, "no new pages allocated");
+    }
+
+    #[test]
+    fn rewrite_grows_when_needed() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        heap.append_rows(&p, (0..5).map(row)).unwrap();
+        let big = |i: i64| vec![Value::Int(i), Value::Text("x".repeat(500))];
+        heap.rewrite(&p, (0..100).map(big).collect()).unwrap();
+        assert_eq!(heap.all_rows(&p, 2).unwrap().len(), 100);
+        assert!(heap.page_count() > 1);
+    }
+
+    #[test]
+    fn empty_heap_scans_empty() {
+        let p = pager();
+        let heap = HeapFile::new();
+        assert!(heap.all_rows(&p, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_values_roundtrip() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        heap.append_row(&p, vec![Value::Null, Value::Int(1), Value::Null]).unwrap();
+        let rows = heap.all_rows(&p, 3).unwrap();
+        assert!(rows[0][0].is_null());
+        assert!(rows[0][2].is_null());
+    }
+
+    #[test]
+    fn works_over_secure_pager() {
+        use ironsafe_crypto::group::Group;
+        use ironsafe_storage::SecurePager;
+        use ironsafe_tee::trustzone::Manufacturer;
+        use rand::SeedableRng;
+        let group = Group::modp_1024();
+        let mfr = Manufacturer::from_seed(&group, b"acme");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let dev = mfr.make_device("s0", 8, &mut rng);
+        let p = shared(SecurePager::create(dev, 42).unwrap());
+        let mut heap = HeapFile::new();
+        heap.append_rows(&p, (0..200).map(row)).unwrap();
+        let rows = heap.all_rows(&p, 3).unwrap();
+        assert_eq!(rows.len(), 200);
+        assert_eq!(rows[123], row(123));
+        let stats = p.lock().stats();
+        assert!(stats.encrypts > 0);
+        assert!(stats.decrypts > 0);
+    }
+}

@@ -1,0 +1,728 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+use crate::value::{DataType, Value};
+use crate::{Result, SqlError};
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse(sql: &str) -> Result<Vec<Statement>> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_token(&Token::Semi) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.statement()?);
+    }
+    Ok(out)
+}
+
+/// Parse exactly one statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut stmts = parse(sql)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(SqlError::Parse(format!("expected one statement, found {n}"))),
+    }
+}
+
+/// Parse a standalone expression (used in policies and tests).
+pub fn parse_expression(sql: &str) -> Result<Expr> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!("trailing tokens after expression: {:?}", p.peek())));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_token(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, t: &Token) -> Result<()> {
+        if self.eat_token(t) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    /// Case-insensitive keyword check.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s.to_ascii_lowercase()),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.peek_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            self.create_table()
+        } else if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            self.insert()
+        } else if self.eat_kw("UPDATE") {
+            self.update()
+        } else if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            self.delete()
+        } else if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            Ok(Statement::DropTable { name: self.ident()? })
+        } else {
+            Err(SqlError::Parse(format!("unexpected token {:?}", self.peek())))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        let name = self.ident()?;
+        self.expect_token(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_token(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let name = self.ident()?;
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => DataType::Int,
+            "float" | "real" | "double" | "decimal" | "numeric" => DataType::Float,
+            "text" | "varchar" | "char" | "date" | "string" => DataType::Text,
+            other => return Err(SqlError::Parse(format!("unknown type `{other}`"))),
+        };
+        // Optional precision, e.g. VARCHAR(25) or DECIMAL(15, 2).
+        if self.eat_token(&Token::LParen) {
+            loop {
+                match self.next()? {
+                    Token::Int(_) => {}
+                    other => return Err(SqlError::Parse(format!("expected precision, found {other:?}"))),
+                }
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        let columns = if self.eat_token(&Token::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut values = Vec::new();
+        loop {
+            self.expect_token(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            values.push(row);
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, columns, values })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_token(&Token::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Update { table, sets, where_clause })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let mut projections = Vec::new();
+        loop {
+            if self.eat_token(&Token::Star) {
+                projections.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // Implicit alias, but never steal a clause keyword.
+                    let up = s.to_ascii_uppercase();
+                    if ["FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT"].contains(&up.as_str()) {
+                        None
+                    } else {
+                        Some(self.ident()?)
+                    }
+                } else {
+                    None
+                };
+                projections.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                let name = self.ident()?;
+                let alias = if self.eat_kw("AS") {
+                    self.ident()?
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    let up = s.to_ascii_uppercase();
+                    if ["WHERE", "GROUP", "HAVING", "ORDER", "LIMIT"].contains(&up.as_str()) {
+                        name.clone()
+                    } else {
+                        self.ident()?
+                    }
+                } else {
+                    name.clone()
+                };
+                from.push(TableRef { name, alias });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(SqlError::Parse(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt { projections, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::bin(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::bin(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let e = self.not_expr()?;
+            Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicate forms.
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between { expr: Box::new(left), low: Box::new(low), high: Box::new(high), negated });
+        }
+        if self.eat_kw("IN") {
+            self.expect_token(&Token::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect_token(&Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_kw("LIKE") {
+            match self.next()? {
+                Token::Str(pattern) => {
+                    return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+                }
+                other => return Err(SqlError::Parse(format!("LIKE needs a string pattern, found {other:?}"))),
+            }
+        }
+        if negated {
+            return Err(SqlError::Parse("dangling NOT before comparison".into()));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::bin(op, left, right));
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::bin(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_token(&Token::Minus) {
+            let e = self.unary()?;
+            // Constant-fold negative literals for cleanliness.
+            return Ok(match e {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_token(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            Token::Float(f) => Ok(Expr::Literal(Value::Float(f))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect_token(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(id) => {
+                let up = id.to_ascii_uppercase();
+                match up.as_str() {
+                    "NULL" => Ok(Expr::Literal(Value::Null)),
+                    "TRUE" => Ok(Expr::Literal(Value::Int(1))),
+                    "FALSE" => Ok(Expr::Literal(Value::Int(0))),
+                    "CASE" => self.case_expr(),
+                    "DATE" => {
+                        // `DATE 'YYYY-MM-DD'` — dates are text.
+                        match self.next()? {
+                            Token::Str(s) => Ok(Expr::Literal(Value::Text(s))),
+                            other => Err(SqlError::Parse(format!("DATE needs a string, found {other:?}"))),
+                        }
+                    }
+                    "SUBSTR" | "SUBSTRING" | "LENGTH" | "YEAR" | "ABS" | "ROUND" => {
+                        self.expect_token(&Token::LParen)?;
+                        let mut args = Vec::new();
+                        if !self.eat_token(&Token::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat_token(&Token::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect_token(&Token::RParen)?;
+                        }
+                        let name = if up == "SUBSTRING" { "SUBSTR".to_string() } else { up };
+                        Ok(Expr::Func { name, args })
+                    }
+                    "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
+                        let func = match up.as_str() {
+                            "COUNT" => AggFunc::Count,
+                            "SUM" => AggFunc::Sum,
+                            "AVG" => AggFunc::Avg,
+                            "MIN" => AggFunc::Min,
+                            _ => AggFunc::Max,
+                        };
+                        self.expect_token(&Token::LParen)?;
+                        if self.eat_token(&Token::Star) {
+                            self.expect_token(&Token::RParen)?;
+                            return Ok(Expr::Agg { func, arg: None, distinct: false });
+                        }
+                        let distinct = self.eat_kw("DISTINCT");
+                        let arg = self.expr()?;
+                        self.expect_token(&Token::RParen)?;
+                        Ok(Expr::Agg { func, arg: Some(Box::new(arg)), distinct })
+                    }
+                    "SELECT" | "FROM" | "WHERE" | "GROUP" | "HAVING" | "ORDER" | "LIMIT" | "BY"
+                    | "AS" | "SET" | "VALUES" | "INTO" => {
+                        Err(SqlError::Parse(format!("unexpected keyword `{up}` in expression")))
+                    }
+                    _ => {
+                        // Column reference, possibly qualified.
+                        if self.eat_token(&Token::Dot) {
+                            let col = self.ident()?;
+                            Ok(Expr::Column(format!("{}.{}", id.to_ascii_lowercase(), col)))
+                        } else {
+                            Ok(Expr::Column(id.to_ascii_lowercase()))
+                        }
+                    }
+                }
+            }
+            other => Err(SqlError::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut when_then = Vec::new();
+        while self.eat_kw("WHEN") {
+            let cond = self.expr()?;
+            self.expect_kw("THEN")?;
+            let val = self.expr()?;
+            when_then.push((cond, val));
+        }
+        if when_then.is_empty() {
+            return Err(SqlError::Parse("CASE needs at least one WHEN arm".into()));
+        }
+        let else_expr = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { when_then, else_expr })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse_statement("CREATE TABLE t (a INT, b VARCHAR(25), c DECIMAL(15,2), d DATE)").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    ("a".into(), DataType::Int),
+                    ("b".into(), DataType::Text),
+                    ("c".into(), DataType::Float),
+                    ("d".into(), DataType::Text),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let s = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        match s {
+            Statement::Insert { table, columns, values } => {
+                assert_eq!(table, "t");
+                assert_eq!(columns, Some(vec!["a".into(), "b".into()]));
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_full_clause_set() {
+        let s = parse_statement(
+            "SELECT a, SUM(b * c) AS total FROM t, u WHERE a = 1 AND b < 5 \
+             GROUP BY a HAVING SUM(b * c) > 10 ORDER BY total DESC, a LIMIT 7",
+        )
+        .unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projections.len(), 2);
+                assert_eq!(sel.from.len(), 2);
+                assert!(sel.where_clause.is_some());
+                assert_eq!(sel.group_by.len(), 1);
+                assert!(sel.having.is_some());
+                assert_eq!(sel.order_by.len(), 2);
+                assert!(sel.order_by[0].1, "first key DESC");
+                assert!(!sel.order_by[1].1, "second key ASC");
+                assert_eq!(sel.limit, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 = 1 + (2 * 3)
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(BinOp::Add, Expr::int(1), Expr::bin(BinOp::Mul, Expr::int(2), Expr::int(3)))
+        );
+        // a OR b AND c = a OR (b AND c)
+        let e = parse_expression("a OR b AND c").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(BinOp::Or, Expr::col("a"), Expr::bin(BinOp::And, Expr::col("b"), Expr::col("c")))
+        );
+    }
+
+    #[test]
+    fn between_in_like() {
+        let e = parse_expression("x BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: false, .. }));
+        let e = parse_expression("x NOT BETWEEN 1 AND 10").unwrap();
+        assert!(matches!(e, Expr::Between { negated: true, .. }));
+        let e = parse_expression("x IN (1, 2, 3)").unwrap();
+        assert!(matches!(e, Expr::InList { negated: false, .. }));
+        let e = parse_expression("x NOT LIKE '%y%'").unwrap();
+        assert!(matches!(e, Expr::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert!(matches!(parse_expression("x IS NULL").unwrap(), Expr::IsNull { negated: false, .. }));
+        assert!(matches!(parse_expression("x IS NOT NULL").unwrap(), Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = parse_expression("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END").unwrap();
+        match e {
+            Expr::Case { when_then, else_expr } => {
+                assert_eq!(when_then.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        assert!(matches!(
+            parse_expression("COUNT(*)").unwrap(),
+            Expr::Agg { func: AggFunc::Count, arg: None, .. }
+        ));
+        assert!(matches!(
+            parse_expression("COUNT(DISTINCT x)").unwrap(),
+            Expr::Agg { func: AggFunc::Count, distinct: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("AVG(x + 1)").unwrap(),
+            Expr::Agg { func: AggFunc::Avg, .. }
+        ));
+    }
+
+    #[test]
+    fn qualified_columns() {
+        assert_eq!(parse_expression("t.col").unwrap(), Expr::Column("t.col".into()));
+    }
+
+    #[test]
+    fn date_literal() {
+        assert_eq!(
+            parse_expression("DATE '1994-01-01'").unwrap(),
+            Expr::Literal(Value::Text("1994-01-01".into()))
+        );
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expression("-5").unwrap(), Expr::int(-5));
+        assert_eq!(parse_expression("-2.5").unwrap(), Expr::Literal(Value::Float(-2.5)));
+    }
+
+    #[test]
+    fn update_delete_drop() {
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'").unwrap(),
+            Statement::Update { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE a < 5").unwrap(),
+            Statement::Delete { .. }
+        ));
+        assert!(matches!(parse_statement("DROP TABLE t").unwrap(), Statement::DropTable { .. }));
+    }
+
+    #[test]
+    fn table_aliases() {
+        let s = parse_statement("SELECT a FROM lineitem l, orders AS o WHERE l.a = o.b").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.from[0].alias, "l");
+                assert_eq!(sel.from[1].alias, "o");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let stmts = parse("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;").unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse_statement("SELEKT foo").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_expression("(1").is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! Runtime values and data types.
+
+use crate::{Result, SqlError};
+use std::cmp::Ordering;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text (also used for ISO dates).
+    Text,
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text.
+    Text(String),
+}
+
+impl Value {
+    /// The value's type, if not NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// Is this NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int promoted to Float).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(SqlError::Eval(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) => Ok(*f as i64),
+            other => Err(SqlError::Eval(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// Text view.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Text(s) => Ok(s),
+            other => Err(SqlError::Eval(format!("expected text, got {other:?}"))),
+        }
+    }
+
+    /// Truthiness for WHERE clauses: NULL and zero are false.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Text(s) => !s.is_empty(),
+        }
+    }
+
+    /// SQL comparison; `None` when either side is NULL or types are
+    /// incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order for sorting: NULLs first, then by value; mixed numeric
+    /// types compare numerically.
+    pub fn sort_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.compare(other).unwrap_or(Ordering::Equal),
+        }
+    }
+
+    /// Equality for grouping/joining keys (NULL groups with NULL, unlike
+    /// SQL comparison semantics — matching standard GROUP BY behaviour).
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// A stable byte key for hashing in joins/aggregations.
+    pub fn key_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            Value::Float(f) => {
+                // Normalize: integral floats hash like ints so Int/Float
+                // join keys agree with `compare`.
+                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 {
+                    out.push(1);
+                    out.extend_from_slice(&(*f as i64).to_be_bytes());
+                } else {
+                    out.push(2);
+                    out.extend_from_slice(&f.to_bits().to_be_bytes());
+                }
+            }
+            Value::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+/// Serialize a value into `out` (length-prefixed, self-describing).
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Value::Text(s) => {
+            out.push(3);
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Deserialize one value from `buf` at `pos`, advancing `pos`.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let err = || SqlError::Eval("corrupt value encoding".into());
+    let tag = *buf.get(*pos).ok_or_else(err)?;
+    *pos += 1;
+    match tag {
+        0 => Ok(Value::Null),
+        1 => {
+            let bytes: [u8; 8] = buf.get(*pos..*pos + 8).ok_or_else(err)?.try_into().expect("8");
+            *pos += 8;
+            Ok(Value::Int(i64::from_be_bytes(bytes)))
+        }
+        2 => {
+            let bytes: [u8; 8] = buf.get(*pos..*pos + 8).ok_or_else(err)?.try_into().expect("8");
+            *pos += 8;
+            Ok(Value::Float(f64::from_bits(u64::from_be_bytes(bytes))))
+        }
+        3 => {
+            let len_bytes: [u8; 4] = buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().expect("4");
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            *pos += 4;
+            let s = buf.get(*pos..*pos + len).ok_or_else(err)?;
+            *pos += len;
+            Ok(Value::Text(String::from_utf8(s.to_vec()).map_err(|_| err())?))
+        }
+        _ => Err(err()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_numeric_cross_type() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).compare(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+    }
+
+    #[test]
+    fn text_dates_order_correctly() {
+        // ISO dates compare lexicographically.
+        let a = Value::Text("1994-01-01".into());
+        let b = Value::Text("1995-12-31".into());
+        assert_eq!(a.compare(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn sort_cmp_puts_nulls_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.sort_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1].as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Float(-0.0),
+            Value::Text(String::new()),
+            Value::Text("hello world — ünïcödé".into()),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            encode_value(v, &mut buf);
+        }
+        let mut pos = 0;
+        for v in &vals {
+            let d = decode_value(&buf, &mut pos).unwrap();
+            match (v, &d) {
+                (Value::Null, Value::Null) => {}
+                _ => assert_eq!(v, &d),
+            }
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_truncated_fails() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Text("hello".into()), &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(decode_value(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn key_bytes_unify_int_and_integral_float() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Int(7).key_bytes(&mut a);
+        Value::Float(7.0).key_bytes(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn key_bytes_distinguish_types_and_values() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Text("1".into()).key_bytes(&mut a);
+        Value::Int(1).key_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(Value::Text("x".into()).is_truthy());
+        assert!(!Value::Text(String::new()).is_truthy());
+    }
+}

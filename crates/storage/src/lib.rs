@@ -1,0 +1,83 @@
+//! # ironsafe-storage
+//!
+//! The secure storage framework of IronSafe (§4.1 of the paper): protects
+//! data at rest on an *untrusted* storage medium with confidentiality,
+//! integrity and freshness.
+//!
+//! Layering (bottom-up):
+//!
+//! * [`blockdev`] — a simulated block device of 4 KiB blocks with I/O
+//!   counters and attacker-facing raw access (tamper/rollback/clone) used
+//!   by the security tests.
+//! * [`codec`] — the per-page cryptographic format: `IV ‖ AES-CBC
+//!   ciphertext ‖ HMAC`, mirroring SQLCipher's page layout the paper
+//!   builds on.
+//! * [`merkle`] — an incremental Merkle tree (configurable arity) over the
+//!   page MACs, detecting displacement and suppression of pages.
+//! * [`freshness`] — binds the Merkle root to the device RPMB with a
+//!   HUK-derived key, defeating rollback and forking attacks.
+//! * [`pager`] — the [`Pager`](pager::Pager) abstraction the SQL engine
+//!   reads and writes through, with a plaintext implementation
+//!   ([`pager::PlainPager`]) and the full secure implementation
+//!   ([`secure_pager::SecurePager`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockdev;
+pub mod codec;
+pub mod freshness;
+pub mod merkle;
+pub mod pager;
+pub mod secure_pager;
+
+pub use blockdev::{BlockDevice, BLOCK_SIZE};
+pub use codec::{PageCodec, PAGE_PAYLOAD};
+pub use merkle::MerkleTree;
+pub use pager::{PageId, Pager, PagerStats, PlainPager};
+pub use secure_pager::SecurePager;
+
+/// Errors raised by the storage stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Page id out of range.
+    PageOutOfRange(u64),
+    /// A page failed decryption or MAC verification (tampering).
+    IntegrityViolation(&'static str),
+    /// The Merkle root did not match the RPMB-protected value (rollback).
+    FreshnessViolation(&'static str),
+    /// Buffer of the wrong size handed to the pager.
+    BadBufferSize {
+        /// Required size.
+        expected: usize,
+        /// Provided size.
+        got: usize,
+    },
+    /// Underlying TEE error (RPMB etc.).
+    Tee(ironsafe_tee::TeeError),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::PageOutOfRange(p) => write!(f, "page {p} out of range"),
+            StorageError::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
+            StorageError::FreshnessViolation(m) => write!(f, "freshness violation: {m}"),
+            StorageError::BadBufferSize { expected, got } => {
+                write!(f, "bad buffer size: expected {expected}, got {got}")
+            }
+            StorageError::Tee(e) => write!(f, "TEE error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<ironsafe_tee::TeeError> for StorageError {
+    fn from(e: ironsafe_tee::TeeError) -> Self {
+        StorageError::Tee(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

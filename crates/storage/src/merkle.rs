@@ -1,0 +1,352 @@
+//! Incremental Merkle tree over page MACs.
+//!
+//! The paper builds an HMAC-based Merkle tree whose leaves are the per-page
+//! MACs; the root (further MAC'd with a HUK-derived key) goes to the RPMB.
+//! This implementation supports appends, in-place leaf updates, per-read
+//! path verification, and a configurable arity (the binary-vs-wide trade
+//! is one of the ablation benches).
+
+use ironsafe_crypto::hmac::{hmac_sha256_concat, HmacSha256};
+
+/// A 32-byte node hash.
+pub type NodeHash = [u8; 32];
+
+/// Incremental Merkle tree.
+#[derive(Clone)]
+pub struct MerkleTree {
+    key: [u8; 32],
+    arity: usize,
+    /// `levels[0]` are the leaves; the last level has exactly one node.
+    levels: Vec<Vec<NodeHash>>,
+    /// Nodes visited by verify/update operations (cost-model input).
+    node_visits: u64,
+}
+
+impl std::fmt::Debug for MerkleTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MerkleTree(leaves: {}, arity: {}, depth: {})", self.num_leaves(), self.arity, self.levels.len())
+    }
+}
+
+impl MerkleTree {
+    /// An empty tree keyed with `key`, with the given fan-out (≥ 2).
+    pub fn new(key: [u8; 32], arity: usize) -> Self {
+        assert!(arity >= 2, "Merkle arity must be at least 2");
+        MerkleTree { key, arity, levels: vec![Vec::new()], node_visits: 0 }
+    }
+
+    /// Binary tree (the paper's configuration).
+    pub fn binary(key: [u8; 32]) -> Self {
+        Self::new(key, 2)
+    }
+
+    /// Leaf count.
+    pub fn num_leaves(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Tree depth (number of levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Cumulative node visits (verifications + updates).
+    pub fn node_visits(&self) -> u64 {
+        self.node_visits
+    }
+
+    /// Zero the visit counter.
+    pub fn reset_counters(&mut self) {
+        self.node_visits = 0;
+    }
+
+    fn leaf_hash(&self, index: u64, page_mac: &[u8; 32]) -> NodeHash {
+        hmac_sha256_concat(&self.key, &[b"merkle-leaf", &index.to_be_bytes(), page_mac])
+    }
+
+    fn node_hash(&self, level: usize, children: &[NodeHash]) -> NodeHash {
+        let mut h = HmacSha256::new(&self.key);
+        h.update(b"merkle-node");
+        h.update(&(level as u32).to_be_bytes());
+        for c in children {
+            h.update(c);
+        }
+        h.finalize()
+    }
+
+    /// Append a leaf for a new page; returns its index.
+    pub fn append(&mut self, page_mac: &[u8; 32]) -> u64 {
+        let index = self.levels[0].len() as u64;
+        let leaf = self.leaf_hash(index, page_mac);
+        self.levels[0].push(leaf);
+        self.rebuild_path(index as usize);
+        index
+    }
+
+    /// Update the leaf for an existing page after a page write.
+    pub fn update(&mut self, index: u64, page_mac: &[u8; 32]) {
+        let i = index as usize;
+        assert!(i < self.levels[0].len(), "leaf index out of range");
+        self.levels[0][i] = self.leaf_hash(index, page_mac);
+        self.rebuild_path(i);
+    }
+
+    /// Recompute ancestors of leaf `i` (growing levels as needed) until the
+    /// top level has a single node.
+    fn rebuild_path(&mut self, mut i: usize) {
+        let mut level = 0;
+        while self.levels[level].len() > 1 {
+            let cur_len = self.levels[level].len();
+            let parent = i / self.arity;
+            let start = parent * self.arity;
+            let end = (start + self.arity).min(cur_len);
+            let hash = self.node_hash(level, &self.levels[level][start..end]);
+            self.node_visits += (end - start) as u64 + 1;
+            if level + 1 == self.levels.len() {
+                self.levels.push(Vec::new());
+            }
+            let up = &mut self.levels[level + 1];
+            if parent >= up.len() {
+                debug_assert_eq!(parent, up.len(), "appends only extend by one parent");
+                up.push(hash);
+            } else {
+                up[parent] = hash;
+            }
+            level += 1;
+            i = parent;
+        }
+    }
+
+    /// The root hash (`None` for an empty tree).
+    pub fn root(&self) -> Option<NodeHash> {
+        if self.num_leaves() == 0 {
+            return None;
+        }
+        let top = self.levels.last().expect("at least one level");
+        debug_assert_eq!(top.len(), 1);
+        Some(top[0])
+    }
+
+    /// Verify that `page_mac` is the authentic MAC for leaf `index` by
+    /// recomputing the path to the root and comparing with `expected_root`.
+    ///
+    /// Counts the visited nodes — this is the per-read freshness check that
+    /// dominates the paper's Figure 8/9c breakdowns.
+    pub fn verify(&mut self, index: u64, page_mac: &[u8; 32], expected_root: &NodeHash) -> bool {
+        let i = index as usize;
+        if i >= self.levels[0].len() {
+            return false;
+        }
+        let mut hash = self.leaf_hash(index, page_mac);
+        self.node_visits += 1;
+        if self.levels[0][i] != hash {
+            return false;
+        }
+        let mut idx = i;
+        for level in 0..self.levels.len() - 1 {
+            let cur = &self.levels[level];
+            let parent = idx / self.arity;
+            let start = parent * self.arity;
+            let end = (start + self.arity).min(cur.len());
+            let mut children: Vec<NodeHash> = cur[start..end].to_vec();
+            children[idx - start] = hash;
+            hash = self.node_hash(level, &children);
+            self.node_visits += (end - start) as u64 + 1;
+            idx = parent;
+        }
+        ironsafe_crypto::ct_eq(&hash, expected_root)
+    }
+
+    /// Rebuild the whole tree from a list of page MACs (used when loading a
+    /// database from the untrusted medium).
+    pub fn rebuild_from_macs(key: [u8; 32], arity: usize, macs: &[[u8; 32]]) -> Self {
+        let mut t = Self::new(key, arity);
+        if macs.is_empty() {
+            return t;
+        }
+        t.levels[0] = macs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| t.leaf_hash(i as u64, m))
+            .collect();
+        let mut level = 0;
+        while t.levels[level].len() > 1 {
+            let cur_len = t.levels[level].len();
+            let mut up = Vec::with_capacity(cur_len.div_ceil(t.arity));
+            for chunk_start in (0..cur_len).step_by(t.arity) {
+                let end = (chunk_start + t.arity).min(cur_len);
+                let h = t.node_hash(level, &t.levels[level][chunk_start..end]);
+                up.push(h);
+            }
+            t.levels.push(up);
+            level += 1;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(i: u8) -> [u8; 32] {
+        [i; 32]
+    }
+
+    #[test]
+    fn empty_tree_has_no_root() {
+        let t = MerkleTree::binary([0; 32]);
+        assert_eq!(t.root(), None);
+    }
+
+    #[test]
+    fn single_leaf_root_changes_with_leaf() {
+        let mut t = MerkleTree::binary([0; 32]);
+        t.append(&mac(1));
+        let r1 = t.root().unwrap();
+        t.update(0, &mac(2));
+        assert_ne!(t.root().unwrap(), r1);
+    }
+
+    #[test]
+    fn append_matches_rebuild() {
+        for n in 1..40usize {
+            let macs: Vec<[u8; 32]> = (0..n).map(|i| mac(i as u8)).collect();
+            let mut inc = MerkleTree::binary([7; 32]);
+            for m in &macs {
+                inc.append(m);
+            }
+            let bulk = MerkleTree::rebuild_from_macs([7; 32], 2, &macs);
+            assert_eq!(inc.root(), bulk.root(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn append_matches_rebuild_wide_arity() {
+        for arity in [3usize, 4, 8, 16] {
+            let macs: Vec<[u8; 32]> = (0..33).map(|i| mac(i as u8)).collect();
+            let mut inc = MerkleTree::new([7; 32], arity);
+            for m in &macs {
+                inc.append(m);
+            }
+            let bulk = MerkleTree::rebuild_from_macs([7; 32], arity, &macs);
+            assert_eq!(inc.root(), bulk.root(), "arity = {arity}");
+        }
+    }
+
+    #[test]
+    fn verify_accepts_genuine_leaves() {
+        let macs: Vec<[u8; 32]> = (0..17).map(|i| mac(i as u8)).collect();
+        let mut t = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        let root = t.root().unwrap();
+        for (i, m) in macs.iter().enumerate() {
+            assert!(t.verify(i as u64, m, &root), "leaf {i}");
+        }
+    }
+
+    #[test]
+    fn verify_rejects_wrong_mac() {
+        let macs: Vec<[u8; 32]> = (0..8).map(|i| mac(i as u8)).collect();
+        let mut t = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        let root = t.root().unwrap();
+        assert!(!t.verify(3, &mac(99), &root));
+    }
+
+    #[test]
+    fn verify_rejects_displaced_leaf() {
+        // The MAC of leaf 2 presented at index 5 must fail.
+        let macs: Vec<[u8; 32]> = (0..8).map(|i| mac(i as u8)).collect();
+        let mut t = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        let root = t.root().unwrap();
+        assert!(!t.verify(5, &mac(2), &root));
+    }
+
+    #[test]
+    fn verify_rejects_stale_root() {
+        let mut t = MerkleTree::binary([1; 32]);
+        t.append(&mac(1));
+        t.append(&mac(2));
+        let old_root = t.root().unwrap();
+        t.update(0, &mac(3));
+        assert!(!t.verify(0, &mac(3), &old_root), "rollback detected");
+        let new_root = t.root().unwrap();
+        assert!(t.verify(0, &mac(3), &new_root));
+    }
+
+    #[test]
+    fn update_only_affects_root_not_siblings() {
+        let macs: Vec<[u8; 32]> = (0..16).map(|i| mac(i as u8)).collect();
+        let mut t = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        t.update(7, &mac(70));
+        let root = t.root().unwrap();
+        for (i, m) in macs.iter().enumerate() {
+            if i == 7 {
+                assert!(t.verify(7, &mac(70), &root));
+            } else {
+                assert!(t.verify(i as u64, m, &root), "sibling {i} still valid");
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_different_roots() {
+        let macs: Vec<[u8; 32]> = (0..4).map(|i| mac(i as u8)).collect();
+        let a = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        let b = MerkleTree::rebuild_from_macs([2; 32], 2, &macs);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn node_visits_accumulate() {
+        let macs: Vec<[u8; 32]> = (0..64).map(|i| mac(i as u8)).collect();
+        let mut t = MerkleTree::rebuild_from_macs([1; 32], 2, &macs);
+        t.reset_counters();
+        let root = t.root().unwrap();
+        t.verify(0, &mac(0), &root);
+        let binary_visits = t.node_visits();
+        assert!(binary_visits > 6, "binary tree over 64 leaves is 6 levels deep");
+
+        let mut wide = MerkleTree::rebuild_from_macs([1; 32], 16, &macs);
+        wide.reset_counters();
+        let wroot = wide.root().unwrap();
+        wide.verify(0, &mac(0), &wroot);
+        assert!(wide.depth() < t.depth(), "wide tree is shallower");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn incremental_equals_bulk(
+                macs in proptest::collection::vec(any::<[u8; 32]>(), 1..100),
+                arity in 2usize..8,
+            ) {
+                let mut inc = MerkleTree::new([9; 32], arity);
+                for m in &macs {
+                    inc.append(m);
+                }
+                let bulk = MerkleTree::rebuild_from_macs([9; 32], arity, &macs);
+                prop_assert_eq!(inc.root(), bulk.root());
+            }
+
+            #[test]
+            fn all_leaves_verify_after_random_updates(
+                mut macs in proptest::collection::vec(any::<[u8; 32]>(), 2..50),
+                updates in proptest::collection::vec((any::<usize>(), any::<[u8; 32]>()), 0..20),
+            ) {
+                let mut t = MerkleTree::rebuild_from_macs([3; 32], 2, &macs);
+                for (idx, m) in updates {
+                    let i = idx % macs.len();
+                    macs[i] = m;
+                    t.update(i as u64, &m);
+                }
+                let root = t.root().unwrap();
+                for (i, m) in macs.iter().enumerate() {
+                    prop_assert!(t.verify(i as u64, m, &root));
+                }
+            }
+        }
+    }
+}

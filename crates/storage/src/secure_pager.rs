@@ -1,0 +1,377 @@
+//! The secure pager: encrypted, integrity- and freshness-protected pages.
+//!
+//! Composition of the whole §4.1 stack: every page write encrypts + MACs
+//! the payload ([`crate::codec`]), folds the MAC into the Merkle tree
+//! ([`crate::merkle`]) and (on [`Pager::commit`]) re-binds the root to the
+//! RPMB ([`crate::freshness`]). Every page read decrypts, verifies the
+//! page MAC *and* verifies the Merkle path against the trusted root — the
+//! per-read freshness check that dominates the paper's overhead breakdowns
+//! (Figures 8 and 9c).
+
+use crate::blockdev::{BlockDevice, BLOCK_SIZE};
+use crate::codec::{PageCodec, PAGE_PAYLOAD};
+use crate::freshness::FreshnessManager;
+use crate::merkle::{MerkleTree, NodeHash};
+use crate::pager::{PageId, Pager, PagerStats};
+use crate::{Result, StorageError};
+use ironsafe_tee::trustzone::{SecureStorageTa, TrustZoneDevice};
+use rand::SeedableRng;
+
+/// Root value committed while the database is still empty.
+const EMPTY_ROOT: NodeHash = [0u8; 32];
+
+/// The secure pager.
+pub struct SecurePager {
+    tz: TrustZoneDevice,
+    ta: SecureStorageTa,
+    device: BlockDevice,
+    codec: PageCodec,
+    merkle: MerkleTree,
+    freshness: FreshnessManager,
+    trusted_root: NodeHash,
+    rng: rand::rngs::StdRng,
+    page_reads: u64,
+    page_writes: u64,
+    /// When false, skip the per-read Merkle verification (ablation knob;
+    /// the paper's system always verifies).
+    pub verify_freshness_on_read: bool,
+}
+
+impl SecurePager {
+    /// Create a brand-new secure database on `tz`'s device: generates the
+    /// database key, stores it in RPMB, and commits the empty root.
+    pub fn create(mut tz: TrustZoneDevice, rng_seed: u64) -> Result<Self> {
+        let ta = SecureStorageTa::init(&mut tz)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        let mut db_key = [0u8; 16];
+        rand::Rng::fill(&mut rng, &mut db_key);
+        ta.store_db_key(&mut tz, &db_key, &mut rng)?;
+        let codec = PageCodec::from_db_key(&db_key);
+        let merkle_key = ironsafe_crypto::hkdf::derive_key_256(&db_key, b"merkle-key");
+        let merkle = MerkleTree::binary(merkle_key);
+        let mut freshness = FreshnessManager::new(&ta);
+        freshness.commit_root(&ta, &mut tz, &EMPTY_ROOT)?;
+        Ok(SecurePager {
+            tz,
+            ta,
+            device: BlockDevice::new(),
+            codec,
+            merkle,
+            freshness,
+            trusted_root: EMPTY_ROOT,
+            rng,
+            page_reads: 0,
+            page_writes: 0,
+            verify_freshness_on_read: true,
+        })
+    }
+
+    /// Reopen an existing database from its (untrusted) medium: unwraps the
+    /// database key from RPMB, rebuilds the Merkle tree from the stored
+    /// page MACs, and verifies the root against the RPMB value — detecting
+    /// rollback and forking before a single page is served.
+    pub fn open(mut tz: TrustZoneDevice, mut device: BlockDevice, rng_seed: u64) -> Result<Self> {
+        let ta = SecureStorageTa::init(&mut tz)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        let db_key = ta.load_db_key(&tz, &mut rng)?;
+        let codec = PageCodec::from_db_key(&db_key);
+        let merkle_key = ironsafe_crypto::hkdf::derive_key_256(&db_key, b"merkle-key");
+
+        // Recompute every page MAC from the medium and rebuild the tree.
+        let n = device.num_blocks();
+        let mut macs = Vec::with_capacity(n as usize);
+        let mut block = [0u8; BLOCK_SIZE];
+        for id in 0..n {
+            device.read_block(id, &mut block)?;
+            // The stored trailer must match the recomputed MAC, otherwise
+            // the block was tampered with offline.
+            let mac = codec.page_mac(id, &block);
+            if !ironsafe_crypto::ct_eq(&mac, &block[BLOCK_SIZE - 32..]) {
+                return Err(StorageError::IntegrityViolation("stored page MAC mismatch on open"));
+            }
+            macs.push(mac);
+        }
+        let merkle = MerkleTree::rebuild_from_macs(merkle_key, 2, &macs);
+        let root = merkle.root().unwrap_or(EMPTY_ROOT);
+        let mut freshness = FreshnessManager::new(&ta);
+        freshness.verify_root(&ta, &tz, &root, &mut rng)?;
+        Ok(SecurePager {
+            tz,
+            ta,
+            device,
+            codec,
+            merkle,
+            freshness,
+            trusted_root: root,
+            rng,
+            page_reads: 0,
+            page_writes: 0,
+            verify_freshness_on_read: true,
+        })
+    }
+
+    /// Tear down into `(trustzone device, medium)` — simulates a power-off;
+    /// reopen with [`SecurePager::open`].
+    pub fn into_parts(self) -> (TrustZoneDevice, BlockDevice) {
+        (self.tz, self.device)
+    }
+
+    /// The untrusted medium (attacker interface).
+    pub fn device_mut(&mut self) -> &mut BlockDevice {
+        &mut self.device
+    }
+
+    /// The untrusted medium, read-only.
+    pub fn device(&self) -> &BlockDevice {
+        &self.device
+    }
+
+    /// Current trusted Merkle root.
+    pub fn trusted_root(&self) -> NodeHash {
+        self.trusted_root
+    }
+}
+
+impl Pager for SecurePager {
+    fn num_pages(&self) -> u64 {
+        self.device.num_blocks()
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let id = self.device.append_block();
+        // Materialize an encrypted zero page so the medium never holds
+        // plaintext and the Merkle tree covers every allocated page.
+        let zeros = vec![0u8; PAGE_PAYLOAD];
+        let (block, mac) = self.codec.encrypt_page(id, &zeros, &mut self.rng)?;
+        self.device.write_block(id, &block)?;
+        let leaf = self.merkle.append(&mac);
+        debug_assert_eq!(leaf, id);
+        self.trusted_root = self.merkle.root().expect("non-empty");
+        Ok(id)
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let mut block = [0u8; BLOCK_SIZE];
+        self.device.read_block(id, &mut block)?;
+        let mac = self.codec.decrypt_page(id, &block, buf)?;
+        if self.verify_freshness_on_read && !self.merkle.verify(id, &mac, &self.trusted_root) {
+            return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
+        }
+        self.page_reads += 1;
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        if id >= self.device.num_blocks() {
+            return Err(StorageError::PageOutOfRange(id));
+        }
+        let (block, mac) = self.codec.encrypt_page(id, data, &mut self.rng)?;
+        self.device.write_block(id, &block)?;
+        self.merkle.update(id, &mac);
+        self.trusted_root = self.merkle.root().expect("non-empty");
+        self.page_writes += 1;
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        let root = self.trusted_root;
+        self.freshness.commit_root(&self.ta, &mut self.tz, &root)
+    }
+
+    fn stats(&self) -> PagerStats {
+        PagerStats {
+            page_reads: self.page_reads,
+            page_writes: self.page_writes,
+            decrypts: self.codec.decrypt_count,
+            encrypts: self.codec.encrypt_count,
+            merkle_nodes: self.merkle.node_visits(),
+            rpmb_ops: self.freshness.rpmb_reads + self.freshness.rpmb_writes,
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.page_reads = 0;
+        self.page_writes = 0;
+        self.codec.decrypt_count = 0;
+        self.codec.encrypt_count = 0;
+        self.merkle.reset_counters();
+        self.freshness.rpmb_reads = 0;
+        self.freshness.rpmb_writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_crypto::group::Group;
+    use ironsafe_tee::trustzone::Manufacturer;
+
+    fn fresh_device(name: &str) -> TrustZoneDevice {
+        let group = Group::modp_1024();
+        let mfr = Manufacturer::from_seed(&group, b"acme");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        mfr.make_device(name, 8, &mut rng)
+    }
+
+    fn payload(tag: u8) -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_PAYLOAD];
+        p[0] = tag;
+        p[PAGE_PAYLOAD - 1] = tag;
+        p
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let a = pager.allocate_page().unwrap();
+        let b = pager.allocate_page().unwrap();
+        pager.write_page(a, &payload(1)).unwrap();
+        pager.write_page(b, &payload(2)).unwrap();
+        pager.commit().unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(a, &mut buf).unwrap();
+        assert_eq!(buf, payload(1));
+        pager.read_page(b, &mut buf).unwrap();
+        assert_eq!(buf, payload(2));
+    }
+
+    #[test]
+    fn medium_never_holds_plaintext() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        let data = payload(0xcd);
+        pager.write_page(id, &data).unwrap();
+        let raw = pager.device().raw_read(id).unwrap();
+        // The distinctive plaintext byte must not appear at its position.
+        assert_ne!(raw[16], 0xcd, "first payload byte is encrypted");
+        let zeros = raw.iter().filter(|&&b| b == 0).count();
+        assert!(zeros < BLOCK_SIZE / 8, "ciphertext looks random");
+    }
+
+    #[test]
+    fn offline_tamper_detected_on_read() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(7)).unwrap();
+        pager.device_mut().raw_tamper(id, 100, 0xff);
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        assert!(matches!(
+            pager.read_page(id, &mut buf),
+            Err(StorageError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn displaced_page_detected() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let a = pager.allocate_page().unwrap();
+        let b = pager.allocate_page().unwrap();
+        pager.write_page(a, &payload(1)).unwrap();
+        pager.write_page(b, &payload(2)).unwrap();
+        pager.device_mut().raw_displace(a, b);
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        assert!(pager.read_page(b, &mut buf).is_err(), "page id bound into MAC");
+    }
+
+    #[test]
+    fn rollback_across_reboot_detected() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.commit().unwrap();
+        let stale = pager.device().raw_snapshot();
+
+        pager.write_page(id, &payload(2)).unwrap();
+        pager.commit().unwrap();
+
+        // Power off; attacker restores the stale medium; reboot.
+        let (tz, mut medium) = pager.into_parts();
+        medium.raw_restore(stale);
+        assert!(matches!(
+            SecurePager::open(tz, medium, 2),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+    }
+
+    #[test]
+    fn clean_reboot_reopens_and_serves() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(9)).unwrap();
+        pager.commit().unwrap();
+        let (tz, medium) = pager.into_parts();
+        let mut pager = SecurePager::open(tz, medium, 2).unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(9));
+    }
+
+    #[test]
+    fn uncommitted_writes_lost_to_rollback_are_detected() {
+        // Write without commit, snapshot, write more, restore snapshot:
+        // reopen must fail because RPMB holds the older committed root.
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.commit().unwrap();
+        pager.write_page(id, &payload(2)).unwrap();
+        // No commit. Reboot with the medium as-is: root mismatch.
+        let (tz, medium) = pager.into_parts();
+        assert!(matches!(
+            SecurePager::open(tz, medium, 3),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+    }
+
+    #[test]
+    fn forked_replica_detected() {
+        // A fork: copy the medium to a second "replica" and advance the
+        // original. The replica then fails to open against the RPMB state.
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.commit().unwrap();
+        let fork = pager.device().clone();
+        pager.write_page(id, &payload(2)).unwrap();
+        pager.commit().unwrap();
+        let (tz, _current) = pager.into_parts();
+        assert!(matches!(
+            SecurePager::open(tz, fork, 4),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reflect_crypto_work() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.reset_stats();
+        pager.write_page(id, &payload(1)).unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        let s = pager.stats();
+        assert_eq!(s.page_reads, 1);
+        assert_eq!(s.page_writes, 1);
+        assert_eq!(s.encrypts, 1);
+        assert_eq!(s.decrypts, 1);
+        assert!(s.merkle_nodes > 0, "freshness verification visited nodes");
+    }
+
+    #[test]
+    fn freshness_ablation_skips_merkle_reads() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.reset_stats();
+        pager.verify_freshness_on_read = false;
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(pager.stats().merkle_nodes, 0);
+    }
+
+    #[test]
+    fn write_to_unallocated_page_rejected() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        assert_eq!(pager.write_page(0, &payload(1)), Err(StorageError::PageOutOfRange(0)));
+    }
+}

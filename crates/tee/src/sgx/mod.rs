@@ -1,0 +1,12 @@
+//! Intel SGX model: enclaves, EPC paging, sealing, quotes, attestation
+//! service.
+
+pub mod attestation;
+pub mod enclave;
+pub mod epc;
+pub mod seal;
+
+pub use attestation::{AttestationService, Quote, QuoteVerification};
+pub use enclave::{Enclave, EnclaveConfig, EnclaveCounters, SgxPlatform};
+pub use epc::EpcSimulator;
+pub use seal::SealedBlob;

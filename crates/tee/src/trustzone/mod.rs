@@ -1,0 +1,13 @@
+//! ARM TrustZone model: device with hardware-unique key and RPMB, secure
+//! boot producing a measured certificate chain, and the secure-world
+//! trusted applications.
+
+pub mod boot;
+pub mod device;
+pub mod rpmb;
+pub mod ta;
+
+pub use boot::{BootImages, BootedSystem, SecureBoot, SignedImage};
+pub use device::{Manufacturer, TrustZoneDevice};
+pub use rpmb::{Rpmb, RpmbClient, RPMB_BLOCK};
+pub use ta::{AttestationResponse, AttestationTa, SecureStorageTa};

@@ -1,0 +1,90 @@
+//! Civil-date arithmetic for ISO-8601 text dates.
+//!
+//! The engine stores dates as `YYYY-MM-DD` strings (lexicographic order is
+//! chronological order); the generator needs day-level arithmetic, so this
+//! module converts between day numbers and ISO strings using the classic
+//! Howard Hinnant `days_from_civil` algorithm.
+
+/// Days since 1970-01-01 for a civil date.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy as u64; // [0, 146096]
+    era * 146097 + doe as i64 - 719468
+}
+
+/// Civil date `(y, m, d)` from days since 1970-01-01.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Day number → `YYYY-MM-DD`.
+pub fn iso_from_days(days: i64) -> String {
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// `YYYY-MM-DD` → day number. Panics on malformed input (generator-side
+/// only; the engine never parses dates).
+pub fn days_from_iso(iso: &str) -> i64 {
+    let y: i64 = iso[0..4].parse().expect("year");
+    let m: u32 = iso[5..7].parse().expect("month");
+    let d: u32 = iso[8..10].parse().expect("day");
+    days_from_civil(y, m, d)
+}
+
+/// First order date in the TPC-H population (1992-01-01).
+pub const START_DATE: &str = "1992-01-01";
+/// Last order date in the TPC-H population (1998-08-02).
+pub const END_DATE: &str = "1998-08-02";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(iso_from_days(days_from_iso("1992-01-01")), "1992-01-01");
+        assert_eq!(iso_from_days(days_from_iso("1998-08-02")), "1998-08-02");
+        // Leap day.
+        assert_eq!(iso_from_days(days_from_iso("1996-02-29")), "1996-02-29");
+        // Day after leap day.
+        assert_eq!(iso_from_days(days_from_iso("1996-02-29") + 1), "1996-03-01");
+    }
+
+    #[test]
+    fn roundtrip_every_day_in_population_range() {
+        let start = days_from_iso(START_DATE);
+        let end = days_from_iso(END_DATE);
+        assert!(end > start);
+        for day in start..=end {
+            let iso = iso_from_days(day);
+            assert_eq!(days_from_iso(&iso), day, "{iso}");
+        }
+    }
+
+    #[test]
+    fn iso_order_is_chronological() {
+        let a = iso_from_days(days_from_iso("1995-12-31"));
+        let b = iso_from_days(days_from_iso("1996-01-01"));
+        assert!(a < b);
+    }
+}

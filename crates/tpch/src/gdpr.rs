@@ -1,0 +1,95 @@
+//! Personal-data workload for the GDPR anti-pattern experiments (Table 3).
+//!
+//! A `people` table of customer records, the kind of personal data the
+//! paper's scenario shares between controllers A (airline) and B (hotel).
+//! The trusted monitor's policy rewriting adds its bookkeeping columns
+//! (`__expiry`, `__reuse`) on insert — see `ironsafe-policy`.
+
+use ironsafe_sql::{Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// DDL for the personal-data table (without policy bookkeeping columns).
+pub const PEOPLE_DDL: &str = "CREATE TABLE people (p_id INT, p_name TEXT, p_email TEXT, \
+     p_country TEXT, p_income FLOAT, p_flight TEXT, p_arrival DATE)";
+
+/// DDL variant including the policy bookkeeping columns the trusted
+/// monitor provisions when expiry/reuse policies are attached.
+pub const PEOPLE_DDL_POLICY: &str = "CREATE TABLE people (p_id INT, p_name TEXT, p_email TEXT, \
+     p_country TEXT, p_income FLOAT, p_flight TEXT, p_arrival DATE, __expiry INT, __reuse INT)";
+
+/// Countries appearing in the data.
+pub const COUNTRIES: &[&str] = &["DE", "PT", "UK", "FR", "IT", "ES", "NL", "SE"];
+
+/// Generate `n` plain person rows (no policy columns).
+pub fn gen_people(n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as i64)
+        .map(|i| {
+            let c = COUNTRIES[rng.gen_range(0..COUNTRIES.len())];
+            vec![
+                Value::Int(i),
+                Value::Text(format!("Person#{i:06}")),
+                Value::Text(format!("person{i}@example.{}", c.to_ascii_lowercase())),
+                Value::Text(c.to_string()),
+                Value::Float((rng.gen_range(20_000..200_000) as f64) / 1.0),
+                Value::Text(format!("LH{:04}", rng.gen_range(1..2000))),
+                Value::Text(format!("1997-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28))),
+            ]
+        })
+        .collect()
+}
+
+/// Generate person rows carrying policy bookkeeping columns.
+///
+/// * `expiry`: logical timestamp after which the record must not be
+///   readable (anti-pattern #1); records get expiries in `[10, 10 + n)`.
+/// * `reuse`: opt-in bitmap of services allowed to process the record
+///   (anti-pattern #2).
+pub fn gen_people_with_policy(n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    gen_people(n, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut row)| {
+            row.push(Value::Int(10 + i as i64));
+            row.push(Value::Int(rng.gen_range(0..16)));
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_sql::Database;
+    use ironsafe_storage::pager::PlainPager;
+
+    #[test]
+    fn people_load_and_query() {
+        let mut db = Database::new(PlainPager::new());
+        db.execute(PEOPLE_DDL).unwrap();
+        db.insert_rows("people", gen_people(500, 1)).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM people WHERE p_country = 'DE'").unwrap();
+        let n = r.rows()[0][0].as_i64().unwrap();
+        assert!(n > 0 && n < 500);
+    }
+
+    #[test]
+    fn policy_rows_have_bookkeeping_columns() {
+        let mut db = Database::new(PlainPager::new());
+        db.execute(PEOPLE_DDL_POLICY).unwrap();
+        db.insert_rows("people", gen_people_with_policy(100, 1)).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM people WHERE __expiry < 50").unwrap();
+        assert_eq!(r.rows()[0][0].as_i64().unwrap(), 40);
+        let r = db.execute("SELECT MIN(__reuse), MAX(__reuse) FROM people").unwrap();
+        assert!(r.rows()[0][0].as_i64().unwrap() >= 0);
+        assert!(r.rows()[0][1].as_i64().unwrap() < 16);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(gen_people(10, 3), gen_people(10, 3));
+        assert_ne!(gen_people(10, 3), gen_people(10, 4));
+    }
+}

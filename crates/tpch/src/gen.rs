@@ -1,0 +1,356 @@
+//! Seeded TPC-H data generator (the `dbgen` stand-in).
+//!
+//! Row counts scale linearly with the (fractional) scale factor; value
+//! distributions follow the spec closely enough that the paper's query
+//! selectivities and join fan-ins are preserved: uniform keys, 1–7
+//! lineitems per order, dates in the 1992–1998 window with shipdate
+//! trailing orderdate, spec vocabularies for every categorical column.
+
+use crate::dates::{days_from_iso, iso_from_days, END_DATE, START_DATE};
+use crate::schema::*;
+use ironsafe_sql::{Database, Row, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All eight generated tables.
+#[derive(Debug, Default)]
+pub struct TpchData {
+    /// region rows.
+    pub region: Vec<Row>,
+    /// nation rows.
+    pub nation: Vec<Row>,
+    /// supplier rows.
+    pub supplier: Vec<Row>,
+    /// customer rows.
+    pub customer: Vec<Row>,
+    /// part rows.
+    pub part: Vec<Row>,
+    /// partsupp rows.
+    pub partsupp: Vec<Row>,
+    /// orders rows.
+    pub orders: Vec<Row>,
+    /// lineitem rows.
+    pub lineitem: Vec<Row>,
+}
+
+impl TpchData {
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.region.len()
+            + self.nation.len()
+            + self.supplier.len()
+            + self.customer.len()
+            + self.part.len()
+            + self.partsupp.len()
+            + self.orders.len()
+            + self.lineitem.len()
+    }
+
+    /// `(table name, rows)` pairs in load order.
+    pub fn tables(&self) -> [(&'static str, &Vec<Row>); 8] {
+        [
+            ("region", &self.region),
+            ("nation", &self.nation),
+            ("supplier", &self.supplier),
+            ("customer", &self.customer),
+            ("part", &self.part),
+            ("partsupp", &self.partsupp),
+            ("orders", &self.orders),
+            ("lineitem", &self.lineitem),
+        ]
+    }
+}
+
+fn scaled(base: u64, sf: f64) -> u64 {
+    ((base as f64 * sf).round() as u64).max(1)
+}
+
+fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn float(v: f64) -> Value {
+    Value::Float((v * 100.0).round() / 100.0)
+}
+
+fn text(v: impl Into<String>) -> Value {
+    Value::Text(v.into())
+}
+
+fn comment(rng: &mut StdRng, words: usize) -> Value {
+    let mut s = String::new();
+    for i in 0..words {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(PART_NAMES[rng.gen_range(0..PART_NAMES.len())]);
+    }
+    Value::Text(s)
+}
+
+fn phone(rng: &mut StdRng, nation: i64) -> Value {
+    Value::Text(format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    ))
+}
+
+/// Generate the full data set at `sf` with a deterministic `seed`.
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = TpchData::default();
+
+    // region & nation are fixed-size.
+    for (i, name) in REGIONS.iter().enumerate() {
+        data.region.push(vec![int(i as i64), text(*name), comment(&mut rng, 3)]);
+    }
+    for (i, (name, region)) in NATIONS.iter().enumerate() {
+        data.nation.push(vec![int(i as i64), text(*name), int(*region as i64), comment(&mut rng, 3)]);
+    }
+
+    let n_supp = scaled(BASE_ROWS[2], sf);
+    let n_cust = scaled(BASE_ROWS[3], sf);
+    let n_part = scaled(BASE_ROWS[4], sf);
+    let n_orders = scaled(BASE_ROWS[6], sf);
+
+    for s in 1..=n_supp as i64 {
+        let nation = rng.gen_range(0..25i64);
+        data.supplier.push(vec![
+            int(s),
+            text(format!("Supplier#{s:09}")),
+            comment(&mut rng, 2),
+            int(nation),
+            phone(&mut rng, nation),
+            float(rng.gen_range(-999.99..9999.99)),
+            comment(&mut rng, 4),
+        ]);
+    }
+
+    for c in 1..=n_cust as i64 {
+        let nation = rng.gen_range(0..25i64);
+        data.customer.push(vec![
+            int(c),
+            text(format!("Customer#{c:09}")),
+            comment(&mut rng, 2),
+            int(nation),
+            phone(&mut rng, nation),
+            float(rng.gen_range(-999.99..9999.99)),
+            text(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            comment(&mut rng, 5),
+        ]);
+    }
+
+    for p in 1..=n_part as i64 {
+        let name = format!(
+            "{} {}",
+            PART_NAMES[rng.gen_range(0..PART_NAMES.len())],
+            PART_NAMES[rng.gen_range(0..PART_NAMES.len())]
+        );
+        let mfgr = rng.gen_range(1..=5);
+        let brand = format!("Brand#{}{}", mfgr, rng.gen_range(1..=5));
+        let ptype = format!(
+            "{} {} {}",
+            TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
+            TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
+            TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
+        );
+        let retail = 900.0 + (p % 200) as f64 + rng.gen_range(0.0..100.0);
+        data.part.push(vec![
+            int(p),
+            text(name),
+            text(format!("Manufacturer#{mfgr}")),
+            text(brand),
+            text(ptype),
+            int(rng.gen_range(1..=50)),
+            text(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+            float(retail),
+            comment(&mut rng, 3),
+        ]);
+    }
+
+    // Four suppliers per part, spec-style.
+    for p in 1..=n_part as i64 {
+        for i in 0..4i64 {
+            let supp = (p + i * (n_supp as i64 / 4).max(1)) % n_supp as i64 + 1;
+            data.partsupp.push(vec![
+                int(p),
+                int(supp),
+                int(rng.gen_range(1..10000)),
+                float(rng.gen_range(1.0..1000.0)),
+                comment(&mut rng, 5),
+            ]);
+        }
+    }
+
+    let start = days_from_iso(START_DATE);
+    let end = days_from_iso(END_DATE);
+    let mut line_no_base = 0i64;
+    for o in 1..=n_orders as i64 {
+        let custkey = rng.gen_range(1..=n_cust as i64);
+        let orderdate = rng.gen_range(start..=end - 151);
+        let n_lines = rng.gen_range(1..=7usize);
+        let mut total = 0.0;
+        let mut any_open = false;
+        for ln in 1..=n_lines as i64 {
+            let partkey = rng.gen_range(1..=n_part as i64);
+            let suppkey = rng.gen_range(1..=n_supp as i64);
+            let qty = rng.gen_range(1..=50i64) as f64;
+            let retail = 900.0 + (partkey % 200) as f64;
+            let extended = qty * retail / 10.0;
+            let discount = (rng.gen_range(0..=10) as f64) / 100.0;
+            let tax = (rng.gen_range(0..=8) as f64) / 100.0;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let today = end - 30; // "current date" for status purposes
+            let (returnflag, linestatus) = if receiptdate <= today {
+                (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                any_open = true;
+                ("N", "O")
+            };
+            total += extended * (1.0 - discount) * (1.0 + tax);
+            data.lineitem.push(vec![
+                int(o),
+                int(partkey),
+                int(suppkey),
+                int(ln),
+                float(qty),
+                float(extended),
+                float(discount),
+                float(tax),
+                text(returnflag),
+                text(linestatus),
+                text(iso_from_days(shipdate)),
+                text(iso_from_days(commitdate)),
+                text(iso_from_days(receiptdate)),
+                text(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())]),
+                text(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]),
+                comment(&mut rng, 4),
+            ]);
+        }
+        line_no_base += n_lines as i64;
+        let status = if any_open {
+            if rng.gen_bool(0.3) {
+                "P"
+            } else {
+                "O"
+            }
+        } else {
+            "F"
+        };
+        data.orders.push(vec![
+            int(o),
+            int(custkey),
+            text(status),
+            float(total),
+            text(iso_from_days(orderdate)),
+            text(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+            text(format!("Clerk#{:09}", rng.gen_range(1..=1000))),
+            int(0),
+            comment(&mut rng, 5),
+        ]);
+    }
+    let _ = line_no_base;
+    data
+}
+
+/// Create the eight tables in `db` and bulk-load `data`.
+pub fn load_into(db: &mut Database, data: &TpchData) -> ironsafe_sql::Result<()> {
+    for ddl in DDL {
+        db.execute(ddl)?;
+    }
+    for (table, rows) in data.tables() {
+        db.insert_rows(table, rows.clone())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_storage::pager::PlainPager;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        assert_eq!(a.lineitem, b.lineitem);
+        let c = generate(0.001, 8);
+        assert_ne!(a.lineitem, c.lineitem);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(0.001, 1);
+        let big = generate(0.002, 1);
+        assert_eq!(small.region.len(), 5);
+        assert_eq!(small.nation.len(), 25);
+        assert_eq!(small.supplier.len(), 10);
+        assert_eq!(small.customer.len(), 150);
+        assert_eq!(small.orders.len(), 1500);
+        assert!(big.lineitem.len() > small.lineitem.len());
+        // ~4 lineitems per order on average.
+        let ratio = small.lineitem.len() as f64 / small.orders.len() as f64;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn keys_reference_valid_rows() {
+        let d = generate(0.001, 2);
+        let n_cust = d.customer.len() as i64;
+        let n_part = d.part.len() as i64;
+        let n_supp = d.supplier.len() as i64;
+        for o in &d.orders {
+            let ck = o[1].as_i64().unwrap();
+            assert!(ck >= 1 && ck <= n_cust);
+        }
+        for l in &d.lineitem {
+            assert!(l[1].as_i64().unwrap() <= n_part);
+            assert!(l[2].as_i64().unwrap() <= n_supp);
+        }
+    }
+
+    #[test]
+    fn dates_are_ordered_per_line() {
+        let d = generate(0.001, 3);
+        for l in &d.lineitem {
+            let order_of = |i: usize| l[i].as_str().unwrap().to_string();
+            assert!(order_of(10) < order_of(12), "shipdate < receiptdate");
+        }
+    }
+
+    #[test]
+    fn loads_and_queries_in_engine() {
+        let d = generate(0.001, 4);
+        let mut db = Database::new(PlainPager::new());
+        load_into(&mut db, &d).unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM lineitem").unwrap();
+        assert_eq!(r.rows()[0][0].as_i64().unwrap(), d.lineitem.len() as i64);
+        let r = db
+            .execute("SELECT COUNT(*) FROM orders, customer WHERE o_custkey = c_custkey")
+            .unwrap();
+        assert_eq!(r.rows()[0][0].as_i64().unwrap(), d.orders.len() as i64, "every order joins");
+    }
+
+    #[test]
+    fn q6_style_selectivity_is_moderate() {
+        let d = generate(0.002, 5);
+        let mut db = Database::new(PlainPager::new());
+        load_into(&mut db, &d).unwrap();
+        let r = db
+            .execute(
+                "SELECT COUNT(*) FROM lineitem WHERE l_shipdate >= '1994-01-01' \
+                 AND l_shipdate < '1995-01-01' AND l_discount BETWEEN 0.05 AND 0.07 \
+                 AND l_quantity < 24",
+            )
+            .unwrap();
+        let hits = r.rows()[0][0].as_i64().unwrap() as f64;
+        let frac = hits / d.lineitem.len() as f64;
+        assert!(frac > 0.001 && frac < 0.1, "Q6 selectivity {frac}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # ironsafe-tpch
+//!
+//! Deterministic TPC-H-style workload for IronSafe's evaluation, replacing
+//! the `dbgen` tool the paper runs:
+//!
+//! * [`schema`] — the eight TPC-H table definitions.
+//! * [`dates`] — civil-date helpers (dates are ISO-8601 text in the engine).
+//! * [`gen`] — a seeded generator producing all eight tables at a
+//!   fractional scale factor (SF 1.0 ≈ the spec's row counts; tests and
+//!   benches run SF 0.002–0.05 so a laptop finishes in seconds while the
+//!   per-query selectivities and join fan-ins track the spec).
+//! * [`queries`] — the paper's query set, expressed in the engine's SQL
+//!   dialect. Queries whose original text needs subqueries are rewritten
+//!   into (shape-preserving) join/aggregate forms or two-stage scripts
+//!   with an explicit temp-table step, mirroring how the paper's manual
+//!   partitioning flattens them.
+//! * [`gdpr`] — the personal-data workload behind the GDPR anti-pattern
+//!   experiments (Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dates;
+pub mod gdpr;
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::{generate, load_into, TpchData};
+pub use queries::{paper_queries, PaperQuery, QueryStage};

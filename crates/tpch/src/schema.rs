@@ -1,0 +1,120 @@
+//! TPC-H table definitions (DDL for the engine's dialect).
+
+/// `CREATE TABLE` statements for all eight TPC-H tables, in
+/// load-friendly order (dimensions first).
+pub const DDL: &[&str] = &[
+    "CREATE TABLE region (r_regionkey INT, r_name TEXT, r_comment TEXT)",
+    "CREATE TABLE nation (n_nationkey INT, n_name TEXT, n_regionkey INT, n_comment TEXT)",
+    "CREATE TABLE supplier (s_suppkey INT, s_name TEXT, s_address TEXT, s_nationkey INT, \
+     s_phone TEXT, s_acctbal FLOAT, s_comment TEXT)",
+    "CREATE TABLE customer (c_custkey INT, c_name TEXT, c_address TEXT, c_nationkey INT, \
+     c_phone TEXT, c_acctbal FLOAT, c_mktsegment TEXT, c_comment TEXT)",
+    "CREATE TABLE part (p_partkey INT, p_name TEXT, p_mfgr TEXT, p_brand TEXT, p_type TEXT, \
+     p_size INT, p_container TEXT, p_retailprice FLOAT, p_comment TEXT)",
+    "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, \
+     ps_supplycost FLOAT, ps_comment TEXT)",
+    "CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_orderstatus TEXT, \
+     o_totalprice FLOAT, o_orderdate DATE, o_orderpriority TEXT, o_clerk TEXT, \
+     o_shippriority INT, o_comment TEXT)",
+    "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT, \
+     l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, \
+     l_returnflag TEXT, l_linestatus TEXT, l_shipdate DATE, l_commitdate DATE, \
+     l_receiptdate DATE, l_shipinstruct TEXT, l_shipmode TEXT, l_comment TEXT)",
+];
+
+/// The eight table names, load order.
+pub const TABLES: &[&str] =
+    &["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+
+/// Base (SF = 1) row counts per table, spec order of [`TABLES`].
+pub const BASE_ROWS: &[u64] = &[5, 25, 10_000, 150_000, 200_000, 800_000, 1_500_000, 6_000_000];
+
+/// TPC-H region names.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// TPC-H nation names with their region index.
+pub const NATIONS: &[(&str, usize)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+
+/// Market segments.
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// Order priorities.
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// Ship modes.
+pub const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Ship instructions.
+pub const SHIP_INSTRUCT: &[&str] =
+    &["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// Part type components (spec: syllable1 syllable2 syllable3).
+pub const TYPE_S1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Part type second syllable.
+pub const TYPE_S2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Part type third syllable.
+pub const TYPE_S3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Containers.
+pub const CONTAINERS: &[&str] = &[
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG", "JUMBO BAG", "JUMBO BOX", "JUMBO PACK", "JUMBO PKG",
+    "WRAP CASE", "WRAP BOX", "WRAP BAG",
+];
+
+/// Part name words (spec P_NAME vocabulary, abbreviated).
+pub const PART_NAMES: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornsilk", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted",
+    "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon",
+    "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_parses_in_engine() {
+        for ddl in DDL {
+            ironsafe_sql::parser::parse_statement(ddl).unwrap();
+        }
+    }
+
+    #[test]
+    fn inventory_is_consistent() {
+        assert_eq!(TABLES.len(), DDL.len());
+        assert_eq!(TABLES.len(), BASE_ROWS.len());
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len()));
+    }
+}

@@ -1,0 +1,101 @@
+//! A guided tour of IronSafe's trust establishment: secure boot, host and
+//! storage attestation (Figures 4a/4b), and what happens when an attacker
+//! shows up with tampered software.
+//!
+//! ```text
+//! cargo run --release --example attestation_tour
+//! ```
+
+use ironsafe::crypto::group::Group;
+use ironsafe::crypto::schnorr::KeyPair;
+use ironsafe::monitor::monitor::MonitorConfig;
+use ironsafe::monitor::TrustedMonitor;
+use ironsafe::tee::image::SoftwareImage;
+use ironsafe::tee::sgx::{AttestationService, EnclaveConfig, Quote, SgxPlatform};
+use ironsafe::tee::trustzone::{
+    AttestationTa, BootImages, Manufacturer, SecureBoot, SignedImage,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let group = Group::modp_1024();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // --- The trusted software stack. --------------------------------
+    let host_image = SoftwareImage::new("host-engine", 5, b"ironsafe host engine".to_vec());
+    println!("host engine measurement:     {:?}", host_image.measure());
+
+    // --- SGX side: platform, enclave, IAS registration. --------------
+    let platform = SgxPlatform::from_seed(&group, b"demo-host");
+    let enclave = platform.create_enclave(&host_image, EnclaveConfig::default());
+    let mut ias = AttestationService::new(&group);
+    ias.register_platform(&platform);
+    println!("SGX platform registered with the attestation service");
+
+    // --- TrustZone side: manufacture + secure boot. -------------------
+    let mfr = Manufacturer::from_seed(&group, b"demo-vendor");
+    let vendor = KeyPair::derive(&group, b"demo-vendor", b"tz-manufacturer-root");
+    let device = mfr.make_device("storage-0", 8, &mut rng);
+    let images = BootImages {
+        trusted_firmware: SignedImage::sign(&group, &vendor.secret, SoftwareImage::new("atf", 2, b"atf".to_vec()), &mut rng),
+        trusted_os: SignedImage::sign(&group, &vendor.secret, SoftwareImage::new("optee", 34, b"op-tee 3.4".to_vec()), &mut rng),
+        normal_world: SoftwareImage::new("nw", 5, b"linux + storage engine".to_vec()),
+    };
+    let booted = SecureBoot::boot(&device, &mfr.root_public(), &images, &mut rng).expect("secure boot");
+    println!("storage secure boot ok; normal world measured: {:?}", booted.nw_measurement);
+    println!("boot certificate chain: {} links (device → TF → trusted OS → normal world)", booted.chain.certs.len());
+
+    // --- The monitor pins the stack and attests both nodes. -----------
+    let config = MonitorConfig {
+        expected_host_measurement: host_image.measure(),
+        expected_nw_measurement: booted.nw_measurement,
+        latest_fw: 5,
+    };
+    let mut monitor = TrustedMonitor::new(&group, 9, ias, mfr.root_public(), config);
+
+    // Figure 4a: host quote, bound to a fresh session key.
+    let host_keys = KeyPair::generate(&group, &mut rng);
+    let commitment = ironsafe::crypto::sha256::sha256(&host_keys.public.to_bytes(&group));
+    let quote = Quote::generate(&platform, &enclave, &commitment, &mut rng);
+    let cert = monitor.attest_host("host-0", "EU", &quote, &host_keys.public).expect("host attests");
+    println!("host attested; monitor certified its session key as `{}`", cert.subject.name);
+
+    // Figure 4b: storage challenge/response over the boot chain.
+    let challenge = monitor.storage_challenge();
+    let response = AttestationTa::new(&booted).respond(challenge, &mut rng);
+    monitor.attest_storage("storage-0", "EU", &response).expect("storage attests");
+    println!("storage attested (challenge signed by the per-boot leaf key)");
+
+    // --- Now the attacks. ---------------------------------------------
+    println!("\n-- attacker round --");
+
+    // A backdoored host engine measures differently: refused.
+    let evil = platform.create_enclave(
+        &SoftwareImage::new("host-engine", 5, b"ironsafe host engine + backdoor".to_vec()),
+        EnclaveConfig::default(),
+    );
+    let evil_quote = Quote::generate(&platform, &evil, &commitment, &mut rng);
+    let refused = monitor.attest_host("host-1", "EU", &evil_quote, &host_keys.public);
+    println!("backdoored host engine:      {}", refused.unwrap_err());
+
+    // A tampered trusted OS never even boots.
+    let mut bad_images = images.clone();
+    bad_images.trusted_os.image.code = b"rootkit".to_vec();
+    let no_boot = SecureBoot::boot(&device, &mfr.root_public(), &bad_images, &mut rng);
+    println!("tampered trusted OS:         {}", no_boot.unwrap_err());
+
+    // A modified normal world boots, but the monitor refuses it.
+    let mut nw_images = images.clone();
+    nw_images.normal_world.code = b"linux + cryptominer".to_vec();
+    let dirty = SecureBoot::boot(&device, &mfr.root_public(), &nw_images, &mut rng).expect("boots");
+    let challenge = monitor.storage_challenge();
+    let dirty_resp = AttestationTa::new(&dirty).respond(challenge, &mut rng);
+    let refused = monitor.attest_storage("storage-1", "EU", &dirty_resp);
+    println!("modified normal world:       {}", refused.unwrap_err());
+
+    // A replayed attestation response is caught by the nonce.
+    let refused = monitor.attest_storage("storage-0", "EU", &response);
+    println!("replayed challenge response: {}", refused.unwrap_err());
+
+    println!("\naudit log ({} entries) verifies: {}", monitor.audit().entries().len(), monitor.audit().verify());
+}

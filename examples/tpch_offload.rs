@@ -1,0 +1,62 @@
+//! Run a TPC-H query under all five Table 2 configurations and compare
+//! data movement and simulated cost — a one-query slice of Figures 6–8.
+//!
+//! ```text
+//! cargo run --release --example tpch_offload [query_number] [scale_factor]
+//! ```
+
+use ironsafe::csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe::tpch::queries::query;
+use ironsafe::tpch::generate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let qid: u8 = args.first().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+
+    let q = query(qid).unwrap_or_else(|| {
+        eprintln!("unknown query #{qid}; the paper set is 1-10, 12-14, 16, 18, 19, 21");
+        std::process::exit(1);
+    });
+    println!("TPC-H Q{qid} ({}) at SF {sf}\n", q.name);
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>14}",
+        "config", "sim time", "pages@disk", "bytes moved", "result rows"
+    );
+
+    let data = generate(sf, 42);
+    let mut reference: Option<usize> = None;
+    for config in SystemConfig::all() {
+        let mut sys = CsaSystem::build(config, &data, CostParams::default()).expect("build");
+        let r = sys.run_query(&q).expect("run");
+        if let Some(n) = reference {
+            assert_eq!(n, r.result.rows().len(), "results must agree across configs");
+        } else {
+            reference = Some(r.result.rows().len());
+        }
+        println!(
+            "{:<6} {:>10.2}ms {:>12} {:>12} {:>14}",
+            config.abbrev(),
+            r.total_ns() / 1e6,
+            r.pages_read_storage,
+            r.bytes_shipped,
+            r.result.rows().len()
+        );
+    }
+
+    println!("\nIronSafe (scs) breakdown:");
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default()).unwrap();
+    let r = sys.run_query(&q).unwrap();
+    let b = &r.breakdown;
+    let total = b.total_ns();
+    for (name, v) in [
+        ("ndp (vanilla-CS work)", b.ndp_ns),
+        ("freshness (Merkle+RPMB)", b.freshness_ns),
+        ("page crypto", b.crypto_ns),
+        ("enclave transitions", b.transitions_ns),
+        ("EPC paging", b.epc_ns),
+        ("channel + session", b.other_ns),
+    ] {
+        println!("  {name:<26} {:>6.1}%", v / total * 100.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! TPC-H correctness across configurations: every paper query must return
+//! byte-identical results whether it runs host-only, split, or
+//! storage-only, secure or not — the security and offloading machinery
+//! must never change answers.
+
+use ironsafe::csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe::sql::QueryResult;
+use ironsafe::tpch::queries::paper_queries;
+use ironsafe::tpch::{generate, TpchData};
+
+fn data() -> TpchData {
+    generate(0.0015, 7)
+}
+
+fn run_all(config: SystemConfig, data: &TpchData) -> Vec<(u8, QueryResult)> {
+    let mut sys = CsaSystem::build(config, data, CostParams::default()).unwrap();
+    paper_queries()
+        .iter()
+        .map(|q| (q.id, sys.run_query(q).unwrap_or_else(|e| panic!("{} Q{}: {e}", config.abbrev(), q.id)).result))
+        .collect()
+}
+
+#[test]
+fn all_configs_agree_on_all_queries() {
+    let d = data();
+    let reference = run_all(SystemConfig::HostOnlyNonSecure, &d);
+    for config in [
+        SystemConfig::HostOnlySecure,
+        SystemConfig::VanillaCs,
+        SystemConfig::IronSafe,
+        SystemConfig::StorageOnlySecure,
+    ] {
+        let results = run_all(config, &d);
+        for ((id_a, a), (id_b, b)) in reference.iter().zip(results.iter()) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(a, b, "Q{id_a} differs under {}", config.abbrev());
+        }
+    }
+}
+
+#[test]
+fn queries_produce_plausible_shapes() {
+    let d = data();
+    let results = run_all(SystemConfig::VanillaCs, &d);
+    let get = |id: u8| &results.iter().find(|(q, _)| *q == id).unwrap().1;
+
+    // Q1: at most 4 (returnflag, linestatus) groups, all aggregates set.
+    let q1 = get(1);
+    assert!(!q1.rows().is_empty() && q1.rows().len() <= 4);
+    // Q3: obeys LIMIT 10 and descends by revenue.
+    let q3 = get(3);
+    assert!(q3.rows().len() <= 10);
+    let revenues: Vec<f64> = q3.rows().iter().map(|r| r[1].as_f64().unwrap()).collect();
+    assert!(revenues.windows(2).all(|w| w[0] >= w[1]), "{revenues:?}");
+    // Q4: order priorities sorted ascending.
+    let q4 = get(4);
+    let prios: Vec<&str> = q4.rows().iter().map(|r| r[0].as_str().unwrap()).collect();
+    let mut sorted = prios.clone();
+    sorted.sort();
+    assert_eq!(prios, sorted);
+    // Q6: one row, positive revenue.
+    let q6 = get(6);
+    assert_eq!(q6.rows().len(), 1);
+    assert!(q6.rows()[0][0].as_f64().unwrap() > 0.0);
+    // Q12: exactly the two ship modes MAIL and SHIP.
+    let q12 = get(12);
+    assert!(q12.rows().len() <= 2);
+    for r in q12.rows() {
+        assert!(["MAIL", "SHIP"].contains(&r[0].as_str().unwrap()));
+    }
+    // Q14: promo revenue is a percentage.
+    let q14 = get(14);
+    let pct = q14.rows()[0][0].as_f64().unwrap();
+    assert!((0.0..=100.0).contains(&pct), "promo {pct}%");
+}
+
+#[test]
+fn io_reduction_tracks_selectivity() {
+    // Q6 (brutal filter) must reduce shipped data far more than Q13's
+    // stage-1 (NOT LIKE keeps nearly all of orders) — this correlation is
+    // the paper's Figure 7 ⇄ Figure 6 story.
+    let d = data();
+    let mut hons = CsaSystem::build(SystemConfig::HostOnlyNonSecure, &d, CostParams::default()).unwrap();
+    let mut vcs = CsaSystem::build(SystemConfig::VanillaCs, &d, CostParams::default()).unwrap();
+    let queries = paper_queries();
+    let q6 = queries.iter().find(|q| q.id == 6).unwrap();
+    let q13 = queries.iter().find(|q| q.id == 13).unwrap();
+
+    let red = |hons_r: &ironsafe::csa::QueryReport, vcs_r: &ironsafe::csa::QueryReport| {
+        hons_r.pages_shipped.max(1) as f64 / vcs_r.pages_shipped.max(1) as f64
+    };
+    let q6_red = red(&hons.run_query(q6).unwrap(), &vcs.run_query(q6).unwrap());
+    let q13_red = red(&hons.run_query(q13).unwrap(), &vcs.run_query(q13).unwrap());
+    assert!(q6_red > q13_red, "Q6 reduction {q6_red:.1} vs Q13 {q13_red:.1}");
+}
+
+#[test]
+fn secure_overhead_is_bounded() {
+    // IronSafe costs more than vanilla CS, but within an order of
+    // magnitude (the paper's Figure 8 shows freshness-dominated but
+    // bounded overheads).
+    let d = data();
+    let mut vcs = CsaSystem::build(SystemConfig::VanillaCs, &d, CostParams::default()).unwrap();
+    let mut scs = CsaSystem::build(SystemConfig::IronSafe, &d, CostParams::default()).unwrap();
+    for q in paper_queries() {
+        let t_vcs = vcs.run_query(&q).unwrap().total_ns();
+        let t_scs = scs.run_query(&q).unwrap().total_ns();
+        assert!(t_scs >= t_vcs, "Q{}: security is never free", q.id);
+        assert!(t_scs < t_vcs * 20.0, "Q{}: overhead {}x", q.id, t_scs / t_vcs);
+    }
+}
