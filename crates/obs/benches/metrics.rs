@@ -1,0 +1,29 @@
+//! Microbenchmarks for the telemetry hot path.
+//!
+//! The acceptance bar: a registered counter increment must cost well
+//! under 50 ns, and disabled-span operations must be near-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ironsafe_obs::metrics::Registry;
+use ironsafe_obs::span::Span;
+
+fn bench_hot_path(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("storage.page.read");
+
+    c.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    c.bench_function("counter_add", |b| b.iter(|| counter.add(criterion::black_box(3))));
+
+    let histogram = registry.histogram("storage.merkle.path_len");
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| histogram.record(criterion::black_box(12)))
+    });
+
+    // No trace installed: enter + drop must be a no-op.
+    c.bench_function("span_enter_disabled", |b| {
+        b.iter(|| Span::enter(criterion::black_box("query/q1/scan")))
+    });
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Exporters: human-readable span trees, JSON-lines snapshots, and
+//! Chrome `trace_event` JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! All JSON is hand-written (the workspace has no serde); strings are
+//! escaped per RFC 8259.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::TraceSnapshot;
+use std::fmt::Write as _;
+
+/// Escape `s` as the contents of a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render a span tree as indented text, one span per line, showing
+/// simulated time (inclusive of children), directly-attributed
+/// simulated time with category breakdown, and wall time.
+pub fn render_span_tree(trace: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    for (i, span) in trace.spans.iter().enumerate() {
+        let indent = "  ".repeat(span.depth as usize);
+        let inclusive = trace.sim_ns_inclusive(i);
+        let _ = write!(
+            out,
+            "{indent}{name}  sim={sim}",
+            name = span.name,
+            sim = fmt_ns(inclusive),
+        );
+        if !span.categories.is_empty() {
+            out.push_str("  [");
+            for (j, (cat, ns)) in span.categories.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{cat}={}", fmt_ns(*ns));
+            }
+            out.push(']');
+        }
+        let _ = writeln!(out, "  wall={}", fmt_ns(span.wall_ns));
+    }
+    out
+}
+
+/// Serialize a metrics snapshot as JSON lines: one object per metric.
+///
+/// Counter: `{"type":"counter","name":...,"value":N}`; gauge likewise;
+/// histogram: `{"type":"histogram","name":...,"count":N,"sum":N,"mean":X}`.
+pub fn metrics_to_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snapshot.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+            escape_json(name),
+        );
+    }
+    for (name, v) in &snapshot.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}",
+            escape_json(name),
+        );
+    }
+    for (name, h) in &snapshot.histograms {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"mean\":{:.3}}}",
+            escape_json(name),
+            h.count,
+            h.sum,
+            h.mean(),
+        );
+    }
+    out
+}
+
+/// Serialize spans in Chrome `trace_event` format (JSON array of
+/// complete `"ph":"X"` events).
+///
+/// The timeline (`ts`/`dur`, microseconds) is **simulated** time —
+/// each span starts at its simulated cursor offset and lasts for the
+/// simulated nanoseconds attributed to it and its children — so the
+/// Perfetto view shows the cost model's timeline, not host wall time.
+/// Wall-clock nanoseconds and the category breakdown ride along in
+/// `args`. Pass `pid`/`tid` when merging multiple traces into one file.
+pub fn spans_to_chrome_trace(trace: &TraceSnapshot, pid: u64, tid: u64) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for (i, span) in trace.spans.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let dur_us = trace.sim_ns_inclusive(i) as f64 / 1e3;
+        let ts_us = span.start_sim_ns as f64 / 1e3;
+        let _ = write!(
+            out,
+            "\n{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
+             \"dur\":{dur_us:.3},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"wall_ns\":{wall}",
+            name = escape_json(&span.name),
+            wall = span.wall_ns,
+        );
+        for (cat, ns) in &span.categories {
+            let _ = write!(out, ",\"sim_{}_ns\":{ns}", escape_json(cat));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Minimal structural validator for the JSON this module emits (used in
+/// tests and by `paperbench --metrics-out` to self-check its output).
+/// Checks balanced quoting/brackets — not a full JSON parser.
+pub fn looks_like_valid_json(s: &str) -> bool {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return false;
+        }
+    }
+    depth_obj == 0 && depth_arr == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::span::{add_sim_ns, Span, Trace};
+
+    fn sample_trace() -> TraceSnapshot {
+        let trace = Trace::new();
+        {
+            let _g = trace.install();
+            let _q = Span::enter("query/q1");
+            {
+                let _s = Span::enter("scan/lineitem");
+                add_sim_ns("ndp", 2_000);
+                add_sim_ns("crypto", 500);
+            }
+            {
+                let _f = Span::enter("freshness");
+                add_sim_ns("freshness", 250);
+            }
+        }
+        trace.snapshot()
+    }
+
+    #[test]
+    fn span_tree_renders_hierarchy() {
+        let text = render_span_tree(&sample_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("query/q1"));
+        assert!(lines[1].starts_with("  scan/lineitem"));
+        assert!(lines[0].contains("sim=2.75µs"), "{}", lines[0]);
+        assert!(lines[1].contains("ndp=2.00µs"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn jsonl_one_object_per_line() {
+        let r = Registry::new();
+        r.counter("storage.page.read").add(3);
+        r.gauge("tee.epc.resident").set(-2);
+        r.histogram("storage.merkle.path_len").record(4);
+        let jsonl = metrics_to_jsonl(&r.snapshot());
+        assert_eq!(jsonl.lines().count(), 3);
+        for line in jsonl.lines() {
+            assert!(looks_like_valid_json(line), "{line}");
+        }
+        assert!(jsonl.contains("\"name\":\"storage.page.read\",\"value\":3"));
+        assert!(jsonl.contains("\"value\":-2"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_ordered() {
+        let json = spans_to_chrome_trace(&sample_trace(), 1, 1);
+        assert!(looks_like_valid_json(&json), "{json}");
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"query/q1\""));
+        // Root spans 2.75µs of simulated time.
+        assert!(json.contains("\"dur\":2.750"), "{json}");
+        // Child categories ride in args.
+        assert!(json.contains("\"sim_ndp_ns\":2000"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert!(looks_like_valid_json("{\"k\":\"\\\"quoted\\\"\"}"));
+        assert!(!looks_like_valid_json("{\"k\":1"));
+        assert!(!looks_like_valid_json("[}"));
+    }
+}

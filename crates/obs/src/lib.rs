@@ -1,0 +1,31 @@
+//! Unified telemetry layer for IronSafe.
+//!
+//! Three pieces, usable independently:
+//!
+//! * [`metrics`] — a registry of named counters/gauges/histograms with
+//!   lock-free handles. Handles are plain `Arc<Atomic*>` clones, so the
+//!   hot path is a single relaxed atomic op with **zero heap
+//!   allocation**; the registry is only locked at registration and
+//!   snapshot time.
+//! * [`span`] — hierarchical spans over *simulated* time. A [`span::Trace`]
+//!   is installed per thread; [`span::Span::enter`] opens a scope that
+//!   records real wall-clock nanoseconds automatically and accepts
+//!   explicit simulated-nanosecond attributions tagged by category
+//!   (`"ndp"`, `"crypto"`, ...). With no trace installed every span op
+//!   is a no-op that performs no allocation.
+//! * [`export`] — renderers for span trees (human-readable), JSON-lines
+//!   metric snapshots, and the Chrome `trace_event` format consumed by
+//!   Perfetto / `chrome://tracing`.
+//!
+//! Metric names follow `subsystem.object.event`, e.g.
+//! `storage.page.hmac_verify` or `tee.enclave.transition`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+pub use span::{add_sim_ns, Span, Trace, TraceSnapshot};

@@ -1,0 +1,384 @@
+//! Metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over atomics. Instrumented components create (or are handed)
+//! handles once at construction and update them lock-free afterwards;
+//! the registry mutex is touched only by `register_*`/`snapshot`.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// New unregistered counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (used by components that expose `reset_stats`).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// New unregistered gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const HIST_BUCKETS: usize = 65; // bucket i counts values with bit_length i (0 => value 0)
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (e.g. Merkle path
+/// lengths, span durations).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// New unregistered histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = (64 - v.leading_zeros()) as usize; // 0 for v == 0
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `buckets[i]` counts samples whose bit length is `i` (bucket 0 is
+    /// the value zero), i.e. bucket `i > 0` spans `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics.
+///
+/// Clones share the same underlying registry. Names should follow
+/// `subsystem.object.event` (see crate docs).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock();
+        g.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock();
+        g.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.inner.lock();
+        g.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Attach an existing counter handle under `name`, so component-owned
+    /// counters show up in snapshots. Panics if `name` is taken by a
+    /// different cell.
+    pub fn register_counter(&self, name: &str, counter: &Counter) {
+        let mut g = self.inner.lock();
+        if let Some(existing) = g.counters.get(name) {
+            assert!(
+                existing.same_cell(counter),
+                "metric name registered twice with different cells: {name}"
+            );
+            return;
+        }
+        g.counters.insert(name.to_string(), counter.clone());
+    }
+
+    /// Attach an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, gauge: &Gauge) {
+        self.inner.lock().gauges.insert(name.to_string(), gauge.clone());
+    }
+
+    /// Attach an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, histogram: &Histogram) {
+        self.inner
+            .lock()
+            .histograms
+            .insert(name.to_string(), histogram.clone());
+    }
+
+    /// Point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock();
+        MetricsSnapshot {
+            counters: g.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen view of a [`Registry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, distribution)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Human-readable table of all metrics.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<40} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<40} count={} mean={:.1} p95<={}\n",
+                    h.count,
+                    h.mean(),
+                    h.quantile_upper_bound(0.95),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_cell() {
+        let r = Registry::new();
+        let a = r.counter("storage.page.read");
+        let b = r.counter("storage.page.read");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("storage.page.read"), Some(3));
+    }
+
+    #[test]
+    fn register_existing_counter() {
+        let owned = Counter::new();
+        owned.add(7);
+        let r = Registry::new();
+        r.register_counter("tee.enclave.transition", &owned);
+        assert_eq!(r.snapshot().counter("tee.enclave.transition"), Some(7));
+        // Re-registering the same cell is fine.
+        r.register_counter("tee.enclave.transition", &owned);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn register_conflicting_counter_panics() {
+        let r = Registry::new();
+        r.register_counter("x", &Counter::new());
+        r.register_counter("x", &Counter::new());
+    }
+
+    #[test]
+    fn gauge_and_histogram() {
+        let r = Registry::new();
+        let g = r.gauge("tee.epc.resident");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+
+        let h = r.histogram("storage.merkle.path_len");
+        for v in [0, 1, 2, 3, 8, 9, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1023);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // [1,2)
+        assert_eq!(s.buckets[2], 2); // [2,4)
+        assert!(s.quantile_upper_bound(0.5) <= 8);
+        assert!(s.quantile_upper_bound(1.0) >= 1000);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_renders() {
+        let r = Registry::new();
+        r.counter("b.x.y").inc();
+        r.counter("a.x.y").inc();
+        let s = r.snapshot();
+        assert_eq!(s.counters[0].0, "a.x.y");
+        let table = s.render_table();
+        assert!(table.contains("a.x.y"));
+        assert!(table.contains("counters:"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Minimal `criterion` shim.
+//!
+//! Source-compatible with the subset of criterion 0.5 this workspace's
+//! benches use: `Criterion::bench_function`/`benchmark_group`, groups
+//! with `throughput`/`sample_size`/`measurement_time`/`warm_up_time`/
+//! `bench_with_input`/`finish`, `Bencher::iter`/`iter_batched`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! enough iterations to fill the measurement window; the mean
+//! wall-clock time per iteration is printed with derived throughput
+//! when one was declared. There are no statistical comparisons, saved
+//! baselines, or HTML reports.
+//!
+//! CI smoke mode: setting `IRONSAFE_BENCH_QUICK=1` (or passing
+//! `--quick`) skips warm-up and runs a single short sample per
+//! benchmark so the whole suite completes in seconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Environment variable that switches every bench into one-iteration
+/// smoke mode (same effect as the `--quick` CLI flag).
+pub const QUICK_ENV: &str = "IRONSAFE_BENCH_QUICK";
+
+fn quick_mode() -> bool {
+    if std::env::var(QUICK_ENV).is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
+        return true;
+    }
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Throughput to report alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per timing call in
+/// [`Bencher::iter_batched`]. The shim times each call individually, so
+/// this only documents intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function_name.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing harness handed to bench closures.
+pub struct Bencher {
+    quick: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            let start = Instant::now();
+            black_box(routine());
+            self.record(start.elapsed(), 1);
+            return;
+        }
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 50_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.record(start.elapsed(), target);
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let max_iters: u64 = if self.quick { 1 } else { 0 };
+        let mut busy = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let deadline = Instant::now() + if self.quick { Duration::ZERO } else { self.measurement };
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iters += 1;
+            if (max_iters != 0 && iters >= max_iters) || Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.record(busy, iters);
+    }
+
+    fn record(&mut self, total: Duration, iters: u64) {
+        self.iters = iters;
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<44} {:>12}/iter ({} iters)", fmt_time(bencher.mean_ns), bencher.iters);
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Bytes(n) => {
+                let bps = n as f64 / (bencher.mean_ns / 1e9);
+                if bps >= 1e9 {
+                    format!("{:.2} GiB/s", bps / (1u64 << 30) as f64)
+                } else {
+                    format!("{:.2} MiB/s", bps / (1u64 << 20) as f64)
+                }
+            }
+            Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (bencher.mean_ns / 1e9)),
+        };
+        let _ = write!(line, "  {per_sec}");
+    }
+    println!("{line}");
+}
+
+/// Benchmark registry and entry point.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free CLI argument (libtest passes the filter this way).
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { quick: quick_mode(), filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        name: &str,
+        warm_up: Duration,
+        measurement: Duration,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            quick: self.quick,
+            warm_up,
+            measurement,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b, throughput);
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, default_warm_up(), default_measurement(), None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            warm_up: default_warm_up(),
+            measurement: default_measurement(),
+        }
+    }
+}
+
+fn default_warm_up() -> Duration {
+    Duration::from_millis(300)
+}
+
+fn default_measurement() -> Duration {
+    Duration::from_millis(700)
+}
+
+/// A group of related benchmarks sharing throughput/timing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion
+            .run_one(&name, self.warm_up, self.measurement, self.throughput, f);
+        self
+    }
+
+    /// Run a parameterized benchmark within this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("standalone", |b| b.iter(|| black_box(1u64) + 1));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(4096));
+        g.sample_size(10);
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(2));
+        g.bench_function("summing", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_quick() {
+        std::env::set_var(QUICK_ENV, "1");
+        benches();
+        std::env::remove_var(QUICK_ENV);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

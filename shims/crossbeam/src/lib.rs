@@ -1,0 +1,98 @@
+//! Minimal `crossbeam` shim.
+//!
+//! Provides `crossbeam::thread::scope` as a thin wrapper over
+//! `std::thread::scope` (stable since Rust 1.63). Because std's scope
+//! joins all threads and propagates panics itself, the wrapper always
+//! returns `Ok` — matching the workspace's `.expect("threads join")`
+//! call sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread::{Scope as StdScope, ScopedJoinHandle};
+
+    /// Handle for spawning scoped threads, mirroring crossbeam's `Scope`.
+    ///
+    /// Crossbeam passes the scope by value into each spawned closure, so
+    /// this wrapper is `Copy` over the underlying std scope reference.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope StdScope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again,
+        /// like crossbeam's API (which allows nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowed-data threads can be
+    /// spawned; all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic out of
+    /// `scope` (std semantics) instead of surfacing through `Err`, so
+    /// the result is always `Ok` — fine for callers that `.expect()` it.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let hits = AtomicU64::new(0);
+        let data = vec![1u64, 2, 3, 4];
+        super::thread::scope(|s| {
+            for &v in &data {
+                let hits = &hits;
+                s.spawn(move |_| {
+                    hits.fetch_add(v, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicU64::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("threads join");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::thread::scope(|s| s.spawn(|_| 41).join().unwrap() + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal `rand` 0.8 shim.
+//!
+//! Implements the subset of the rand API this workspace uses: the
+//! [`RngCore`]/[`Rng`]/[`SeedableRng`] traits and [`rngs::StdRng`].
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — fast and
+//! statistically solid for simulation and test-vector generation, but
+//! (unlike the real `StdRng`) **not** a CSPRNG. The workspace only ever
+//! seeds it deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be produced uniformly at random (rand's `Standard`).
+pub trait Random: Sized {
+    /// Draw one value from `rng`.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Random for i128 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::random_from(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Random for [u8; N] {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Types `gen_range` can sample uniformly (rand's `SampleUniform`).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample in `[lo, hi]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                lo.wrapping_add(modulo_reduce(rng, span as u128) as $t)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u128;
+                if span == <$u>::MAX as u128 {
+                    return <$t>::random_from(rng);
+                }
+                lo.wrapping_add(modulo_reduce(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Uniform value in `[0, span)` via widening multiply (span > 0).
+fn modulo_reduce<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    ((rng.next_u64() as u128 * span) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let u = <$t>::random_from(rng);
+                lo + u * (hi - lo)
+            }
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                Self::sample_half_open(rng, lo, hi) // measure-zero endpoint
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// Destinations [`Rng::fill`] can fill (rand's `Fill`).
+pub trait Fill {
+    /// Fill `self` with random data.
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of `T` (integers: full range; floats: `[0, 1)`).
+    fn gen<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Uniform value in `range`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::random_from(self) < p
+    }
+
+    /// Fill `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// The seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` (expanded through SplitMix64, as in rand).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** (not the real ChaCha12 —
+    /// deterministic simulation quality only).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                *w = u64::from_le_bytes(seed[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0; 4] {
+                s = [0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 0x2545F4914F6CDD1D];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w: usize = r.gen_range(1..=7usize);
+            assert!((1..=7).contains(&w));
+            let f = r.gen_range(-999.99..9999.99);
+            assert!((-999.99..9999.99).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_and_gen_arrays() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut buf = [0u8; 16];
+        Rng::fill(&mut r, &mut buf);
+        assert_ne!(buf, [0u8; 16]);
+        let arr: [u8; 32] = r.gen();
+        assert_ne!(arr, [0u8; 32]);
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_unsized() {
+        fn takes_impl(rng: &mut (impl Rng + ?Sized)) -> u64 {
+            rng.next_u64()
+        }
+        let mut r = StdRng::seed_from_u64(5);
+        takes_impl(&mut r);
+        let mr = &mut r;
+        takes_impl(mr);
+    }
+}
