@@ -1,8 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|table3|table4|ablation|all] [--sf <f>]
+//! paperbench [fig6|...|fig12|table3|table4|ablation|all] [--sf <f>] [--metrics-out <path>]
 //! ```
+//!
+//! `--metrics-out` additionally runs every paper query under IronSafe,
+//! writes the merged span timeline as Chrome `trace_event` JSON to
+//! `<path>` (open in Perfetto / `chrome://tracing`), and the live
+//! subsystem counters as JSON lines to `<path>.metrics.jsonl`.
 
 use ironsafe_bench::*;
 
@@ -10,12 +15,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what = "all".to_string();
     let mut sf = DEFAULT_SF;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--sf" => {
                 i += 1;
                 sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SF);
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = args.get(i).cloned();
+                if metrics_out.is_none() {
+                    eprintln!("--metrics-out requires a path");
+                    std::process::exit(2);
+                }
             }
             other => what = other.to_string(),
         }
@@ -194,5 +208,20 @@ fn main() {
         println!("{:<28} {:>8.2}ms   ( 42 ms)", "interconnect", t.interconnect_ms);
         println!("{:<28} {:>8.2}ms   (689 ms)", "total", t.total_ms());
         println!();
+    }
+
+    if let Some(path) = metrics_out {
+        let bundle = telemetry::collect_traces(sf);
+        assert!(
+            ironsafe_obs::export::looks_like_valid_json(&bundle.chrome_trace),
+            "exported Chrome trace failed self-check"
+        );
+        std::fs::write(&path, &bundle.chrome_trace).expect("write trace file");
+        let sidecar = format!("{path}.metrics.jsonl");
+        std::fs::write(&sidecar, &bundle.metrics_jsonl).expect("write metrics sidecar");
+        println!(
+            "telemetry: wrote {} spans from {} queries to {path} (counters: {sidecar})",
+            bundle.spans, bundle.queries
+        );
     }
 }

@@ -17,5 +17,6 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod telemetry;
 
 pub use figures::*;

@@ -1,0 +1,49 @@
+//! End-to-end telemetry demo: run TPC-H Q1 on the full IronSafe
+//! configuration and print everything the observability layer captured —
+//! the hierarchical span tree (simulated + wall time), the cost
+//! breakdown derived from it, and the live subsystem counters.
+//!
+//! ```text
+//! cargo run --offline -p ironsafe-csa --example telemetry
+//! ```
+
+use ironsafe_csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe_obs::export::{metrics_to_jsonl, render_span_tree};
+use ironsafe_obs::Registry;
+use ironsafe_tpch::queries::query;
+
+fn main() {
+    let sf = 0.002;
+    println!("generating TPC-H data at SF {sf}...");
+    let data = ironsafe_tpch::generate(sf, 42);
+
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let registry = Registry::new();
+    sys.storage_db().register_metrics(&registry);
+
+    let q1 = query(1).expect("Q1 is a paper query");
+    let report = sys.run_query(&q1).expect("Q1 runs");
+
+    println!("\n== span tree (Q1, IronSafe) ==");
+    let trace = sys.last_trace().expect("run_query records a trace");
+    print!("{}", render_span_tree(trace));
+
+    println!("\n== cost breakdown (derived from the spans above) ==");
+    let b = &report.breakdown;
+    let total = b.total_ns().max(1.0);
+    for (name, ns) in [
+        ("ndp", b.ndp_ns),
+        ("freshness", b.freshness_ns),
+        ("crypto", b.crypto_ns),
+        ("transitions", b.transitions_ns),
+        ("epc", b.epc_ns),
+        ("other", b.other_ns),
+    ] {
+        println!("{name:>12}: {:>10.3} ms ({:>5.1}%)", ns / 1e6, ns / total * 100.0);
+    }
+    println!("{:>12}: {:>10.3} ms", "total", total / 1e6);
+
+    println!("\n== live counters (storage subsystem) ==");
+    print!("{}", metrics_to_jsonl(&registry.snapshot()));
+}

@@ -168,6 +168,31 @@ impl CostBreakdown {
         self.ndp_ns + self.freshness_ns + self.crypto_ns + self.transitions_ns + self.epc_ns + self.other_ns
     }
 
+    /// The span categories Figure 8 decomposes into, in struct order.
+    pub const CATEGORIES: [&'static str; 6] =
+        ["ndp", "freshness", "crypto", "transitions", "epc", "other"];
+
+    /// Derive a breakdown from a telemetry trace: each span category in
+    /// [`CostBreakdown::CATEGORIES`] sums into its field. Attributions
+    /// are accumulated in span-creation order, so a run that attributes
+    /// its cost terms in the same order as the old inline accumulation
+    /// reproduces it bit-for-bit.
+    pub fn from_trace(trace: &ironsafe_obs::TraceSnapshot) -> CostBreakdown {
+        let mut b = CostBreakdown::default();
+        for (category, ns) in trace.category_totals() {
+            match category {
+                "ndp" => b.ndp_ns = ns,
+                "freshness" => b.freshness_ns = ns,
+                "crypto" => b.crypto_ns = ns,
+                "transitions" => b.transitions_ns = ns,
+                "epc" => b.epc_ns = ns,
+                "other" => b.other_ns = ns,
+                unknown => panic!("unknown cost category in trace: {unknown}"),
+            }
+        }
+        b
+    }
+
     /// Accumulate another breakdown.
     pub fn add(&mut self, other: &CostBreakdown) {
         self.ndp_ns += other.ndp_ns;

@@ -9,6 +9,7 @@
 
 use crate::{CsaError, Result};
 use ironsafe_crypto::aes::Aes128;
+use ironsafe_obs::{Counter, Registry};
 use ironsafe_crypto::hkdf;
 use ironsafe_crypto::hmac::hmac_sha256_concat;
 use ironsafe_crypto::modes::ctr_xor;
@@ -36,6 +37,8 @@ pub struct SecureChannel {
     pub bytes_sent: u64,
     /// Records sent.
     pub messages: u64,
+    bytes_counter: Counter,
+    messages_counter: Counter,
 }
 
 impl SecureChannel {
@@ -48,7 +51,16 @@ impl SecureChannel {
             expect_seq: 0,
             bytes_sent: 0,
             messages: 0,
+            bytes_counter: Counter::new(),
+            messages_counter: Counter::new(),
         }
+    }
+
+    /// Attach this direction's live counters to `registry` as
+    /// `csa.net.bytes` / `csa.net.messages`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("csa.net.bytes", &self.bytes_counter);
+        registry.register_counter("csa.net.messages", &self.messages_counter);
     }
 
     fn nonce(&self, seq: u64) -> [u8; 16] {
@@ -65,8 +77,11 @@ impl SecureChannel {
         let mut payload = plain.to_vec();
         ctr_xor(&aes, &self.nonce(seq), &mut payload);
         let mac = hmac_sha256_concat(&self.mac_key, &[&seq.to_be_bytes(), &payload]);
-        self.bytes_sent += payload.len() as u64 + 8 + 32;
+        let wire_bytes = payload.len() as u64 + 8 + 32;
+        self.bytes_sent += wire_bytes;
         self.messages += 1;
+        self.bytes_counter.add(wire_bytes);
+        self.messages_counter.inc();
         Record { seq, payload, mac }
     }
 

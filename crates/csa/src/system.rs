@@ -16,6 +16,7 @@ use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
 use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
 use ironsafe_storage::SecurePager;
+use ironsafe_obs::{Span, Trace, TraceSnapshot};
 use ironsafe_tee::sgx::epc::EpcSimulator;
 use ironsafe_tee::trustzone::Manufacturer;
 use ironsafe_tpch::queries::PaperQuery;
@@ -125,6 +126,17 @@ pub struct CsaSystem {
     pub strategy: PartitionStrategy,
     storage_db: Database,
     session_key: [u8; 32],
+    last_trace: Option<TraceSnapshot>,
+}
+
+/// Attribute one simulated cost term to a named accounting span.
+///
+/// Each term gets its own span so [`CostBreakdown::from_trace`] sums
+/// category totals in span-creation order — the exact order the old
+/// inline accumulation added them, preserving bit-identical breakdowns.
+fn charge(name: &str, category: &'static str, ns: f64) {
+    let span = Span::enter(name);
+    span.add_sim_ns(category, ns);
 }
 
 fn complexity(stmt: &SelectStmt) -> u64 {
@@ -152,12 +164,33 @@ impl CsaSystem {
         };
         ironsafe_tpch::load_into(&mut storage_db, data)?;
         storage_db.reset_pager_stats();
-        Ok(CsaSystem { config, params, strategy: PartitionStrategy::default(), storage_db, session_key: [0x5e; 32] })
+        Ok(CsaSystem {
+            config,
+            params,
+            strategy: PartitionStrategy::default(),
+            storage_db,
+            session_key: [0x5e; 32],
+            last_trace: None,
+        })
     }
 
     /// Build over an already-populated database (e.g. the GDPR workload).
     pub fn from_database(config: SystemConfig, storage_db: Database, params: CostParams) -> Self {
-        CsaSystem { config, params, strategy: PartitionStrategy::default(), storage_db, session_key: [0x5e; 32] }
+        CsaSystem {
+            config,
+            params,
+            strategy: PartitionStrategy::default(),
+            storage_db,
+            session_key: [0x5e; 32],
+            last_trace: None,
+        }
+    }
+
+    /// Telemetry trace of the most recent `run_query`/`run_statement`
+    /// call: the span tree whose category totals *are* the reported
+    /// [`CostBreakdown`], exportable via `ironsafe_obs::export`.
+    pub fn last_trace(&self) -> Option<&TraceSnapshot> {
+        self.last_trace.as_ref()
     }
 
     /// The storage-resident database (e.g. to inspect the catalog).
@@ -204,18 +237,39 @@ impl CsaSystem {
                 self.run_query(&q)
             }
             other => {
-                let before = self.storage_db.pager_stats();
-                let result = self.storage_db.execute_statement(other)?;
-                let delta = self.pager_delta(before);
-                let p = &self.params;
-                let breakdown = CostBreakdown {
-                    ndp_ns: (delta.page_reads + delta.page_writes) as f64 * p.device_read_ns_per_page,
-                    crypto_ns: (delta.decrypts * p.decrypt_ns_per_page
-                        + delta.encrypts * p.encrypt_ns_per_page) as f64,
-                    freshness_ns: (delta.merkle_nodes * p.merkle_node_ns
-                        + delta.rpmb_ops * p.rpmb_op_ns) as f64,
-                    ..CostBreakdown::default()
+                let trace = Trace::new();
+                let (result, delta) = {
+                    let _active = trace.install();
+                    let _stmt_span = Span::enter("statement/dml");
+                    let before = self.storage_db.pager_stats();
+                    let result = {
+                        let _exec = Span::enter("storage/execute");
+                        self.storage_db.execute_statement(other)?
+                    };
+                    let delta = self.pager_delta(before);
+                    let p = &self.params;
+                    charge(
+                        "storage/device_io",
+                        "ndp",
+                        (delta.page_reads + delta.page_writes) as f64 * p.device_read_ns_per_page,
+                    );
+                    charge(
+                        "crypto/pages",
+                        "crypto",
+                        (delta.decrypts * p.decrypt_ns_per_page
+                            + delta.encrypts * p.encrypt_ns_per_page) as f64,
+                    );
+                    charge(
+                        "freshness/verify",
+                        "freshness",
+                        (delta.merkle_nodes * p.merkle_node_ns + delta.rpmb_ops * p.rpmb_op_ns)
+                            as f64,
+                    );
+                    (result, delta)
                 };
+                let snapshot = trace.snapshot();
+                let breakdown = CostBreakdown::from_trace(&snapshot);
+                self.last_trace = Some(snapshot);
                 Ok(QueryReport {
                     config: self.config,
                     query_id: 0,
@@ -243,68 +297,86 @@ impl CsaSystem {
     // sos: the whole query runs next to the data, on the weak CPU.
     // ---------------------------------------------------------------
     fn run_storage_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
-        let before = self.storage_db.pager_stats();
-        let mut scanned_rows = 0u64;
-        let mut ops_total = 0u64;
-        let mut probe_requests = 0u64;
-        let mut result = None;
-        let mut temps = Vec::new();
-        for stage in &q.stages {
-            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
-            if let Statement::Select(sel) = &stmt {
-                let mut stage_rows = 0u64;
-                for t in &sel.from {
-                    if let Ok(info) = self.storage_db.catalog().table(&t.name) {
-                        stage_rows += info.heap.row_count;
+        let trace = Trace::new();
+        let (result, delta) = {
+            let _active = trace.install();
+            let _query_span = Span::enter(&format!("query/q{}", q.id));
+            let before = self.storage_db.pager_stats();
+            let mut scanned_rows = 0u64;
+            let mut ops_total = 0u64;
+            let mut probe_requests = 0u64;
+            let mut result = None;
+            let mut temps = Vec::new();
+            for (stage_no, stage) in q.stages.iter().enumerate() {
+                let _stage_span = Span::enter(&format!("stage{stage_no}/storage_exec"));
+                let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+                if let Statement::Select(sel) = &stmt {
+                    let mut stage_rows = 0u64;
+                    for t in &sel.from {
+                        if let Ok(info) = self.storage_db.catalog().table(&t.name) {
+                            stage_rows += info.heap.row_count;
+                        }
+                    }
+                    scanned_rows += stage_rows;
+                    ops_total += complexity(sel);
+                    // SQLite-style access amplification: every join probe
+                    // re-requests an inner page through the pager, and each
+                    // request pays decrypt + freshness (the paper's Q2/Q9
+                    // "request pages ~200K / ~23M times").
+                    if sel.from.len() > 1 {
+                        probe_requests += stage_rows;
                     }
                 }
-                scanned_rows += stage_rows;
-                ops_total += complexity(sel);
-                // SQLite-style access amplification: every join probe
-                // re-requests an inner page through the pager, and each
-                // request pays decrypt + freshness (the paper's Q2/Q9
-                // "request pages ~200K / ~23M times").
-                if sel.from.len() > 1 {
-                    probe_requests += stage_rows;
+                let r = self.storage_db.execute_statement(&stmt)?;
+                match &stage.into {
+                    Some(name) => {
+                        self.storage_db.create_table(name, r.schema())?;
+                        self.storage_db.insert_rows(name, r.rows().to_vec())?;
+                        temps.push(name.clone());
+                    }
+                    None => result = Some(r),
                 }
             }
-            let r = self.storage_db.execute_statement(&stmt)?;
-            match &stage.into {
-                Some(name) => {
-                    self.storage_db.create_table(name, r.schema())?;
-                    self.storage_db.insert_rows(name, r.rows().to_vec())?;
-                    temps.push(name.clone());
-                }
-                None => result = Some(r),
+            for t in temps {
+                self.storage_db.execute(&format!("DROP TABLE {t}"))?;
             }
-        }
-        for t in temps {
-            self.storage_db.execute(&format!("DROP TABLE {t}"))?;
-        }
-        let delta = self.pager_delta(before);
-        let db_pages = self
-            .storage_db
-            .catalog()
-            .tables()
-            .map(|t| t.heap.pages.len() as u64)
-            .sum::<u64>()
-            .max(2);
-        let p = &self.params;
-        let compute_ns = scanned_rows as f64
-            * ops_total.max(1) as f64
-            * p.host_row_ns
-            * p.storage_cpu_factor;
-        let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
-        let breakdown = CostBreakdown {
-            ndp_ns: compute_ns + delta.page_reads as f64 * p.device_read_ns_per_page,
-            freshness_ns: ((delta.merkle_nodes + probe_requests * path_nodes) * p.merkle_node_ns
-                + delta.rpmb_ops * p.rpmb_op_ns) as f64,
-            crypto_ns: ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
-                + delta.encrypts * p.encrypt_ns_per_page) as f64,
-            transitions_ns: 0.0,
-            epc_ns: 0.0,
-            other_ns: 0.0,
+            let delta = self.pager_delta(before);
+            let db_pages = self
+                .storage_db
+                .catalog()
+                .tables()
+                .map(|t| t.heap.pages.len() as u64)
+                .sum::<u64>()
+                .max(2);
+            let p = &self.params;
+            let compute_ns = scanned_rows as f64
+                * ops_total.max(1) as f64
+                * p.host_row_ns
+                * p.storage_cpu_factor;
+            let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
+            charge("storage/compute", "ndp", compute_ns);
+            charge(
+                "storage/device_io",
+                "ndp",
+                delta.page_reads as f64 * p.device_read_ns_per_page,
+            );
+            charge(
+                "freshness/verify",
+                "freshness",
+                ((delta.merkle_nodes + probe_requests * path_nodes) * p.merkle_node_ns
+                    + delta.rpmb_ops * p.rpmb_op_ns) as f64,
+            );
+            charge(
+                "crypto/pages",
+                "crypto",
+                ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
+                    + delta.encrypts * p.encrypt_ns_per_page) as f64,
+            );
+            (result, delta)
         };
+        let snapshot = trace.snapshot();
+        let breakdown = CostBreakdown::from_trace(&snapshot);
+        self.last_trace = Some(snapshot);
         Ok(QueryReport {
             config: self.config,
             query_id: q.id,
@@ -324,83 +396,107 @@ impl CsaSystem {
     // ---------------------------------------------------------------
     fn run_host_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let secure = self.config.secure();
-        let before = self.storage_db.pager_stats();
-        let mut scanned_rows = 0u64;
-        let mut ops_total = 0u64;
-        let mut probe_requests = 0u64;
-        let mut result = None;
-        let mut temps = Vec::new();
-        let db_pages = {
-            // Total pages of all base tables (Merkle leaf count).
-            self.storage_db
-                .catalog()
-                .tables()
-                .map(|t| t.heap.pages.len() as u64)
-                .sum::<u64>()
-                .max(2)
-        };
-        for stage in &q.stages {
-            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
-            if let Statement::Select(sel) = &stmt {
-                ops_total += complexity(sel);
-                let mut stage_rows = 0u64;
-                for t in &sel.from {
-                    if let Ok(info) = self.storage_db.catalog().table(&t.name) {
-                        stage_rows += info.heap.row_count;
-                        scanned_rows += info.heap.row_count;
+        let trace = Trace::new();
+        let (result, delta, scanned_rows, bytes) = {
+            let _active = trace.install();
+            let _query_span = Span::enter(&format!("query/q{}", q.id));
+            let before = self.storage_db.pager_stats();
+            let mut scanned_rows = 0u64;
+            let mut ops_total = 0u64;
+            let mut probe_requests = 0u64;
+            let mut result = None;
+            let mut temps = Vec::new();
+            let db_pages = {
+                // Total pages of all base tables (Merkle leaf count).
+                self.storage_db
+                    .catalog()
+                    .tables()
+                    .map(|t| t.heap.pages.len() as u64)
+                    .sum::<u64>()
+                    .max(2)
+            };
+            for (stage_no, stage) in q.stages.iter().enumerate() {
+                let _stage_span = Span::enter(&format!("stage{stage_no}/host_exec"));
+                let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+                if let Statement::Select(sel) = &stmt {
+                    ops_total += complexity(sel);
+                    let mut stage_rows = 0u64;
+                    for t in &sel.from {
+                        if let Ok(info) = self.storage_db.catalog().table(&t.name) {
+                            stage_rows += info.heap.row_count;
+                            scanned_rows += info.heap.row_count;
+                        }
+                    }
+                    // Join probes re-request pages through the in-enclave
+                    // SQLCipher pager (same amplification as sos).
+                    if sel.from.len() > 1 {
+                        probe_requests += stage_rows;
                     }
                 }
-                // Join probes re-request pages through the in-enclave
-                // SQLCipher pager (same amplification as sos).
-                if sel.from.len() > 1 {
-                    probe_requests += stage_rows;
+                let r = self.storage_db.execute_statement(&stmt)?;
+                match &stage.into {
+                    Some(name) => {
+                        self.storage_db.create_table(name, r.schema())?;
+                        self.storage_db.insert_rows(name, r.rows().to_vec())?;
+                        temps.push(name.clone());
+                    }
+                    None => result = Some(r),
                 }
             }
-            let r = self.storage_db.execute_statement(&stmt)?;
-            match &stage.into {
-                Some(name) => {
-                    self.storage_db.create_table(name, r.schema())?;
-                    self.storage_db.insert_rows(name, r.rows().to_vec())?;
-                    temps.push(name.clone());
-                }
-                None => result = Some(r),
+            for t in temps {
+                self.storage_db.execute(&format!("DROP TABLE {t}"))?;
             }
-        }
-        for t in temps {
-            self.storage_db.execute(&format!("DROP TABLE {t}"))?;
-        }
-        let delta = self.pager_delta(before);
-        let p = &self.params;
-        let bytes = delta.page_reads * 4096;
-        // NFS-style page fetches batch ~64 pages per round trip.
-        let messages = delta.page_reads.div_ceil(64).max(1);
-        let host_compute = p.host_compute_ns(scanned_rows, ops_total.max(1));
-        let mut breakdown = CostBreakdown {
-            ndp_ns: host_compute
-                + delta.page_reads as f64 * p.device_read_ns_per_page
-                + p.net_ns(bytes, messages),
-            ..CostBreakdown::default()
+            let delta = self.pager_delta(before);
+            let p = &self.params;
+            let bytes = delta.page_reads * 4096;
+            // NFS-style page fetches batch ~64 pages per round trip.
+            let messages = delta.page_reads.div_ceil(64).max(1);
+            charge("host/compute", "ndp", p.host_compute_ns(scanned_rows, ops_total.max(1)));
+            charge(
+                "storage/device_io",
+                "ndp",
+                delta.page_reads as f64 * p.device_read_ns_per_page,
+            );
+            charge("net/page_fetch", "ndp", p.net_ns(bytes, messages));
+            if secure {
+                let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
+                charge(
+                    "crypto/pages",
+                    "crypto",
+                    ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
+                        + delta.encrypts * p.encrypt_ns_per_page) as f64,
+                );
+                charge(
+                    "freshness/verify",
+                    "freshness",
+                    ((delta.merkle_nodes + probe_requests * path_nodes) * p.merkle_node_ns
+                        + delta.rpmb_ops * p.rpmb_op_ns) as f64,
+                );
+                // One OCALL round per page batch fetched into the enclave.
+                charge(
+                    "tee/transitions",
+                    "transitions",
+                    (delta.page_reads * 2 * p.enclave_transition_ns) as f64,
+                );
+                // EPC paging: the in-enclave Merkle tree is the resident
+                // working set (the paper's Figure 9a: 59/78/98 MiB at SF
+                // 3/4/5 against 96 MiB of EPC). While the tree fits, path
+                // verifications hit; once it overflows, the uncached fraction
+                // of every path faults — the paging cliff.
+                let tree_bytes = 2 * db_pages * 32;
+                let overflow = 1.0 - (p.epc_limit_bytes as f64 / tree_bytes as f64).min(1.0);
+                let verifications = delta.page_reads + probe_requests;
+                charge(
+                    "tee/epc_paging",
+                    "epc",
+                    verifications as f64 * path_nodes as f64 * overflow * p.epc_fault_ns as f64,
+                );
+            }
+            (result, delta, scanned_rows, bytes)
         };
-        if secure {
-            let path_nodes = 2 * db_pages.ilog2() as u64 + 1;
-            breakdown.crypto_ns = ((delta.decrypts + probe_requests) * p.decrypt_ns_per_page
-                + delta.encrypts * p.encrypt_ns_per_page) as f64;
-            breakdown.freshness_ns = ((delta.merkle_nodes + probe_requests * path_nodes)
-                * p.merkle_node_ns
-                + delta.rpmb_ops * p.rpmb_op_ns) as f64;
-            // One OCALL round per page batch fetched into the enclave.
-            breakdown.transitions_ns = (delta.page_reads * 2 * p.enclave_transition_ns) as f64;
-            // EPC paging: the in-enclave Merkle tree is the resident
-            // working set (the paper's Figure 9a: 59/78/98 MiB at SF
-            // 3/4/5 against 96 MiB of EPC). While the tree fits, path
-            // verifications hit; once it overflows, the uncached fraction
-            // of every path faults — the paging cliff.
-            let tree_bytes = 2 * db_pages * 32;
-            let overflow = 1.0 - (p.epc_limit_bytes as f64 / tree_bytes as f64).min(1.0);
-            let verifications = delta.page_reads + probe_requests;
-            breakdown.epc_ns =
-                verifications as f64 * path_nodes as f64 * overflow * p.epc_fault_ns as f64;
-        }
+        let snapshot = trace.snapshot();
+        let breakdown = CostBreakdown::from_trace(&snapshot);
+        self.last_trace = Some(snapshot);
         Ok(QueryReport {
             config: self.config,
             query_id: q.id,
@@ -420,141 +516,177 @@ impl CsaSystem {
     fn run_split(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let secure = self.config == SystemConfig::IronSafe;
         let p = self.params.clone();
-        let before = self.storage_db.pager_stats();
-        let mut host_db = Database::new(PlainPager::new());
-        let mut epc = EpcSimulator::new(p.epc_limit_bytes);
-        let (mut tx, mut rx) = channel_pair(&self.session_key);
+        let trace = Trace::new();
+        let (result, delta, bytes, rows_shipped) = {
+            let _active = trace.install();
+            let _query_span = Span::enter(&format!("query/q{}", q.id));
+            let before = self.storage_db.pager_stats();
+            let mut host_db = Database::new(PlainPager::new());
+            let mut epc = EpcSimulator::new(p.epc_limit_bytes);
+            let (mut tx, mut rx) = channel_pair(&self.session_key);
 
-        let mut scanned_rows = 0u64;
-        let mut rows_shipped = 0u64;
-        let mut rows_serialized = 0u64;
-        let mut page_transfer_bytes = 0u64;
-        let mut host_input_rows = 0u64;
-        let mut host_ops = 0u64;
-        let mut fragments = 0u64;
-        let mut result = None;
+            let mut scanned_rows = 0u64;
+            let mut rows_shipped = 0u64;
+            let mut rows_serialized = 0u64;
+            let mut page_transfer_bytes = 0u64;
+            let mut host_input_rows = 0u64;
+            let mut host_ops = 0u64;
+            let mut fragments = 0u64;
+            let mut result = None;
 
-        for stage in &q.stages {
-            let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
-            let sel = match stmt {
-                Statement::Select(s) => s,
-                other => {
-                    // Non-SELECT stages run on the host.
-                    host_db.execute_statement(&other)?;
-                    continue;
-                }
-            };
-            let catalog_lookup = |name: &str| -> Option<Schema> {
-                self.storage_db.catalog().table(name).ok().map(|t| t.schema.clone())
-            };
-            let Partition { storage, host } = match self.strategy {
-                PartitionStrategy::Static => partition_select(&sel, &catalog_lookup),
-                PartitionStrategy::Adaptive => {
-                    let db = &self.storage_db;
-                    partition_select_strategic(&sel, &catalog_lookup, &|table, frag| {
-                        decide_offload(db, table, frag)
-                    })
-                }
-            };
-
-            // Run fragments near the data, ship results.
-            let mut shipped_tables = Vec::new();
-            for StorageQuery { table, stmt, mode, .. } in &storage {
-                let info = self.storage_db.catalog().table(table)?;
-                scanned_rows += info.heap.row_count;
-                let table_pages = info.heap.pages.len() as u64;
-                let frag_result = self.storage_db.select(stmt)?;
-                let schema = frag_result.schema();
-                let rows = frag_result.rows().to_vec();
-                rows_shipped += rows.len() as u64;
-                fragments += 1;
-
-                match mode {
-                    crate::partition::OffloadDecision::ShipPages => {
-                        // Raw page transfer: no storage-side serialization,
-                        // whole pages cross the wire.
-                        page_transfer_bytes += table_pages * 4096;
+            for (stage_no, stage) in q.stages.iter().enumerate() {
+                let _stage_span = Span::enter(&format!("stage{stage_no}/split_exec"));
+                let stmt = ironsafe_sql::parser::parse_statement(&stage.sql)?;
+                let sel = match stmt {
+                    Statement::Select(s) => s,
+                    other => {
+                        // Non-SELECT stages run on the host.
+                        host_db.execute_statement(&other)?;
+                        continue;
                     }
-                    crate::partition::OffloadDecision::Offload => {
-                        rows_serialized += rows.len() as u64;
-                        // Serialize through the channel (records of ≤4096 rows).
-                        for chunk in rows.chunks(4096) {
-                            let record = tx.seal_rows(&schema, chunk);
-                            let back = rx.open_rows(&record)?;
-                            debug_assert_eq!(back.len(), chunk.len());
+                };
+                let catalog_lookup = |name: &str| -> Option<Schema> {
+                    self.storage_db.catalog().table(name).ok().map(|t| t.schema.clone())
+                };
+                let Partition { storage, host } = match self.strategy {
+                    PartitionStrategy::Static => partition_select(&sel, &catalog_lookup),
+                    PartitionStrategy::Adaptive => {
+                        let db = &self.storage_db;
+                        partition_select_strategic(&sel, &catalog_lookup, &|table, frag| {
+                            decide_offload(db, table, frag)
+                        })
+                    }
+                };
+
+                // Run fragments near the data, ship results.
+                let mut shipped_tables = Vec::new();
+                for StorageQuery { table, stmt, mode, .. } in &storage {
+                    let _frag_span = Span::enter(&format!("fragment/{table}"));
+                    let info = self.storage_db.catalog().table(table)?;
+                    scanned_rows += info.heap.row_count;
+                    let table_pages = info.heap.pages.len() as u64;
+                    let frag_result = self.storage_db.select(stmt)?;
+                    let schema = frag_result.schema();
+                    let rows = frag_result.rows().to_vec();
+                    rows_shipped += rows.len() as u64;
+                    fragments += 1;
+
+                    match mode {
+                        crate::partition::OffloadDecision::ShipPages => {
+                            // Raw page transfer: no storage-side serialization,
+                            // whole pages cross the wire.
+                            page_transfer_bytes += table_pages * 4096;
+                        }
+                        crate::partition::OffloadDecision::Offload => {
+                            rows_serialized += rows.len() as u64;
+                            // Serialize through the channel (records of ≤4096 rows).
+                            for chunk in rows.chunks(4096) {
+                                let record = tx.seal_rows(&schema, chunk);
+                                let back = rx.open_rows(&record)?;
+                                debug_assert_eq!(back.len(), chunk.len());
+                            }
+                        }
+                    }
+                    if host_db.catalog().has_table(table) {
+                        host_db.execute(&format!("DROP TABLE {table}"))?;
+                    }
+                    host_db.create_table(table, schema)?;
+                    host_db.insert_rows(table, rows)?;
+                    shipped_tables.push(table.clone());
+                }
+
+                // Host-side execution over the shipped intermediates.
+                host_input_rows += shipped_tables
+                    .iter()
+                    .map(|t| host_db.catalog().table(t).map(|i| i.heap.row_count).unwrap_or(0))
+                    .sum::<u64>();
+                host_ops += complexity(&host);
+                if secure {
+                    // The host engine's enclave touches every temp page.
+                    for t in &shipped_tables {
+                        if let Ok(info) = host_db.catalog().table(t) {
+                            for &page in &info.heap.pages {
+                                epc.access(1_000_000 + page);
+                            }
                         }
                     }
                 }
-                if host_db.catalog().has_table(table) {
-                    host_db.execute(&format!("DROP TABLE {table}"))?;
+                let r = {
+                    let _host_span = Span::enter("host/join_aggregate");
+                    host_db.select(&host)?
+                };
+                match &stage.into {
+                    Some(name) => {
+                        host_db.create_table(name, r.schema())?;
+                        host_db.insert_rows(name, r.rows().to_vec())?;
+                    }
+                    None => result = Some(r),
                 }
-                host_db.create_table(table, schema)?;
-                host_db.insert_rows(table, rows)?;
-                shipped_tables.push(table.clone());
+                for t in shipped_tables {
+                    host_db.execute(&format!("DROP TABLE {t}"))?;
+                }
             }
 
-            // Host-side execution over the shipped intermediates.
-            host_input_rows += shipped_tables
-                .iter()
-                .map(|t| host_db.catalog().table(t).map(|i| i.heap.row_count).unwrap_or(0))
-                .sum::<u64>();
-            host_ops += complexity(&host);
+            let delta = self.pager_delta(before);
+            let bytes = tx.bytes_sent + page_transfer_bytes;
+            // The storage-side application buffers the intermediates it ships.
+            let mem_penalty = p.storage_mem_penalty(bytes);
+            charge(
+                "storage/compute",
+                "ndp",
+                p.storage_compute_ns(scanned_rows, 1) * mem_penalty,
+            );
+            // Serializing shipped rows and instantiating the per-fragment CS
+            // service are storage-side costs vanilla CS also pays — this is
+            // why weakly-selective queries regress under CS (paper Figure 6).
+            charge(
+                "storage/serialize",
+                "ndp",
+                rows_serialized as f64 * p.serialize_row_ns as f64 * p.storage_cpu_factor
+                    / p.storage_parallel(),
+            );
+            charge("storage/fragment_setup", "ndp", fragments as f64 * p.fragment_setup_ns as f64);
+            charge(
+                "host/compute",
+                "ndp",
+                p.host_compute_ns(host_input_rows, host_ops.max(1)),
+            );
+            charge(
+                "storage/device_io",
+                "ndp",
+                delta.page_reads as f64 * p.device_read_ns_per_page,
+            );
+            charge("net/ship_rows", "ndp", p.net_ns(bytes, tx.messages.max(1)));
             if secure {
-                // The host engine's enclave touches every temp page.
-                for t in &shipped_tables {
-                    if let Ok(info) = host_db.catalog().table(t) {
-                        for &page in &info.heap.pages {
-                            epc.access(1_000_000 + page);
-                        }
-                    }
-                }
+                // No probe amplification here: the host side of scs joins
+                // in-memory temp tables (no SQLCipher pager on that path).
+                charge(
+                    "crypto/pages",
+                    "crypto",
+                    (delta.decrypts * p.decrypt_ns_per_page + delta.encrypts * p.encrypt_ns_per_page)
+                        as f64,
+                );
+                charge(
+                    "freshness/verify",
+                    "freshness",
+                    (delta.merkle_nodes * p.merkle_node_ns + delta.rpmb_ops * p.rpmb_op_ns) as f64,
+                );
+                // A couple of transitions per shipped record batch.
+                charge(
+                    "tee/transitions",
+                    "transitions",
+                    (tx.messages * 2 * p.enclave_transition_ns) as f64,
+                );
+                charge("tee/epc_paging", "epc", epc.faults() as f64 * p.epc_fault_ns as f64);
+                let other = Span::enter("channel/other");
+                other.add_sim_ns("other", p.session_setup_ns as f64);
+                other.add_sim_ns("other", bytes as f64 * 0.05);
             }
-            let r = host_db.select(&host)?;
-            match &stage.into {
-                Some(name) => {
-                    host_db.create_table(name, r.schema())?;
-                    host_db.insert_rows(name, r.rows().to_vec())?;
-                }
-                None => result = Some(r),
-            }
-            for t in shipped_tables {
-                host_db.execute(&format!("DROP TABLE {t}"))?;
-            }
-        }
-
-        let delta = self.pager_delta(before);
-        let bytes = tx.bytes_sent + page_transfer_bytes;
-        // The storage-side application buffers the intermediates it ships.
-        let mem_penalty = p.storage_mem_penalty(bytes);
-        let storage_compute = p.storage_compute_ns(scanned_rows, 1) * mem_penalty;
-        // Serializing shipped rows and instantiating the per-fragment CS
-        // service are storage-side costs vanilla CS also pays — this is
-        // why weakly-selective queries regress under CS (paper Figure 6).
-        let serialize = rows_serialized as f64 * p.serialize_row_ns as f64 * p.storage_cpu_factor
-            / p.storage_parallel();
-        let setup = fragments as f64 * p.fragment_setup_ns as f64;
-        let host_compute = p.host_compute_ns(host_input_rows, host_ops.max(1));
-        let mut breakdown = CostBreakdown {
-            ndp_ns: storage_compute
-                + serialize
-                + setup
-                + host_compute
-                + delta.page_reads as f64 * p.device_read_ns_per_page
-                + p.net_ns(bytes, tx.messages.max(1)),
-            ..CostBreakdown::default()
+            (result, delta, bytes, rows_shipped)
         };
-        if secure {
-            // No probe amplification here: the host side of scs joins
-            // in-memory temp tables (no SQLCipher pager on that path).
-            breakdown.crypto_ns =
-                (delta.decrypts * p.decrypt_ns_per_page + delta.encrypts * p.encrypt_ns_per_page) as f64;
-            breakdown.freshness_ns =
-                (delta.merkle_nodes * p.merkle_node_ns + delta.rpmb_ops * p.rpmb_op_ns) as f64;
-            // A couple of transitions per shipped record batch.
-            breakdown.transitions_ns = (tx.messages * 2 * p.enclave_transition_ns) as f64;
-            breakdown.epc_ns = epc.faults() as f64 * p.epc_fault_ns as f64;
-            breakdown.other_ns = p.session_setup_ns as f64 + bytes as f64 * 0.05;
-        }
+        let snapshot = trace.snapshot();
+        let breakdown = CostBreakdown::from_trace(&snapshot);
+        self.last_trace = Some(snapshot);
         Ok(QueryReport {
             config: self.config,
             query_id: q.id,

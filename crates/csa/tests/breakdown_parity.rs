@@ -1,0 +1,85 @@
+//! Golden-parity regression: the span-derived [`CostBreakdown`] must
+//! reproduce the pre-telemetry inline accumulation **bit for bit**.
+//!
+//! The expected values below were captured by running the seed's inline
+//! `CostBreakdown` arithmetic (before the refactor onto
+//! `CostBreakdown::from_trace`) for q1/q6/q18 across all five system
+//! configurations at SF 0.002, seed 42, default cost parameters. The
+//! span attribution charges each cost term in the same order as the old
+//! left-to-right sums, so every f64 matches exactly — `assert_eq!`, no
+//! epsilon.
+
+use ironsafe_csa::cost::{CostBreakdown, CostParams};
+use ironsafe_csa::system::{CsaSystem, SystemConfig};
+use ironsafe_tpch::queries::query;
+
+const CONFIGS: [SystemConfig; 5] = [
+    SystemConfig::HostOnlyNonSecure,
+    SystemConfig::HostOnlySecure,
+    SystemConfig::VanillaCs,
+    SystemConfig::IronSafe,
+    SystemConfig::StorageOnlySecure,
+];
+
+/// `(query, config, ndp, freshness, crypto, transitions, epc, other)`
+/// captured from the pre-refactor inline accumulation.
+#[rustfmt::skip]
+/// (query, config, ndp, freshness, crypto, transitions, epc, other).
+type GoldenRow = (u8, SystemConfig, f64, f64, f64, f64, f64, f64);
+
+const GOLDEN: [GoldenRow; 15] = [
+    (1, SystemConfig::HostOnlyNonSecure, 10290499.44, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (1, SystemConfig::HostOnlySecure, 10290499.44, 11379550.0, 1719000.0, 9168000.0, 0.0, 0.0),
+    (1, SystemConfig::VanillaCs, 12300295.12, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (1, SystemConfig::IronSafe, 12300295.12, 11379550.0, 1719000.0, 48000.0, 2800000.0, 287669.2),
+    (1, SystemConfig::StorageOnlySecure, 21364758.0, 11379550.0, 1719000.0, 0.0, 0.0, 0.0),
+    (6, SystemConfig::HostOnlyNonSecure, 8138419.4399999995, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (6, SystemConfig::HostOnlySecure, 8138419.4399999995, 11379550.0, 1719000.0, 9168000.0, 0.0, 0.0),
+    (6, SystemConfig::VanillaCs, 2152483.92, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (6, SystemConfig::IronSafe, 2152483.92, 11379550.0, 1719000.0, 16000.0, 42000.0, 250477.2),
+    (6, SystemConfig::StorageOnlySecure, 14478102.0, 11379550.0, 1719000.0, 0.0, 0.0, 0.0),
+    (18, SystemConfig::HostOnlyNonSecure, 21097073.36, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (18, SystemConfig::HostOnlySecure, 21097073.36, 54751850.0, 12009000.0, 10992000.0, 0.0, 0.0),
+    (18, SystemConfig::VanillaCs, 23894392.24, 0.0, 0.0, 0.0, 0.0, 0.0),
+    (18, SystemConfig::IronSafe, 23894392.24, 13656500.0, 2058000.0, 80000.0, 1456000.0, 267553.4),
+    (18, SystemConfig::StorageOnlySecure, 53618130.0, 54751850.0, 12009000.0, 0.0, 0.0, 0.0),
+];
+
+#[test]
+fn span_derived_breakdown_matches_pre_refactor_golden_values() {
+    let data = ironsafe_tpch::generate(0.002, 42);
+    for (qid, config, ndp, freshness, crypto, transitions, epc, other) in GOLDEN {
+        let mut sys = CsaSystem::build(config, &data, CostParams::default()).expect("system builds");
+        let report = sys.run_query(&query(qid).expect("known query")).expect("query runs");
+        let got = report.breakdown;
+        let want = CostBreakdown {
+            ndp_ns: ndp,
+            freshness_ns: freshness,
+            crypto_ns: crypto,
+            transitions_ns: transitions,
+            epc_ns: epc,
+            other_ns: other,
+        };
+        assert_eq!(got, want, "q{qid} {config:?}: breakdown drifted from golden values");
+        // The report's breakdown is exactly what the trace derives.
+        let trace = sys.last_trace().expect("run_query records a trace");
+        assert_eq!(CostBreakdown::from_trace(trace), got, "q{qid} {config:?}");
+        // The trace cursor sums attributions in creation order, the
+        // breakdown in field order — equal up to f64 reassociation.
+        let total_drift = (trace.sim_total_ns() - got.total_ns()).abs();
+        assert!(total_drift < 1e-3, "q{qid} {config:?}: trace total drifts {total_drift}ns");
+    }
+}
+
+#[test]
+fn every_config_records_a_trace_with_query_root_span() {
+    let data = ironsafe_tpch::generate(0.002, 42);
+    for config in CONFIGS {
+        let mut sys = CsaSystem::build(config, &data, CostParams::default()).expect("system builds");
+        sys.run_query(&query(6).expect("known query")).expect("q6 runs");
+        let trace = sys.last_trace().expect("trace recorded");
+        assert!(!trace.spans.is_empty());
+        assert_eq!(trace.spans[0].name, "query/q6", "{config:?}");
+        assert_eq!(trace.spans[0].depth, 0);
+    }
+}

@@ -97,18 +97,29 @@ impl AuditLog {
     /// Recompute every link; `false` if any entry was modified, reordered
     /// or removed from the middle.
     pub fn verify(&self) -> bool {
+        self.first_bad_link().is_none()
+    }
+
+    /// Recompute every link and report the index of the first entry whose
+    /// link fails to verify, or `None` when the whole chain is intact.
+    ///
+    /// A regulator uses this to localize tampering: everything *before*
+    /// the returned index is still trustworthy (it hashes correctly up to
+    /// that point), while the returned entry and everything after it must
+    /// be treated as forged.
+    pub fn first_bad_link(&self) -> Option<usize> {
         let mut prev = [0u8; 32];
         for (i, e) in self.entries.iter().enumerate() {
             if e.seq != i as u64 || e.prev_hash != prev {
-                return false;
+                return Some(i);
             }
             let expect = entry_hash(e.seq, e.timestamp, &e.stream, &e.client_key, &e.message, &prev);
             if expect != e.hash {
-                return false;
+                return Some(i);
             }
             prev = e.hash;
         }
-        true
+        None
     }
 
     /// Test/attack helper: raw mutable entry access.
@@ -146,10 +157,43 @@ mod tests {
     }
 
     #[test]
+    fn tampered_middle_entry_reports_first_bad_index() {
+        let mut log = sample();
+        assert_eq!(log.first_bad_link(), None);
+        // An attacker rewrites the middle entry in place. Entry 0 still
+        // verifies; the chain breaks exactly at index 1 (its own hash no
+        // longer matches its contents).
+        log.raw_entries_mut()[1].message = "grant write".into();
+        assert_eq!(log.first_bad_link(), Some(1));
+        assert!(!log.verify());
+
+        // If the attacker also recomputes entry 1's hash, the break moves
+        // to index 2: entry 2's prev_hash now points at a hash that no
+        // longer exists in the chain.
+        let mut log = sample();
+        let e = log.raw_entries_mut()[1].clone();
+        let forged_hash = super::entry_hash(
+            e.seq,
+            e.timestamp,
+            &e.stream,
+            &e.client_key,
+            "grant write",
+            &e.prev_hash,
+        );
+        let slot = &mut log.raw_entries_mut()[1];
+        slot.message = "grant write".into();
+        slot.hash = forged_hash;
+        assert_eq!(log.first_bad_link(), Some(2));
+    }
+
+    #[test]
     fn dropped_middle_entry_detected() {
         let mut log = sample();
         log.raw_entries_mut().remove(1);
         assert!(!log.verify());
+        // The dropped entry shifts everything after it: index 1 now holds
+        // the old entry 2, whose seq/prev_hash both mismatch.
+        assert_eq!(log.first_bad_link(), Some(1));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::{MonitorError, Result};
 use ironsafe_crypto::cert::{Certificate, SubjectInfo};
 use ironsafe_crypto::group::Group;
 use ironsafe_crypto::schnorr::{KeyPair, PublicKey};
+use ironsafe_obs::{Counter, Registry, Span};
 use ironsafe_policy::eval::{evaluate, EvalContext, Obligation};
 use ironsafe_policy::rewrite::{rewrite_statement, RewriteContext};
 use ironsafe_policy::{parse_policy, Perm, PolicySet};
@@ -113,6 +114,8 @@ pub struct TrustedMonitor {
     next_session: u64,
     audit: AuditLog,
     rng: StdRng,
+    grants: Counter,
+    denies: Counter,
 }
 
 impl TrustedMonitor {
@@ -141,7 +144,16 @@ impl TrustedMonitor {
             next_session: 1,
             audit: AuditLog::new(),
             rng,
+            grants: Counter::new(),
+            denies: Counter::new(),
         }
+    }
+
+    /// Attach the monitor's decision counters to `registry` as
+    /// `monitor.query.grant` / `monitor.query.deny`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("monitor.query.grant", &self.grants);
+        registry.register_counter("monitor.query.deny", &self.denies);
     }
 
     /// The monitor's public key (what clients and regulators pin).
@@ -161,6 +173,8 @@ impl TrustedMonitor {
         quote: &Quote,
         host_session_key: &PublicKey,
     ) -> Result<Certificate> {
+        // Wall-time span feeding the Table 4 attestation-phase timings.
+        let _span = Span::enter("monitor/attest_host");
         let verification = self
             .ias
             .verify_quote(quote)
@@ -199,6 +213,7 @@ impl TrustedMonitor {
 
     /// Figure 4b step 1: create a fresh challenge for a storage node.
     pub fn storage_challenge(&mut self) -> [u8; 32] {
+        let _span = Span::enter("monitor/storage_challenge");
         let mut c = [0u8; 32];
         self.rng.fill(&mut c);
         self.pending_challenges.push(c);
@@ -212,6 +227,7 @@ impl TrustedMonitor {
         location: &str,
         response: &AttestationResponse,
     ) -> Result<()> {
+        let _span = Span::enter("monitor/attest_storage");
         let pos = self
             .pending_challenges
             .iter()
@@ -264,6 +280,7 @@ impl TrustedMonitor {
 
     /// Figure 5: authorize (and rewrite) a client query.
     pub fn authorize(&mut self, req: &QueryRequest) -> Result<Authorization> {
+        let _span = Span::enter("monitor/authorize");
         let mut statement = match ironsafe_sql::parser::parse_statement(&req.sql) {
             Ok(s) => s,
             Err(e) => {
@@ -274,6 +291,7 @@ impl TrustedMonitor {
                     &req.client_key,
                     &format!("REJECTED malformed query: {}", req.sql),
                 );
+                self.denies.inc();
                 return Err(MonitorError::Sql(e));
             }
         };
@@ -311,6 +329,7 @@ impl TrustedMonitor {
                 &req.client_key,
                 "DENY: no attested node satisfies the execution policy",
             );
+            self.denies.inc();
             MonitorError::PolicyViolation("no compliant execution environment".into())
         })?;
         let host = self.hosts[hi].clone();
@@ -335,6 +354,7 @@ impl TrustedMonitor {
                 &req.client_key,
                 &format!("DENY {perm}: {}", req.sql),
             );
+            self.denies.inc();
             return Err(MonitorError::PolicyViolation(format!(
                 "client `{}` lacks {perm} permission on `{}`",
                 req.client_key, req.database
@@ -358,6 +378,7 @@ impl TrustedMonitor {
             &req.client_key,
             &format!("GRANT {perm}: {}", req.sql),
         );
+        self.grants.inc();
 
         // 5. Session key management.
         let mut session_key = [0u8; 32];

@@ -27,15 +27,15 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-fn fmt_ns(ns: u64) -> String {
-    if ns >= 1_000_000_000 {
-        format!("{:.3}s", ns as f64 / 1e9)
-    } else if ns >= 1_000_000 {
-        format!("{:.2}ms", ns as f64 / 1e6)
-    } else if ns >= 1_000 {
-        format!("{:.2}µs", ns as f64 / 1e3)
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
     } else {
-        format!("{ns}ns")
+        format!("{ns:.0}ns")
     }
 }
 
@@ -63,7 +63,7 @@ pub fn render_span_tree(trace: &TraceSnapshot) -> String {
             }
             out.push(']');
         }
-        let _ = writeln!(out, "  wall={}", fmt_ns(span.wall_ns));
+        let _ = writeln!(out, "  wall={}", fmt_ns(span.wall_ns as f64));
     }
     out
 }
@@ -118,8 +118,8 @@ pub fn spans_to_chrome_trace(trace: &TraceSnapshot, pid: u64, tid: u64) -> Strin
             out.push(',');
         }
         first = false;
-        let dur_us = trace.sim_ns_inclusive(i) as f64 / 1e3;
-        let ts_us = span.start_sim_ns as f64 / 1e3;
+        let dur_us = trace.sim_ns_inclusive(i) / 1e3;
+        let ts_us = span.start_sim_ns / 1e3;
         let _ = write!(
             out,
             "\n{{\"name\":\"{name}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{ts_us:.3},\
@@ -128,7 +128,7 @@ pub fn spans_to_chrome_trace(trace: &TraceSnapshot, pid: u64, tid: u64) -> Strin
             wall = span.wall_ns,
         );
         for (cat, ns) in &span.categories {
-            let _ = write!(out, ",\"sim_{}_ns\":{ns}", escape_json(cat));
+            let _ = write!(out, ",\"sim_{}_ns\":{ns:.0}", escape_json(cat));
         }
         out.push_str("}}");
     }
@@ -183,12 +183,12 @@ mod tests {
             let _q = Span::enter("query/q1");
             {
                 let _s = Span::enter("scan/lineitem");
-                add_sim_ns("ndp", 2_000);
-                add_sim_ns("crypto", 500);
+                add_sim_ns("ndp", 2_000.0);
+                add_sim_ns("crypto", 500.0);
             }
             {
                 let _f = Span::enter("freshness");
-                add_sim_ns("freshness", 250);
+                add_sim_ns("freshness", 250.0);
             }
         }
         trace.snapshot()

@@ -14,11 +14,11 @@
 //!     let _q = Span::enter("query/q1");
 //!     {
 //!         let _s = Span::enter("scan/lineitem");
-//!         add_sim_ns("ndp", 1_500);
+//!         add_sim_ns("ndp", 1_500.0);
 //!     }
 //! }
 //! let snap = trace.snapshot();
-//! assert_eq!(snap.sim_total_ns(), 1_500);
+//! assert_eq!(snap.sim_total_ns(), 1_500.0);
 //! ```
 //!
 //! Wall-clock nanoseconds are recorded automatically for every span;
@@ -54,18 +54,18 @@ pub struct SpanRecord {
     pub wall_ns: u64,
     /// Simulated-time start: the trace's simulated cursor when this
     /// span was entered.
-    pub start_sim_ns: u64,
+    pub start_sim_ns: f64,
     /// Simulated nanoseconds attributed directly to this span
     /// (children's attributions are *not* included).
-    pub sim_ns: u64,
+    pub sim_ns: f64,
     /// Per-category breakdown of `sim_ns`, in attribution order.
-    pub categories: Vec<(&'static str, u64)>,
+    pub categories: Vec<(&'static str, f64)>,
     /// True once the span guard has dropped.
     pub closed: bool,
 }
 
 impl SpanRecord {
-    fn add_category(&mut self, category: &'static str, ns: u64) {
+    fn add_category(&mut self, category: &'static str, ns: f64) {
         self.sim_ns += ns;
         if let Some(slot) = self.categories.iter_mut().find(|(c, _)| *c == category) {
             slot.1 += ns;
@@ -78,7 +78,7 @@ impl SpanRecord {
 #[derive(Debug)]
 struct TraceInner {
     spans: Vec<SpanRecord>,
-    sim_cursor_ns: u64,
+    sim_cursor_ns: f64,
 }
 
 /// A collection of hierarchical spans sharing one simulated timeline.
@@ -100,7 +100,7 @@ impl Trace {
         Trace {
             inner: Arc::new(Mutex::new(TraceInner {
                 spans: Vec::new(),
-                sim_cursor_ns: 0,
+                sim_cursor_ns: 0.0,
             })),
             epoch: Instant::now(),
         }
@@ -120,7 +120,7 @@ impl Trace {
     }
 
     /// Total simulated nanoseconds attributed so far.
-    pub fn sim_total_ns(&self) -> u64 {
+    pub fn sim_total_ns(&self) -> f64 {
         self.inner.lock().sim_cursor_ns
     }
 
@@ -187,7 +187,7 @@ impl Span {
                 start_wall_ns,
                 wall_ns: 0,
                 start_sim_ns,
-                sim_ns: 0,
+                sim_ns: 0.0,
                 categories: Vec::new(),
                 closed: false,
             });
@@ -199,7 +199,7 @@ impl Span {
 
     /// Attribute `ns` simulated nanoseconds of `category` to this span
     /// and advance the trace's simulated cursor.
-    pub fn add_sim_ns(&self, category: &'static str, ns: u64) {
+    pub fn add_sim_ns(&self, category: &'static str, ns: f64) {
         if self.idx == DISARMED {
             return;
         }
@@ -240,7 +240,7 @@ impl Drop for Span {
 /// Attribute `ns` simulated nanoseconds of `category` to the innermost
 /// open span on the current thread. No-op (and allocation-free) when no
 /// trace is installed or no span is open.
-pub fn add_sim_ns(category: &'static str, ns: u64) {
+pub fn add_sim_ns(category: &'static str, ns: f64) {
     ACTIVE.with(|a| {
         let borrow = a.borrow();
         if let Some(active) = borrow.as_ref() {
@@ -262,20 +262,20 @@ pub struct TraceSnapshot {
 
 impl TraceSnapshot {
     /// Total simulated nanoseconds attributed across all spans.
-    pub fn sim_total_ns(&self) -> u64 {
+    pub fn sim_total_ns(&self) -> f64 {
         self.spans.iter().map(|s| s.sim_ns).sum()
     }
 
     /// Simulated nanoseconds attributed directly to spans whose name
     /// matches `pred`.
-    pub fn sim_ns_where(&self, pred: impl Fn(&SpanRecord) -> bool) -> u64 {
+    pub fn sim_ns_where(&self, pred: impl Fn(&SpanRecord) -> bool) -> f64 {
         self.spans.iter().filter(|s| pred(s)).map(|s| s.sim_ns).sum()
     }
 
     /// Sum of simulated nanoseconds per category, over all spans,
     /// sorted by category name.
-    pub fn category_totals(&self) -> Vec<(&'static str, u64)> {
-        let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    pub fn category_totals(&self) -> Vec<(&'static str, f64)> {
+        let mut totals: Vec<(&'static str, f64)> = Vec::new();
         for span in &self.spans {
             for &(cat, ns) in &span.categories {
                 if let Some(slot) = totals.iter_mut().find(|(c, _)| *c == cat) {
@@ -291,7 +291,7 @@ impl TraceSnapshot {
 
     /// Simulated nanoseconds attributed to this span *and* all its
     /// descendants.
-    pub fn sim_ns_inclusive(&self, idx: usize) -> u64 {
+    pub fn sim_ns_inclusive(&self, idx: usize) -> f64 {
         let mut total = self.spans[idx].sim_ns;
         for (i, s) in self.spans.iter().enumerate() {
             if s.parent == Some(idx) {
@@ -312,15 +312,15 @@ mod tests {
         {
             let _g = trace.install();
             let q = Span::enter("query/q1");
-            q.add_sim_ns("other", 10);
+            q.add_sim_ns("other", 10.0);
             {
                 let s = Span::enter("scan/lineitem");
-                s.add_sim_ns("ndp", 100);
-                add_sim_ns("crypto", 40); // free-function form, innermost span
+                s.add_sim_ns("ndp", 100.0);
+                add_sim_ns("crypto", 40.0); // free-function form, innermost span
             }
             {
                 let _f = Span::enter("freshness");
-                add_sim_ns("freshness", 5);
+                add_sim_ns("freshness", 5.0);
             }
         }
         let snap = trace.snapshot();
@@ -328,13 +328,13 @@ mod tests {
         assert_eq!(snap.spans[0].name, "query/q1");
         assert_eq!(snap.spans[1].parent, Some(0));
         assert_eq!(snap.spans[1].depth, 1);
-        assert_eq!(snap.spans[1].sim_ns, 140);
-        assert_eq!(snap.spans[1].start_sim_ns, 10);
-        assert_eq!(snap.sim_total_ns(), 155);
-        assert_eq!(snap.sim_ns_inclusive(0), 155);
+        assert_eq!(snap.spans[1].sim_ns, 140.0);
+        assert_eq!(snap.spans[1].start_sim_ns, 10.0);
+        assert_eq!(snap.sim_total_ns(), 155.0);
+        assert_eq!(snap.sim_ns_inclusive(0), 155.0);
         assert_eq!(
             snap.category_totals(),
-            vec![("crypto", 40), ("freshness", 5), ("ndp", 100), ("other", 10)]
+            vec![("crypto", 40.0), ("freshness", 5.0), ("ndp", 100.0), ("other", 10.0)]
         );
         assert!(snap.spans.iter().all(|s| s.closed));
     }
@@ -342,14 +342,14 @@ mod tests {
     #[test]
     fn no_trace_is_noop() {
         let s = Span::enter("orphan");
-        s.add_sim_ns("ndp", 99);
-        add_sim_ns("ndp", 99);
+        s.add_sim_ns("ndp", 99.0);
+        add_sim_ns("ndp", 99.0);
         drop(s);
         // Installing afterwards starts clean.
         let trace = Trace::new();
         let _g = trace.install();
         assert_eq!(trace.snapshot().spans.len(), 0);
-        assert_eq!(trace.sim_total_ns(), 0);
+        assert_eq!(trace.sim_total_ns(), 0.0);
     }
 
     #[test]
@@ -362,15 +362,15 @@ mod tests {
             {
                 let _ig = inner.install();
                 let _t = Span::enter("inner-span");
-                add_sim_ns("ndp", 1);
+                add_sim_ns("ndp", 1.0);
             }
-            add_sim_ns("other", 2);
+            add_sim_ns("other", 2.0);
         }
         assert_eq!(inner.snapshot().spans.len(), 1);
-        assert_eq!(inner.sim_total_ns(), 1);
+        assert_eq!(inner.sim_total_ns(), 1.0);
         let outer_snap = outer.snapshot();
         assert_eq!(outer_snap.spans.len(), 1);
-        assert_eq!(outer_snap.spans[0].sim_ns, 2);
+        assert_eq!(outer_snap.spans[0].sim_ns, 2.0);
     }
 
     #[test]
@@ -392,7 +392,7 @@ mod tests {
         let handle = std::thread::spawn(|| {
             // No trace installed on this thread.
             let s = Span::enter("other-thread");
-            s.add_sim_ns("ndp", 5);
+            s.add_sim_ns("ndp", 5.0);
         });
         handle.join().unwrap();
         assert_eq!(trace.snapshot().spans.len(), 0);

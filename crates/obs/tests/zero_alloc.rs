@@ -60,8 +60,8 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
             verifies.inc();
             owned.add(2);
             histogram.record(i & 0xff);
-            span.add_sim_ns("crypto", 100);
-            add_sim_ns("ndp", 50);
+            span.add_sim_ns("crypto", 100.0);
+            add_sim_ns("ndp", 50.0);
             drop(span);
         }
     });

@@ -155,6 +155,26 @@ impl Database {
         }
     }
 
+    /// Execute a `SELECT` and render its physical plan annotated with the
+    /// per-operator row counts observed during execution (`EXPLAIN
+    /// ANALYZE`). Unlike [`Database::explain`], this runs the query.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String> {
+        let stmt = crate::parser::parse_statement(sql)?;
+        match stmt {
+            Statement::Select(sel) => {
+                let mut op = plan_select(&self.catalog, &self.pager, &sel)?;
+                while op.next()?.is_some() {}
+                Ok(crate::exec::explain_analyze(&op))
+            }
+            other => Ok(format!("{other:?}\n")),
+        }
+    }
+
+    /// Attach the pager's live telemetry counters to `registry`.
+    pub fn register_metrics(&self, registry: &ironsafe_obs::Registry) {
+        self.pager.lock().register_metrics(registry);
+    }
+
     /// Run a `SELECT`.
     pub fn select(&mut self, stmt: &SelectStmt) -> Result<QueryResult> {
         let op = plan_select(&self.catalog, &self.pager, stmt)?;
@@ -644,5 +664,23 @@ mod explain_tests {
         db.reset_pager_stats();
         let _ = db.explain("SELECT a FROM t WHERE a = 1").unwrap();
         assert_eq!(db.pager_stats().page_reads, 0, "planning reads no pages");
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_operator_row_counts() {
+        let mut db = Database::new(PlainPager::new());
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'x')").unwrap();
+        let plan = db.explain_analyze("SELECT a FROM t WHERE b = 'x' LIMIT 2").unwrap();
+        // Limit passes 2 of the filter's 3 survivors; the scan streams 4.
+        let limit = plan.lines().find(|l| l.contains("Limit")).unwrap();
+        assert!(limit.contains("out=2"), "{plan}");
+        let filter = plan.lines().find(|l| l.contains("Filter")).unwrap();
+        assert!(filter.contains("in=4") || filter.contains("in=3"), "{plan}");
+        let scan = plan.lines().find(|l| l.contains("SeqScan")).unwrap();
+        assert!(scan.contains("rows out="), "{plan}");
+        // The plain explain stays untouched by the instrumentation.
+        let cold = db.explain("SELECT a FROM t WHERE b = 'x' LIMIT 2").unwrap();
+        assert!(!cold.contains("rows out="), "{cold}");
     }
 }

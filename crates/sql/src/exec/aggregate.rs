@@ -114,6 +114,7 @@ pub struct HashAggregate {
     aggs: Vec<AggSpec>,
     schema: Schema,
     output: std::vec::IntoIter<Row>,
+    emitted: u64,
 }
 
 impl HashAggregate {
@@ -139,6 +140,7 @@ impl HashAggregate {
             aggs,
             schema: Schema::new(columns),
             output: Vec::new().into_iter(),
+            emitted: 0,
         }
     }
 
@@ -235,11 +237,17 @@ impl Operator for HashAggregate {
         self.input.as_ref().map(|i| vec![i]).unwrap_or_default()
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         if self.input.is_some() {
             self.materialize()?;
         }
-        Ok(self.output.next())
+        let row = self.output.next();
+        self.emitted += row.is_some() as u64;
+        Ok(row)
     }
 }
 

@@ -22,6 +22,7 @@ pub struct HashJoin {
     /// Matches pending for the current probe row.
     pending: Vec<Row>,
     pending_right: Option<Row>,
+    emitted: u64,
 }
 
 impl HashJoin {
@@ -39,6 +40,7 @@ impl HashJoin {
             table: HashMap::new(),
             pending: Vec::new(),
             pending_right: None,
+            emitted: 0,
         }
     }
 
@@ -90,6 +92,10 @@ impl Operator for HashJoin {
         out
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         if self.left.is_some() {
             self.build()?;
@@ -99,6 +105,7 @@ impl Operator for HashJoin {
                 let r = self.pending_right.as_ref().expect("pending implies probe row");
                 let mut out = l;
                 out.extend(r.iter().cloned());
+                self.emitted += 1;
                 return Ok(Some(out));
             }
             match self.right.next()? {
@@ -126,6 +133,7 @@ pub struct NestedLoopJoin {
     predicate: Option<Expr>,
     current_left: Option<Row>,
     right_index: usize,
+    emitted: u64,
 }
 
 impl NestedLoopJoin {
@@ -136,7 +144,15 @@ impl NestedLoopJoin {
         while let Some(r) = right.next()? {
             right_rows.push(r);
         }
-        Ok(NestedLoopJoin { left, right_rows, schema, predicate, current_left: None, right_index: 0 })
+        Ok(NestedLoopJoin {
+            left,
+            right_rows,
+            schema,
+            predicate,
+            current_left: None,
+            right_index: 0,
+            emitted: 0,
+        })
     }
 }
 
@@ -156,6 +172,10 @@ impl Operator for NestedLoopJoin {
         vec![&self.left]
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
             if self.current_left.is_none() {
@@ -172,9 +192,13 @@ impl Operator for NestedLoopJoin {
                 let mut out = l.clone();
                 out.extend(r.iter().cloned());
                 match &self.predicate {
-                    None => return Ok(Some(out)),
+                    None => {
+                        self.emitted += 1;
+                        return Ok(Some(out));
+                    }
                     Some(p) => {
                         if eval(p, &self.schema, &out)?.is_truthy() {
+                            self.emitted += 1;
                             return Ok(Some(out));
                         }
                     }

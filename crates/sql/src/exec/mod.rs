@@ -31,6 +31,10 @@ pub trait Operator {
     fn children(&self) -> Vec<&BoxOp> {
         Vec::new()
     }
+    /// Rows this operator has emitted so far (fuels `EXPLAIN ANALYZE`).
+    fn rows_out(&self) -> u64 {
+        0
+    }
 }
 
 /// Render an operator tree as an indented `EXPLAIN` listing.
@@ -50,6 +54,32 @@ pub fn explain(op: &BoxOp) -> String {
     out
 }
 
+/// Render an *executed* operator tree with per-operator row counts:
+/// each line is `describe() (rows in=I out=O)`, where `in` is the sum of
+/// the children's emitted rows. Drain the tree first — counts reflect
+/// rows pulled so far.
+pub fn explain_analyze(op: &BoxOp) -> String {
+    fn walk(op: &BoxOp, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let rows_in: u64 = op.children().iter().map(|c| c.rows_out()).sum();
+        out.push_str(&op.describe());
+        if op.children().is_empty() {
+            out.push_str(&format!(" (rows out={})", op.rows_out()));
+        } else {
+            out.push_str(&format!(" (rows in={rows_in} out={})", op.rows_out()));
+        }
+        out.push('\n');
+        for c in op.children() {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(op, 0, &mut out);
+    out
+}
+
 /// Boxed operator (the tree's edge type).
 pub type BoxOp = Box<dyn Operator + Send>;
 
@@ -58,12 +88,13 @@ pub type BoxOp = Box<dyn Operator + Send>;
 pub struct Values {
     schema: Schema,
     rows: std::vec::IntoIter<Row>,
+    emitted: u64,
 }
 
 impl Values {
     /// Wrap rows with their schema.
     pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
-        Values { schema, rows: rows.into_iter() }
+        Values { schema, rows: rows.into_iter(), emitted: 0 }
     }
 }
 
@@ -73,11 +104,17 @@ impl Operator for Values {
     }
 
     fn next(&mut self) -> Result<Option<Row>> {
-        Ok(self.rows.next())
+        let row = self.rows.next();
+        self.emitted += row.is_some() as u64;
+        Ok(row)
     }
 
     fn describe(&self) -> String {
         format!("Values ({} columns)", self.schema.len())
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.emitted
     }
 }
 
@@ -85,12 +122,13 @@ impl Operator for Values {
 pub struct Filter {
     input: BoxOp,
     predicate: Expr,
+    emitted: u64,
 }
 
 impl Filter {
     /// Wrap `input` with `predicate`.
     pub fn new(input: BoxOp, predicate: Expr) -> Self {
-        Filter { input, predicate }
+        Filter { input, predicate, emitted: 0 }
     }
 }
 
@@ -107,9 +145,14 @@ impl Operator for Filter {
         vec![&self.input]
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         while let Some(row) = self.input.next()? {
             if eval(&self.predicate, self.input.schema(), &row)?.is_truthy() {
+                self.emitted += 1;
                 return Ok(Some(row));
             }
         }
@@ -122,13 +165,14 @@ pub struct Project {
     input: BoxOp,
     exprs: Vec<Expr>,
     schema: Schema,
+    emitted: u64,
 }
 
 impl Project {
     /// Project `exprs` out of `input`, naming outputs per `schema`.
     pub fn new(input: BoxOp, exprs: Vec<Expr>, schema: Schema) -> Self {
         debug_assert_eq!(exprs.len(), schema.len());
-        Project { input, exprs, schema }
+        Project { input, exprs, schema, emitted: 0 }
     }
 }
 
@@ -146,6 +190,10 @@ impl Operator for Project {
         vec![&self.input]
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         match self.input.next()? {
             None => Ok(None),
@@ -154,6 +202,7 @@ impl Operator for Project {
                 for e in &self.exprs {
                     out.push(eval(e, self.input.schema(), &row)?);
                 }
+                self.emitted += 1;
                 Ok(Some(out))
             }
         }
@@ -164,12 +213,13 @@ impl Operator for Project {
 pub struct Limit {
     input: BoxOp,
     remaining: u64,
+    emitted: u64,
 }
 
 impl Limit {
     /// Pass at most `n` rows of `input`.
     pub fn new(input: BoxOp, n: u64) -> Self {
-        Limit { input, remaining: n }
+        Limit { input, remaining: n, emitted: 0 }
     }
 }
 
@@ -193,10 +243,15 @@ impl Operator for Limit {
         match self.input.next()? {
             Some(row) => {
                 self.remaining -= 1;
+                self.emitted += 1;
                 Ok(Some(row))
             }
             None => Ok(None),
         }
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.emitted
     }
 }
 

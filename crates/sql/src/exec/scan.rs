@@ -12,12 +12,13 @@ pub struct SeqScan {
     pager: SharedPager,
     page_index: usize,
     buffer: std::vec::IntoIter<Row>,
+    emitted: u64,
 }
 
 impl SeqScan {
     /// Scan `heap` (described by `schema`) through `pager`.
     pub fn new(schema: Schema, heap: HeapFile, pager: SharedPager) -> Self {
-        SeqScan { schema, heap, pager, page_index: 0, buffer: Vec::new().into_iter() }
+        SeqScan { schema, heap, pager, page_index: 0, buffer: Vec::new().into_iter(), emitted: 0 }
     }
 }
 
@@ -30,9 +31,14 @@ impl Operator for SeqScan {
         format!("SeqScan ({} pages, {} rows)", self.heap.pages.len(), self.heap.row_count)
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         loop {
             if let Some(row) = self.buffer.next() {
+                self.emitted += 1;
                 return Ok(Some(row));
             }
             if self.page_index >= self.heap.pages.len() {

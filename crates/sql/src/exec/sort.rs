@@ -13,13 +13,14 @@ pub struct Sort {
     schema: Schema,
     keys: Vec<(Expr, bool)>,
     sorted: std::vec::IntoIter<Row>,
+    emitted: u64,
 }
 
 impl Sort {
     /// Sort `input` by `keys` (`true` = descending).
     pub fn new(input: BoxOp, keys: Vec<(Expr, bool)>) -> Self {
         let schema = input.schema().clone();
-        Sort { input: Some(input), schema, keys, sorted: Vec::new().into_iter() }
+        Sort { input: Some(input), schema, keys, sorted: Vec::new().into_iter(), emitted: 0 }
     }
 
     fn materialize(&mut self) -> Result<()> {
@@ -71,11 +72,17 @@ impl Operator for Sort {
         self.input.as_ref().map(|i| vec![i]).unwrap_or_default()
     }
 
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
     fn next(&mut self) -> Result<Option<Row>> {
         if self.input.is_some() {
             self.materialize()?;
         }
-        Ok(self.sorted.next())
+        let row = self.sorted.next();
+        self.emitted += row.is_some() as u64;
+        Ok(row)
     }
 }
 

@@ -57,6 +57,10 @@ pub trait Pager {
 
     /// Zero the counters.
     fn reset_stats(&mut self);
+
+    /// Attach this pager's live telemetry counters to `registry` (under
+    /// `storage.*` names). Default: the pager exposes none.
+    fn register_metrics(&self, _registry: &ironsafe_obs::Registry) {}
 }
 
 /// A plaintext pager over a [`BlockDevice`] (the non-secure baseline).

@@ -14,11 +14,46 @@ use crate::freshness::FreshnessManager;
 use crate::merkle::{MerkleTree, NodeHash};
 use crate::pager::{PageId, Pager, PagerStats};
 use crate::{Result, StorageError};
+use ironsafe_obs::{Counter, Registry};
 use ironsafe_tee::trustzone::{SecureStorageTa, TrustZoneDevice};
 use rand::SeedableRng;
 
 /// Root value committed while the database is still empty.
 const EMPTY_ROOT: NodeHash = [0u8; 32];
+
+/// Live telemetry counters for the secure-pager hot path.
+///
+/// The pager owns the cells and bumps them with relaxed atomic adds (no
+/// heap traffic, no locks); [`PagerMetrics::register`] attaches the same
+/// cells to a [`Registry`] so snapshots observe the pager's work without
+/// touching its fast path.
+#[derive(Clone, Default)]
+pub struct PagerMetrics {
+    /// Logical page reads served (`storage.page.read`).
+    pub page_reads: Counter,
+    /// Logical page writes (`storage.page.write`).
+    pub page_writes: Counter,
+    /// Page decryptions (`storage.page.decrypt`).
+    pub decrypts: Counter,
+    /// Page encryptions (`storage.page.encrypt`).
+    pub encrypts: Counter,
+    /// Per-read Merkle path verifications (`storage.page.hmac_verify`).
+    pub hmac_verifies: Counter,
+    /// RPMB root commits (`storage.rpmb.write`).
+    pub rpmb_writes: Counter,
+}
+
+impl PagerMetrics {
+    /// Attach every cell to `registry` under its `storage.*` name.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("storage.page.read", &self.page_reads);
+        registry.register_counter("storage.page.write", &self.page_writes);
+        registry.register_counter("storage.page.decrypt", &self.decrypts);
+        registry.register_counter("storage.page.encrypt", &self.encrypts);
+        registry.register_counter("storage.page.hmac_verify", &self.hmac_verifies);
+        registry.register_counter("storage.rpmb.write", &self.rpmb_writes);
+    }
+}
 
 /// The secure pager.
 pub struct SecurePager {
@@ -32,6 +67,7 @@ pub struct SecurePager {
     rng: rand::rngs::StdRng,
     page_reads: u64,
     page_writes: u64,
+    metrics: PagerMetrics,
     /// When false, skip the per-read Merkle verification (ablation knob;
     /// the paper's system always verifies).
     pub verify_freshness_on_read: bool,
@@ -62,6 +98,7 @@ impl SecurePager {
             rng,
             page_reads: 0,
             page_writes: 0,
+            metrics: PagerMetrics::default(),
             verify_freshness_on_read: true,
         })
     }
@@ -106,6 +143,7 @@ impl SecurePager {
             rng,
             page_reads: 0,
             page_writes: 0,
+            metrics: PagerMetrics::default(),
             verify_freshness_on_read: true,
         })
     }
@@ -130,6 +168,11 @@ impl SecurePager {
     pub fn trusted_root(&self) -> NodeHash {
         self.trusted_root
     }
+
+    /// Handles onto the live telemetry counters.
+    pub fn metrics(&self) -> &PagerMetrics {
+        &self.metrics
+    }
 }
 
 impl Pager for SecurePager {
@@ -143,6 +186,7 @@ impl Pager for SecurePager {
         // plaintext and the Merkle tree covers every allocated page.
         let zeros = vec![0u8; PAGE_PAYLOAD];
         let (block, mac) = self.codec.encrypt_page(id, &zeros, &mut self.rng)?;
+        self.metrics.encrypts.inc();
         self.device.write_block(id, &block)?;
         let leaf = self.merkle.append(&mac);
         debug_assert_eq!(leaf, id);
@@ -154,10 +198,15 @@ impl Pager for SecurePager {
         let mut block = [0u8; BLOCK_SIZE];
         self.device.read_block(id, &mut block)?;
         let mac = self.codec.decrypt_page(id, &block, buf)?;
-        if self.verify_freshness_on_read && !self.merkle.verify(id, &mac, &self.trusted_root) {
-            return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
+        self.metrics.decrypts.inc();
+        if self.verify_freshness_on_read {
+            self.metrics.hmac_verifies.inc();
+            if !self.merkle.verify(id, &mac, &self.trusted_root) {
+                return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
+            }
         }
         self.page_reads += 1;
+        self.metrics.page_reads.inc();
         Ok(())
     }
 
@@ -170,11 +219,14 @@ impl Pager for SecurePager {
         self.merkle.update(id, &mac);
         self.trusted_root = self.merkle.root().expect("non-empty");
         self.page_writes += 1;
+        self.metrics.page_writes.inc();
+        self.metrics.encrypts.inc();
         Ok(())
     }
 
     fn commit(&mut self) -> Result<()> {
         let root = self.trusted_root;
+        self.metrics.rpmb_writes.inc();
         self.freshness.commit_root(&self.ta, &mut self.tz, &root)
     }
 
@@ -187,6 +239,10 @@ impl Pager for SecurePager {
             merkle_nodes: self.merkle.node_visits(),
             rpmb_ops: self.freshness.rpmb_reads + self.freshness.rpmb_writes,
         }
+    }
+
+    fn register_metrics(&self, registry: &Registry) {
+        self.metrics.register(registry);
     }
 
     fn reset_stats(&mut self) {

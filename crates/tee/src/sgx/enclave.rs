@@ -95,6 +95,7 @@ impl SgxPlatform {
             epc: Mutex::new(EpcSimulator::new(config.epc_limit_bytes)),
             ecalls: AtomicU64::new(0),
             ocalls: AtomicU64::new(0),
+            transitions: ironsafe_obs::Counter::new(),
             seal_key: seal::derive_seal_key(&self.root_secret, image.measure().as_bytes()),
             destroyed: AtomicU64::new(0),
         }
@@ -110,6 +111,7 @@ pub struct Enclave {
     epc: Mutex<EpcSimulator>,
     ecalls: AtomicU64,
     ocalls: AtomicU64,
+    transitions: ironsafe_obs::Counter,
     seal_key: [u8; 32],
     destroyed: AtomicU64,
 }
@@ -153,6 +155,7 @@ impl Enclave {
     pub fn enter(&self) -> Result<()> {
         self.check_alive()?;
         self.ecalls.fetch_add(1, Ordering::Relaxed);
+        self.transitions.inc();
         Ok(())
     }
 
@@ -160,7 +163,16 @@ impl Enclave {
     pub fn exit(&self) -> Result<()> {
         self.check_alive()?;
         self.ocalls.fetch_add(1, Ordering::Relaxed);
+        self.transitions.inc();
         Ok(())
+    }
+
+    /// Attach the enclave's telemetry counters to `registry`:
+    /// `tee.enclave.transition` (ECALLs + OCALLs) and the EPC's
+    /// `tee.epc.*` cells.
+    pub fn register_metrics(&self, registry: &ironsafe_obs::Registry) {
+        registry.register_counter("tee.enclave.transition", &self.transitions);
+        self.epc.lock().register_metrics(registry);
     }
 
     /// Touch one abstract page of enclave memory; true on EPC fault.

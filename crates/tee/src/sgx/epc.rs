@@ -7,6 +7,7 @@
 //! the EPC as an exact LRU cache over 4 KiB page identifiers and counts
 //! hits and faults; the CSA cost model later converts faults into time.
 
+use ironsafe_obs::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Page size used across IronSafe (matches the paper's 4 KiB units).
@@ -29,6 +30,28 @@ pub struct EpcSimulator {
     hits: u64,
     faults: u64,
     evictions: u64,
+    metrics: EpcMetrics,
+}
+
+/// Live telemetry counters mirroring the simulator's hit/fault/eviction
+/// tallies, attachable to a [`Registry`] under `tee.epc.*`.
+#[derive(Debug, Clone, Default)]
+pub struct EpcMetrics {
+    /// Resident-page touches (`tee.epc.hit`).
+    pub hits: Counter,
+    /// Page faults (`tee.epc.fault`).
+    pub faults: Counter,
+    /// LRU evictions (`tee.epc.eviction`).
+    pub evictions: Counter,
+}
+
+impl EpcMetrics {
+    /// Attach every cell to `registry` under its `tee.epc.*` name.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("tee.epc.hit", &self.hits);
+        registry.register_counter("tee.epc.fault", &self.faults);
+        registry.register_counter("tee.epc.eviction", &self.evictions);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -52,7 +75,18 @@ impl EpcSimulator {
             hits: 0,
             faults: 0,
             evictions: 0,
+            metrics: EpcMetrics::default(),
         }
+    }
+
+    /// Handles onto the live telemetry counters.
+    pub fn metrics(&self) -> &EpcMetrics {
+        &self.metrics
+    }
+
+    /// Attach the simulator's counters to `registry` (`tee.epc.*`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.metrics.register(registry);
     }
 
     /// Capacity in pages.
@@ -69,10 +103,12 @@ impl EpcSimulator {
     pub fn access(&mut self, page: u64) -> bool {
         if let Some(&idx) = self.map.get(&page) {
             self.hits += 1;
+            self.metrics.hits.inc();
             self.move_to_front(idx);
             return false;
         }
         self.faults += 1;
+        self.metrics.faults.inc();
         if self.map.len() == self.capacity_pages {
             self.evict_lru();
         }
@@ -184,6 +220,7 @@ impl EpcSimulator {
         self.map.remove(&page);
         self.free.push(idx);
         self.evictions += 1;
+        self.metrics.evictions.inc();
     }
 }
 
@@ -282,6 +319,58 @@ mod tests {
                 let mut epc = EpcSimulator::new(cap_pages * PAGE_SIZE);
                 epc.access(page);
                 prop_assert!(!epc.access(page));
+            }
+
+            #[test]
+            fn faults_monotone_in_working_set_size(
+                cap_pages in 1usize..16,
+                working_set in 1u64..48,
+                rounds in 1u64..6,
+            ) {
+                // For a fixed cyclic-scan trace shape, growing the working
+                // set can never reduce the fault count.
+                let run = |pages: u64| {
+                    let mut epc = EpcSimulator::new(cap_pages * PAGE_SIZE);
+                    for _ in 0..rounds {
+                        epc.access_range(0, pages);
+                    }
+                    epc.faults()
+                };
+                prop_assert!(run(working_set) <= run(working_set + 1));
+            }
+
+            #[test]
+            fn lru_inclusion_property(
+                cap_pages in 1usize..12,
+                accesses in proptest::collection::vec(0u64..32, 1..256),
+            ) {
+                // LRU is a stack algorithm: on any trace, a larger EPC
+                // never faults more than a smaller one.
+                let run = |cap: usize| {
+                    let mut epc = EpcSimulator::new(cap * PAGE_SIZE);
+                    for &a in &accesses {
+                        epc.access(a);
+                    }
+                    epc.faults()
+                };
+                prop_assert!(run(cap_pages) >= run(cap_pages + 1));
+            }
+
+            #[test]
+            fn zero_refaults_when_trace_fits_epc(
+                cap_pages in 1usize..32,
+                rounds in 2u64..6,
+            ) {
+                // A working set that fits pays only its cold faults —
+                // every later round hits; nothing is ever evicted.
+                let pages = cap_pages as u64;
+                let mut epc = EpcSimulator::new(cap_pages * PAGE_SIZE);
+                for _ in 0..rounds {
+                    epc.access_range(0, pages);
+                }
+                prop_assert_eq!(epc.faults(), pages, "cold faults only");
+                prop_assert_eq!(epc.evictions(), 0);
+                prop_assert_eq!(epc.hits(), (rounds - 1) * pages);
             }
         }
     }

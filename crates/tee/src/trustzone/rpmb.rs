@@ -10,6 +10,7 @@
 
 use crate::{Result, TeeError};
 use ironsafe_crypto::hmac::hmac_sha256_concat;
+use ironsafe_obs::{Counter, Registry};
 
 /// RPMB block size in bytes (half-sector data frames in real eMMC; a round
 /// 256 bytes here).
@@ -21,12 +22,27 @@ pub struct Rpmb {
     key: Option<[u8; 32]>,
     blocks: Vec<[u8; RPMB_BLOCK]>,
     write_counter: u64,
+    reads: Counter,
+    writes: Counter,
 }
 
 impl Rpmb {
     /// A fresh, unprogrammed part with `num_blocks` blocks.
     pub fn new(num_blocks: usize) -> Self {
-        Rpmb { key: None, blocks: vec![[0; RPMB_BLOCK]; num_blocks], write_counter: 0 }
+        Rpmb {
+            key: None,
+            blocks: vec![[0; RPMB_BLOCK]; num_blocks],
+            write_counter: 0,
+            reads: Counter::new(),
+            writes: Counter::new(),
+        }
+    }
+
+    /// Attach the part's operation counters to `registry` as
+    /// `tee.rpmb.read` / `tee.rpmb.write`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("tee.rpmb.read", &self.reads);
+        registry.register_counter("tee.rpmb.write", &self.writes);
     }
 
     /// One-time key programming. Fails if already programmed.
@@ -79,6 +95,7 @@ impl Rpmb {
         }
         self.blocks[addr] = *data;
         self.write_counter += 1;
+        self.writes.inc();
         Ok(())
     }
 
@@ -95,6 +112,7 @@ impl Rpmb {
         }
         let data = self.blocks[addr];
         let mac = read_mac(&key, addr, self.write_counter, nonce, &data);
+        self.reads.inc();
         Ok((data, self.write_counter, mac))
     }
 }

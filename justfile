@@ -1,0 +1,25 @@
+# Development entry points. The workspace builds fully offline — every
+# external dependency is an in-tree shim under shims/ — so all recipes
+# pass --offline.
+
+# Build, test, and lint everything (the pre-merge gate).
+check:
+    cargo build --release --offline
+    cargo test -q --offline
+    cargo clippy --offline -- -D warnings
+
+# Full criterion benchmark suite (minutes).
+bench:
+    cargo bench --offline
+
+# Reduced-sample smoke pass of the same benches (~seconds).
+bench-smoke:
+    IRONSAFE_BENCH_QUICK=1 cargo bench --offline
+
+# Regenerate every paper table and figure.
+figures:
+    cargo run --release --offline -p ironsafe-bench --bin paperbench
+
+# Figure 8 plus a Perfetto-loadable span timeline + counter dump.
+trace out="trace.json":
+    cargo run --release --offline -p ironsafe-bench --bin paperbench fig8 --metrics-out {{out}}
