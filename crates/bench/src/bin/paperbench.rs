@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|table3|table4|ablation|all] [--sf <f>] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|all] [--sf <f>] [--metrics-out <path>]
 //! ```
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
@@ -150,12 +150,12 @@ fn main() {
     }
 
     if all || what == "fig12" {
-        println!("== Figure 12: storage engine scalability (wall-clock, per-instance vs ideal) ==");
+        println!("== Figure 12: serving scalability — N sessions, one shared system (wall-clock vs ideal) ==");
         let counts = [1usize, 2, 4, 8, 16];
         let ids = [1u8, 6, 12, 13];
         print!("{:>5}", "query");
         for n in counts {
-            print!(" {:>8}", format!("{n} inst"));
+            print!(" {:>8}", format!("{n} sess"));
         }
         println!("   (≈1.00 = linear scaling)");
         for r in fig12(sf.min(0.002), &counts, &ids) {
@@ -164,6 +164,22 @@ fn main() {
                 print!(" {:>7.2}x", s);
             }
             println!();
+        }
+        println!();
+    }
+
+    if all || what == "saturation" {
+        println!("== Saturation: offered load vs queue wait (4-worker pool, simulated time) ==");
+        println!("{:>8} {:>12} {:>12} {:>10}", "load", "p50 wait", "p95 wait", "rejected");
+        let loads = [0.25, 0.5, 0.75, 0.9, 1.1, 1.5];
+        for r in saturation(sf.min(0.002), 4, &loads, 2000) {
+            println!(
+                "{:>7.0}% {:>10.1}µs {:>10.1}µs {:>9.1}%",
+                r.offered * 100.0,
+                r.p50_wait_us,
+                r.p95_wait_us,
+                r.rejected * 100.0
+            );
         }
         println!();
     }

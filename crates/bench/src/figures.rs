@@ -1,11 +1,13 @@
 //! One function per table/figure of the paper's evaluation.
 
-use ironsafe_csa::{CostParams, CsaSystem, QueryReport, SystemConfig};
+use ironsafe_csa::{CostParams, CsaSystem, QueryReport, SharedCsaSystem, SystemConfig};
+use ironsafe_serve::{Job, QueryServer, ServeConfig};
 use ironsafe_sql::Database;
 use ironsafe_storage::pager::PlainPager;
 use ironsafe_tpch::queries::{paper_queries, query, PaperQuery, QueryStage};
 use ironsafe_tpch::{generate, TpchData};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Default scale factor: the paper's SF 3–5, divided by 1000.
 pub const DEFAULT_SF: f64 = 0.003;
@@ -364,8 +366,8 @@ pub fn fig11(sf: f64, mems: &[u64]) -> Vec<Fig11Row> {
 }
 
 // ---------------------------------------------------------------------
-// Figure 12: storage-engine scalability — N concurrent engine instances,
-// each on its own copy of the (secure) database. Real wall-clock.
+// Figure 12: storage-engine scalability — N concurrent sessions on the
+// query server, all sharing ONE system and ONE dataset. Real wall-clock.
 // ---------------------------------------------------------------------
 
 /// One query's scalability series.
@@ -373,50 +375,87 @@ pub fn fig11(sf: f64, mems: &[u64]) -> Vec<Fig11Row> {
 pub struct Fig12Row {
     /// TPC-H query number.
     pub query: u8,
-    /// `(instances, normalized per-instance time)` series: elapsed(N) /
-    /// (N × elapsed(1)). Values ≈1.0 mean the engine scales linearly —
-    /// no cross-instance software contention (the paper's finding for
+    /// `(sessions, normalized per-session time)` series: elapsed(N) /
+    /// ideal(N). Values ≈1.0 mean the serving path scales linearly —
+    /// no cross-session software contention (the paper's finding for
     /// every query but the memory-hungry Q13).
     pub series: Vec<(usize, f64)>,
 }
 
+/// A monitor with no attested nodes: enough for the serving layer's
+/// session lifecycle (open/touch/audit), which is all the measurement
+/// path uses.
+pub fn bench_monitor() -> ironsafe_monitor::TrustedMonitor {
+    use ironsafe_crypto::group::Group;
+    use ironsafe_crypto::schnorr::KeyPair;
+    use ironsafe_tee::image::SoftwareImage;
+    use ironsafe_tee::sgx::AttestationService;
+
+    let group = Group::modp_1024();
+    let ias = AttestationService::new(&group);
+    let root = KeyPair::derive(&group, b"bench", b"tz-root").public;
+    let config = ironsafe_monitor::MonitorConfig {
+        expected_host_measurement: SoftwareImage::new("host", 1, b"host".to_vec()).measure(),
+        expected_nw_measurement: SoftwareImage::new("nw", 1, b"nw".to_vec()).measure(),
+        latest_fw: 1,
+    };
+    ironsafe_monitor::TrustedMonitor::new(&group, 7, ias, root, config)
+}
+
+/// Start a query server with `workers` workers over `shared`.
+fn bench_server(shared: &Arc<SharedCsaSystem>, workers: usize) -> QueryServer {
+    QueryServer::start(
+        Arc::clone(shared),
+        Arc::new(parking_lot::Mutex::new(bench_monitor())),
+        ServeConfig {
+            workers,
+            queue_capacity: workers.max(2),
+            max_pending: 4 * workers.max(1),
+            ..ServeConfig::default()
+        },
+    )
+}
+
 /// Compute Figure 12 for the given queries (wall-clock measurement).
+///
+/// Unlike the paper's original N-private-copies setup, every point runs
+/// through the query server against a single shared system: the dataset
+/// is generated once, loaded once, and sessions contend for the real
+/// shared structures (base pager lock, decrypted-page cache). The
+/// warm-up run fills the shared cache so every measured point times
+/// steady-state execution.
 pub fn fig12(sf: f64, instance_counts: &[usize], query_ids: &[u8]) -> Vec<Fig12Row> {
     let data = generate(sf, SEED);
+    let shared = Arc::new(SharedCsaSystem::new(
+        CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+            .expect("system builds"),
+    ));
     query_ids
         .iter()
         .map(|&id| {
             let q = query(id).expect("known query");
+            // Warm the shared decrypted-page cache outside the timers.
+            shared.run_query(&q, [0x5e; 32]).expect("warmup runs");
             let mut series = Vec::new();
             let mut single = None;
             for &n in instance_counts {
-                // Build each instance's private system up front (outside
-                // the measured section), then run concurrently.
-                let mut systems: Vec<CsaSystem> = (0..n)
-                    .map(|_| {
-                        CsaSystem::build(
-                            SystemConfig::StorageOnlySecure,
-                            &data,
-                            CostParams::default(),
-                        )
-                        .expect("system builds")
-                    })
-                    .collect();
+                let server = bench_server(&shared, n);
+                let sessions: Vec<_> =
+                    (0..n).map(|i| server.open_session(&format!("inst-{i}"), "bench")).collect();
                 let start = std::time::Instant::now();
-                crossbeam::thread::scope(|s| {
-                    for sys in systems.iter_mut() {
-                        let q = q.clone();
-                        s.spawn(move |_| {
-                            sys.run_query(&q).expect("query runs");
-                        });
-                    }
-                })
-                .expect("threads join");
+                let tickets: Vec<_> = sessions
+                    .iter()
+                    .map(|s| server.submit(s.id, Job::Query(q.clone())).expect("admitted"))
+                    .collect();
+                for t in tickets {
+                    t.wait().outcome.expect("query runs");
+                }
                 let elapsed = start.elapsed().as_secs_f64();
+                server.shutdown();
                 if single.is_none() {
                     single = Some(elapsed);
                 }
-                // With C cores, N instances of independent work finish in
+                // With C cores, N sessions of independent work finish in
                 // N/C × t1 when nothing contends; normalize that out so
                 // ≈1.0 always means "no software bottleneck".
                 let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
@@ -424,6 +463,117 @@ pub fn fig12(sf: f64, instance_counts: &[usize], query_ids: &[u8]) -> Vec<Fig12R
                 series.push((n, elapsed / ideal));
             }
             Fig12Row { query: id, series }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Saturation sweep: offered load vs p50/p95 queue wait on the server.
+// ---------------------------------------------------------------------
+
+/// One operating point of the saturation sweep.
+#[derive(Debug, Clone)]
+pub struct SaturationRow {
+    /// Offered load as a fraction of the pool's service capacity.
+    pub offered: f64,
+    /// Median queue wait (simulated µs).
+    pub p50_wait_us: f64,
+    /// 95th-percentile queue wait (simulated µs).
+    pub p95_wait_us: f64,
+    /// Fraction of arrivals rejected by admission control.
+    pub rejected: f64,
+}
+
+/// Sweep offered load against queue wait.
+///
+/// Per-query *service times* are measured for real through the query
+/// server (simulated nanoseconds, deterministic thanks to the shared
+/// read views). The arrival process is a seeded Poisson schedule; queue
+/// waits come from a deterministic discrete-event replay of that
+/// schedule over a `workers`-strong pool with a bounded backlog
+/// (`queue_capacity` per the server's admission rule) — wall clocks
+/// never enter the numbers, so the sweep is reproducible bit-for-bit.
+pub fn saturation(
+    sf: f64,
+    workers: usize,
+    loads: &[f64],
+    requests: usize,
+) -> Vec<SaturationRow> {
+    use rand::{Rng, SeedableRng};
+
+    // 1. Measure the query mix's service times through the server.
+    let data = generate(sf, SEED);
+    let shared = Arc::new(SharedCsaSystem::new(
+        CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+            .expect("system builds"),
+    ));
+    let mix = [1u8, 6, 12];
+    let server = bench_server(&shared, 1);
+    let session = server.open_session("probe", "bench");
+    let service_ns: Vec<f64> = mix
+        .iter()
+        .map(|&id| {
+            let q = query(id).expect("known query");
+            // Warm, then measure steady state.
+            server.submit(session.id, Job::Query(q.clone())).unwrap().wait().outcome.unwrap();
+            let report =
+                server.submit(session.id, Job::Query(q)).unwrap().wait().outcome.unwrap();
+            report.total_ns()
+        })
+        .collect();
+    server.shutdown();
+    let mean_service = service_ns.iter().sum::<f64>() / service_ns.len() as f64;
+
+    // 2. Replay a seeded Poisson arrival schedule at each offered load.
+    let backlog_limit = 4 * workers.max(1);
+    loads
+        .iter()
+        .map(|&load| {
+            let rate = load * workers as f64 / mean_service; // arrivals per sim-ns
+            let mut rng = rand::rngs::StdRng::seed_from_u64(SEED ^ (load * 1000.0) as u64);
+            let mut arrival = 0.0f64;
+            // Earliest-free worker pool + FIFO backlog occupancy.
+            let mut free_at = vec![0.0f64; workers.max(1)];
+            let mut queue: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+            let mut waits = Vec::with_capacity(requests);
+            let mut rejected = 0usize;
+            for i in 0..requests {
+                let u: f64 = rng.gen();
+                arrival += -(1.0 - u).ln() / rate;
+                let service = service_ns[i % service_ns.len()];
+                // Drop backlog entries that started before this arrival.
+                while queue.front().is_some_and(|&start| start <= arrival) {
+                    queue.pop_front();
+                }
+                if queue.len() >= backlog_limit {
+                    rejected += 1; // admission control sheds the arrival
+                    continue;
+                }
+                // Assign to the earliest-free worker.
+                let (slot, &earliest) = free_at
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .expect("non-empty pool");
+                let start = arrival.max(earliest);
+                waits.push(start - arrival);
+                free_at[slot] = start + service;
+                queue.push_back(start);
+            }
+            waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let pct = |p: f64| -> f64 {
+                if waits.is_empty() {
+                    return 0.0;
+                }
+                let idx = ((waits.len() - 1) as f64 * p).round() as usize;
+                waits[idx] / 1_000.0
+            };
+            SaturationRow {
+                offered: load,
+                p50_wait_us: pct(0.50),
+                p95_wait_us: pct(0.95),
+                rejected: rejected as f64 / requests as f64,
+            }
         })
         .collect()
 }

@@ -3,10 +3,11 @@
 use crate::{IronSafeError, Result};
 use ironsafe_crypto::group::Group;
 use ironsafe_crypto::schnorr::KeyPair;
-use ironsafe_csa::{CostParams, CsaSystem, QueryReport, SystemConfig};
+use ironsafe_csa::{CostParams, CsaSystem, QueryReport, SharedCsaSystem, SystemConfig};
 use ironsafe_monitor::monitor::{MonitorConfig, QueryRequest};
 use ironsafe_monitor::{ProofOfCompliance, TrustedMonitor};
 use ironsafe_policy::parse_policy;
+use ironsafe_serve::{QueryServer, ServeConfig};
 use ironsafe_sql::{Database, QueryResult};
 use ironsafe_storage::SecurePager;
 use ironsafe_tee::image::SoftwareImage;
@@ -14,6 +15,7 @@ use ironsafe_tee::sgx::{AttestationService, Enclave, EnclaveConfig, Quote, SgxPl
 use ironsafe_tee::trustzone::{AttestationTa, BootImages, Manufacturer, SecureBoot, SignedImage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// A data producer or consumer, identified by its key.
 #[derive(Debug, Clone)]
@@ -260,6 +262,22 @@ impl Deployment {
             policy_text: exec_policy.to_string(),
         })
     }
+
+    /// Turn this deployment into a running multi-session query server.
+    ///
+    /// The monitor and the CSA system move behind shared ownership: one
+    /// system, one dataset, any number of concurrent sessions (see
+    /// `ironsafe-serve`). The single-client [`submit`](Deployment::submit)
+    /// workflow is what each admitted request runs through — policy
+    /// check, rewrite, per-query session key, audit — just scheduled by
+    /// the server's worker pool instead of the caller's thread.
+    pub fn serve(self, config: ServeConfig) -> QueryServer {
+        QueryServer::start(
+            Arc::new(SharedCsaSystem::new(self.system)),
+            Arc::new(parking_lot::Mutex::new(self.monitor)),
+            config,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +327,38 @@ mod tests {
         assert!(audit.entries().iter().any(|e| e.message.contains("storage attested")));
         assert!(audit.entries().iter().any(|e| e.message.starts_with("GRANT")));
         assert!(audit.entries().iter().any(|e| e.message.starts_with("DENY")));
+    }
+
+    #[test]
+    fn deployment_serves_concurrent_clients() {
+        let mut dep = deployment();
+        let alice = Client::new("alice");
+        dep.submit(&alice, "db", "CREATE TABLE t (a INT, b TEXT)", "").unwrap();
+        dep.submit(&alice, "db", "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')", "").unwrap();
+
+        let server = dep.serve(ServeConfig::default());
+        let a = server.open_session("alice", "db");
+        let b = server.open_session("bob", "db");
+        let tickets: Vec<_> = (0..4)
+            .flat_map(|_| {
+                [
+                    server
+                        .submit(a.id, ironsafe_serve::Job::Sql("SELECT a FROM t WHERE a >= 2".into()))
+                        .unwrap(),
+                    server
+                        .submit(b.id, ironsafe_serve::Job::Sql("SELECT b FROM t ORDER BY a".into()))
+                        .unwrap(),
+                ]
+            })
+            .collect();
+        for t in tickets {
+            let resp = t.wait();
+            let report = resp.outcome.expect("served query succeeds");
+            assert!(!report.result.rows().is_empty());
+        }
+        let metrics = server.shutdown();
+        assert_eq!(metrics.admitted.get(), 8);
+        assert_eq!(metrics.completed.get(), 8);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub use ironsafe_crypto as crypto;
 pub use ironsafe_csa as csa;
 pub use ironsafe_monitor as monitor;
 pub use ironsafe_policy as policy;
+pub use ironsafe_serve as serve;
 pub use ironsafe_sql as sql;
 pub use ironsafe_storage as storage;
 pub use ironsafe_tee as tee;

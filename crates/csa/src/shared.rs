@@ -1,0 +1,180 @@
+//! Shared ownership of one [`CsaSystem`] across concurrent sessions.
+//!
+//! The serving layer (`ironsafe-serve`) runs many sessions against a
+//! single system and a single loaded dataset — the paper's Fig. 12
+//! setting, minus the N private copies. [`SharedCsaSystem`] is the
+//! concurrency boundary that makes that safe:
+//!
+//! * **Reads** (`SELECT`, paper queries) take a read lock and execute on
+//!   a throwaway [`CsaSystem::read_view`] — a copy-on-write view whose
+//!   temporary tables and pager stats are private, so any number of
+//!   queries run in parallel with bit-identical results and
+//!   [`CostBreakdown`](crate::CostBreakdown)s to serial execution.
+//! * **Writes** (DML/DDL) take the write lock and run on the real
+//!   system; the next view created afterwards observes the base pager's
+//!   write counters and drops stale cached pages.
+//!
+//! The per-request session key travels with the request instead of
+//! being `set_session_key`'d on shared state, so interleaved sessions
+//! cannot observe each other's keys.
+
+use crate::system::{CsaSystem, QueryReport};
+use crate::Result;
+use ironsafe_obs::TraceSnapshot;
+use ironsafe_sql::ast::Statement;
+use ironsafe_tpch::queries::PaperQuery;
+use parking_lot::RwLock;
+
+/// A [`CsaSystem`] behind a reader/writer lock, safe to share across
+/// threads via `Arc`.
+pub struct SharedCsaSystem {
+    inner: RwLock<CsaSystem>,
+}
+
+impl SharedCsaSystem {
+    /// Wrap an already-built system for shared use.
+    pub fn new(system: CsaSystem) -> Self {
+        SharedCsaSystem { inner: RwLock::new(system) }
+    }
+
+    /// Run a paper query on an isolated read view, under a per-request
+    /// session key. Returns the report plus the run's telemetry trace.
+    pub fn run_query(
+        &self,
+        q: &PaperQuery,
+        session_key: [u8; 32],
+    ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
+        let guard = self.inner.read();
+        let mut view = guard.read_view();
+        view.set_session_key(session_key);
+        let report = view.run_query(q)?;
+        Ok((report, view.take_last_trace()))
+    }
+
+    /// Run one statement: `SELECT`s execute concurrently on a read
+    /// view; DML/DDL serialize through the write lock and mutate the
+    /// shared store (invalidating the decrypted-page cache for the next
+    /// view).
+    pub fn run_statement(
+        &self,
+        stmt: &Statement,
+        session_key: [u8; 32],
+    ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
+        if matches!(stmt, Statement::Select(_)) {
+            let guard = self.inner.read();
+            let mut view = guard.read_view();
+            view.set_session_key(session_key);
+            let report = view.run_statement(stmt)?;
+            Ok((report, view.take_last_trace()))
+        } else {
+            let mut guard = self.inner.write();
+            guard.set_session_key(session_key);
+            let report = guard.run_statement(stmt)?;
+            Ok((report, guard.take_last_trace()))
+        }
+    }
+
+    /// Inspect the underlying system (catalog walks, config checks).
+    pub fn with_system<R>(&self, f: impl FnOnce(&CsaSystem) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Exclusive access for loaders and experiments. Any base write made
+    /// here is observed by subsequent read views via cache invalidation.
+    pub fn with_system_mut<R>(&self, f: impl FnOnce(&mut CsaSystem) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Unwrap back into the owned system.
+    pub fn into_inner(self) -> CsaSystem {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostParams;
+    use crate::system::SystemConfig;
+    use ironsafe_tpch::queries::paper_queries;
+    use std::sync::Arc;
+
+    fn small_system(config: SystemConfig) -> SharedCsaSystem {
+        let data = ironsafe_tpch::generate(0.002, 42);
+        SharedCsaSystem::new(CsaSystem::build(config, &data, CostParams::default()).unwrap())
+    }
+
+    #[test]
+    fn view_runs_match_serial_runs() {
+        let shared = small_system(SystemConfig::StorageOnlySecure);
+        let queries = paper_queries();
+        let q = queries.iter().find(|q| q.id == 6).unwrap();
+        let key = [7u8; 32];
+        let (first, _) = shared.run_query(q, key).unwrap();
+        let (second, _) = shared.run_query(q, key).unwrap();
+        assert_eq!(first.result, second.result);
+        assert_eq!(first.breakdown, second.breakdown);
+        // Serial execution on the owned system agrees bit-for-bit.
+        let mut owned = shared.into_inner();
+        owned.set_session_key(key);
+        let serial = owned.run_query(q).unwrap();
+        assert_eq!(serial.result, first.result);
+        assert_eq!(serial.breakdown, first.breakdown);
+    }
+
+    #[test]
+    fn concurrent_views_are_deterministic() {
+        let shared = Arc::new(small_system(SystemConfig::IronSafe));
+        let queries = paper_queries();
+        let ids = [1u8, 6, 12];
+        let baseline: Vec<_> = ids
+            .iter()
+            .map(|id| {
+                let q = queries.iter().find(|q| q.id == *id).unwrap();
+                shared.run_query(q, [9u8; 32]).unwrap().0
+            })
+            .collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..3 {
+                for id in ids {
+                    let shared = Arc::clone(&shared);
+                    let q = queries.iter().find(|q| q.id == id).unwrap();
+                    handles.push(s.spawn(move |_| (id, shared.run_query(q, [9u8; 32]).unwrap().0)));
+                }
+            }
+            for h in handles {
+                let (id, report) = h.join().unwrap();
+                let expect = &baseline[ids.iter().position(|i| *i == id).unwrap()];
+                assert_eq!(report.result, expect.result, "q{id} result drifted");
+                assert_eq!(report.breakdown, expect.breakdown, "q{id} costs drifted");
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn writes_invalidate_reader_state() {
+        let shared = small_system(SystemConfig::StorageOnlySecure);
+        let before = shared.with_system(|sys| {
+            sys.storage_db().catalog().table("region").unwrap().heap.row_count
+        });
+        let stmt =
+            ironsafe_sql::parser::parse_statement("DELETE FROM region WHERE r_regionkey = 0")
+                .unwrap();
+        shared.run_statement(&stmt, [1u8; 32]).unwrap();
+        // A read view created after the write sees the new row count.
+        let sel = ironsafe_sql::parser::parse_statement("SELECT COUNT(*) FROM region").unwrap();
+        let (report, _) = shared.run_statement(&sel, [1u8; 32]).unwrap();
+        match report.result {
+            ironsafe_sql::QueryResult::Rows { rows, .. } => {
+                assert_eq!(
+                    rows[0][0],
+                    ironsafe_sql::Value::Int(before as i64 - 1),
+                    "view must see committed delete"
+                );
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+}

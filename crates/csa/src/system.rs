@@ -15,13 +15,14 @@ use ironsafe_crypto::group::Group;
 use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
 use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
-use ironsafe_storage::SecurePager;
+use ironsafe_storage::{PageCache, SecurePager, ViewPager};
 use ironsafe_obs::{Span, Trace, TraceSnapshot};
 use ironsafe_tee::sgx::epc::EpcSimulator;
 use ironsafe_tee::trustzone::Manufacturer;
 use ironsafe_tpch::queries::PaperQuery;
 use ironsafe_tpch::TpchData;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The Table 2 configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,6 +128,10 @@ pub struct CsaSystem {
     storage_db: Database,
     session_key: [u8; 32],
     last_trace: Option<TraceSnapshot>,
+    /// Shared decrypted-page cache, cloned into every [`read_view`]
+    /// (see [`CsaSystem::read_view`]) so sibling views decrypt each base
+    /// page once while still charging identical per-view costs.
+    read_cache: Arc<PageCache>,
 }
 
 /// Attribute one simulated cost term to a named accounting span.
@@ -171,6 +176,7 @@ impl CsaSystem {
             storage_db,
             session_key: [0x5e; 32],
             last_trace: None,
+            read_cache: Arc::new(PageCache::new()),
         })
     }
 
@@ -183,6 +189,35 @@ impl CsaSystem {
             storage_db,
             session_key: [0x5e; 32],
             last_trace: None,
+            read_cache: Arc::new(PageCache::new()),
+        }
+    }
+
+    /// Open an isolated read view of this system for one query run.
+    ///
+    /// The view is a full `CsaSystem` sharing this system's pages
+    /// through a copy-on-write [`ViewPager`]: reads go through the
+    /// shared decrypted-page cache, while temporary tables, catalog
+    /// checkpoints and any other writes stay private to the view and are
+    /// discarded when it drops. Pager stats start at zero and count only
+    /// the view's own work, so concurrent views produce bit-identical
+    /// [`CostBreakdown`]s to serial execution.
+    ///
+    /// The caller must exclude base writes for the view's lifetime
+    /// (the serving layer holds a `RwLock` read guard — see
+    /// [`SharedCsaSystem`](crate::SharedCsaSystem)).
+    pub fn read_view(&self) -> CsaSystem {
+        let pager = ViewPager::over(self.storage_db.pager().clone(), self.read_cache.clone());
+        let storage_db =
+            Database::from_parts(ironsafe_sql::heap::shared(pager), self.storage_db.catalog().clone());
+        CsaSystem {
+            config: self.config,
+            params: self.params.clone(),
+            strategy: self.strategy,
+            storage_db,
+            session_key: self.session_key,
+            last_trace: None,
+            read_cache: self.read_cache.clone(),
         }
     }
 
@@ -191,6 +226,12 @@ impl CsaSystem {
     /// [`CostBreakdown`], exportable via `ironsafe_obs::export`.
     pub fn last_trace(&self) -> Option<&TraceSnapshot> {
         self.last_trace.as_ref()
+    }
+
+    /// Take ownership of the most recent trace (used by the serving
+    /// layer to hand a per-query trace back without cloning).
+    pub fn take_last_trace(&mut self) -> Option<TraceSnapshot> {
+        self.last_trace.take()
     }
 
     /// The storage-resident database (e.g. to inspect the catalog).

@@ -7,6 +7,7 @@
 //! monitor's public key can verify the full history offline.
 
 use ironsafe_crypto::sha256::sha256_concat;
+use parking_lot::Mutex;
 
 /// One audit record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,9 +52,27 @@ fn entry_hash(
 }
 
 /// Hash-chained append-only log.
-#[derive(Debug, Clone, Default)]
+///
+/// Appends take `&self`: the entry vector sits behind a single mutex so
+/// concurrent sessions can log through a shared monitor without racing
+/// the chain. Sequencing and `prev_hash` linkage are decided under that
+/// lock, so whatever order threads arrive in, the resulting chain is
+/// valid ([`first_bad_link`](AuditLog::first_bad_link) returns `None`).
+#[derive(Default)]
 pub struct AuditLog {
-    entries: Vec<AuditEntry>,
+    entries: Mutex<Vec<AuditEntry>>,
+}
+
+impl std::fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditLog").field("entries", &*self.entries.lock()).finish()
+    }
+}
+
+impl Clone for AuditLog {
+    fn clone(&self) -> Self {
+        AuditLog { entries: Mutex::new(self.entries.lock().clone()) }
+    }
 }
 
 impl AuditLog {
@@ -63,11 +82,12 @@ impl AuditLog {
     }
 
     /// Append an entry; returns its sequence number.
-    pub fn append(&mut self, timestamp: i64, stream: &str, client_key: &str, message: &str) -> u64 {
-        let seq = self.entries.len() as u64;
-        let prev_hash = self.entries.last().map(|e| e.hash).unwrap_or([0; 32]);
+    pub fn append(&self, timestamp: i64, stream: &str, client_key: &str, message: &str) -> u64 {
+        let mut entries = self.entries.lock();
+        let seq = entries.len() as u64;
+        let prev_hash = entries.last().map(|e| e.hash).unwrap_or([0; 32]);
         let hash = entry_hash(seq, timestamp, stream, client_key, message, &prev_hash);
-        self.entries.push(AuditEntry {
+        entries.push(AuditEntry {
             seq,
             timestamp,
             stream: stream.to_string(),
@@ -79,19 +99,29 @@ impl AuditLog {
         seq
     }
 
-    /// All entries.
-    pub fn entries(&self) -> &[AuditEntry] {
-        &self.entries
+    /// Snapshot of all entries.
+    pub fn entries(&self) -> Vec<AuditEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Entries of one stream (what the regulator asks for).
-    pub fn stream<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a AuditEntry> + 'a {
-        self.entries.iter().filter(move |e| e.stream == name)
+    pub fn stream(&self, name: &str) -> Vec<AuditEntry> {
+        self.entries.lock().iter().filter(|e| e.stream == name).cloned().collect()
     }
 
     /// Hash of the chain head (all zero when empty).
     pub fn head(&self) -> [u8; 32] {
-        self.entries.last().map(|e| e.hash).unwrap_or([0; 32])
+        self.entries.lock().last().map(|e| e.hash).unwrap_or([0; 32])
     }
 
     /// Recompute every link; `false` if any entry was modified, reordered
@@ -108,8 +138,9 @@ impl AuditLog {
     /// that point), while the returned entry and everything after it must
     /// be treated as forged.
     pub fn first_bad_link(&self) -> Option<usize> {
+        let entries = self.entries.lock();
         let mut prev = [0u8; 32];
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             if e.seq != i as u64 || e.prev_hash != prev {
                 return Some(i);
             }
@@ -122,10 +153,10 @@ impl AuditLog {
         None
     }
 
-    /// Test/attack helper: raw mutable entry access.
+    /// Test/attack helper: mutate the raw entry vector under the lock.
     #[doc(hidden)]
-    pub fn raw_entries_mut(&mut self) -> &mut Vec<AuditEntry> {
-        &mut self.entries
+    pub fn with_raw_entries<R>(&self, f: impl FnOnce(&mut Vec<AuditEntry>) -> R) -> R {
+        f(&mut self.entries.lock())
     }
 }
 
@@ -134,7 +165,7 @@ mod tests {
     use super::*;
 
     fn sample() -> AuditLog {
-        let mut log = AuditLog::new();
+        let log = AuditLog::new();
         log.append(1, "monitor", "Ka", "grant read");
         log.append(2, "audit", "Kb", "SELECT arrival FROM people");
         log.append(3, "monitor", "Kc", "DENY write");
@@ -151,45 +182,48 @@ mod tests {
 
     #[test]
     fn edited_message_detected() {
-        let mut log = sample();
-        log.raw_entries_mut()[1].message = "SELECT ssn FROM people".into();
+        let log = sample();
+        log.with_raw_entries(|e| e[1].message = "SELECT ssn FROM people".into());
         assert!(!log.verify());
     }
 
     #[test]
     fn tampered_middle_entry_reports_first_bad_index() {
-        let mut log = sample();
+        let log = sample();
         assert_eq!(log.first_bad_link(), None);
         // An attacker rewrites the middle entry in place. Entry 0 still
         // verifies; the chain breaks exactly at index 1 (its own hash no
         // longer matches its contents).
-        log.raw_entries_mut()[1].message = "grant write".into();
+        log.with_raw_entries(|e| e[1].message = "grant write".into());
         assert_eq!(log.first_bad_link(), Some(1));
         assert!(!log.verify());
 
         // If the attacker also recomputes entry 1's hash, the break moves
         // to index 2: entry 2's prev_hash now points at a hash that no
         // longer exists in the chain.
-        let mut log = sample();
-        let e = log.raw_entries_mut()[1].clone();
-        let forged_hash = super::entry_hash(
-            e.seq,
-            e.timestamp,
-            &e.stream,
-            &e.client_key,
-            "grant write",
-            &e.prev_hash,
-        );
-        let slot = &mut log.raw_entries_mut()[1];
-        slot.message = "grant write".into();
-        slot.hash = forged_hash;
+        let log = sample();
+        log.with_raw_entries(|entries| {
+            let e = entries[1].clone();
+            let forged_hash = super::entry_hash(
+                e.seq,
+                e.timestamp,
+                &e.stream,
+                &e.client_key,
+                "grant write",
+                &e.prev_hash,
+            );
+            entries[1].message = "grant write".into();
+            entries[1].hash = forged_hash;
+        });
         assert_eq!(log.first_bad_link(), Some(2));
     }
 
     #[test]
     fn dropped_middle_entry_detected() {
-        let mut log = sample();
-        log.raw_entries_mut().remove(1);
+        let log = sample();
+        log.with_raw_entries(|e| {
+            e.remove(1);
+        });
         assert!(!log.verify());
         // The dropped entry shifts everything after it: index 1 now holds
         // the old entry 2, whose seq/prev_hash both mismatch.
@@ -198,16 +232,18 @@ mod tests {
 
     #[test]
     fn reordered_entries_detected() {
-        let mut log = sample();
-        log.raw_entries_mut().swap(0, 2);
+        let log = sample();
+        log.with_raw_entries(|e| e.swap(0, 2));
         assert!(!log.verify());
     }
 
     #[test]
     fn truncation_changes_head() {
-        let mut log = sample();
+        let log = sample();
         let head = log.head();
-        log.raw_entries_mut().pop();
+        log.with_raw_entries(|e| {
+            e.pop();
+        });
         // Still internally consistent (an attacker may truncate the tail),
         // but the head no longer matches what the monitor signed.
         assert!(log.verify());
@@ -217,8 +253,35 @@ mod tests {
     #[test]
     fn stream_filter() {
         let log = sample();
-        assert_eq!(log.stream("audit").count(), 1);
-        assert_eq!(log.stream("monitor").count(), 2);
+        assert_eq!(log.stream("audit").len(), 1);
+        assert_eq!(log.stream("monitor").len(), 2);
+    }
+
+    #[test]
+    fn interleaved_appends_from_many_threads_chain_cleanly() {
+        let log = AuditLog::new();
+        let threads = 8;
+        let per_thread = 50;
+        crossbeam::thread::scope(|s| {
+            for t in 0..threads {
+                let log = &log;
+                s.spawn(move |_| {
+                    let client = format!("K{t}");
+                    for i in 0..per_thread {
+                        log.append(i as i64, "audit", &client, &format!("query {i} from {t}"));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(log.len(), threads * per_thread);
+        assert_eq!(log.first_bad_link(), None, "interleaved appends must chain");
+        assert!(log.verify());
+        // Sequence numbers were handed out densely under the lock.
+        let entries = log.entries();
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod monitor;
 pub mod proof;
 
 pub use audit::{AuditEntry, AuditLog};
-pub use monitor::{Authorization, MonitorConfig, NodeInfo, Placement, TrustedMonitor};
+pub use monitor::{Authorization, MonitorConfig, NodeInfo, Placement, SessionState, TrustedMonitor};
 pub use proof::ProofOfCompliance;
 
 /// Errors raised by the monitor.
@@ -35,6 +35,13 @@ pub enum MonitorError {
     PolicyViolation(String),
     /// Unknown entity (node, database, session...).
     Unknown(String),
+    /// The session exists but is no longer usable (revoked or expired).
+    SessionClosed {
+        /// Which session was refused.
+        session_id: u64,
+        /// Why it is closed (`"revoked"` / `"expired"`).
+        reason: &'static str,
+    },
     /// Policy-language failure.
     Policy(ironsafe_policy::PolicyError),
     /// SQL-level failure while rewriting.
@@ -47,6 +54,9 @@ impl std::fmt::Display for MonitorError {
             MonitorError::Attestation(m) => write!(f, "attestation: {m}"),
             MonitorError::PolicyViolation(m) => write!(f, "policy violation: {m}"),
             MonitorError::Unknown(m) => write!(f, "unknown entity: {m}"),
+            MonitorError::SessionClosed { session_id, reason } => {
+                write!(f, "session {session_id} is {reason}")
+            }
             MonitorError::Policy(e) => write!(f, "policy: {e}"),
             MonitorError::Sql(e) => write!(f, "sql: {e}"),
         }

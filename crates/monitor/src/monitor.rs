@@ -92,10 +92,25 @@ pub struct QueryRequest {
     pub access_time: i64,
 }
 
+/// Lifecycle state of a monitor session (open → active use →
+/// revoked/expired). Closed sessions are kept until `cleanup_session`
+/// so refusals can name the reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Usable: queries under this session are admitted.
+    Active,
+    /// Administratively revoked; every further use is refused.
+    Revoked,
+    /// Idle-timeout fired; every further use is refused.
+    Expired,
+}
+
 struct Session {
     #[allow(dead_code)]
     key: [u8; 32],
     client: String,
+    state: SessionState,
+    last_used: i64,
 }
 
 /// The trusted monitor service.
@@ -385,7 +400,15 @@ impl TrustedMonitor {
         self.rng.fill(&mut session_key);
         let session_id = self.next_session;
         self.next_session += 1;
-        self.sessions.insert(session_id, Session { key: session_key, client: req.client_key.clone() });
+        self.sessions.insert(
+            session_id,
+            Session {
+                key: session_key,
+                client: req.client_key.clone(),
+                state: SessionState::Active,
+                last_used: req.access_time,
+            },
+        );
 
         // 6. Proof of compliance.
         let storage_id = storage.as_ref().map(|s| s.id.clone()).unwrap_or_default();
@@ -414,6 +437,79 @@ impl TrustedMonitor {
         })
     }
 
+    /// Open a long-lived serving session for `client`, returning the
+    /// session id and its channel key. Unlike the per-query sessions
+    /// minted inside [`authorize`](TrustedMonitor::authorize), these are
+    /// the front-door sessions the serving layer tracks across many
+    /// queries; they stay usable until revoked or idle-expired.
+    pub fn open_session(&mut self, client: &str, now: i64) -> (u64, [u8; 32]) {
+        let mut key = [0u8; 32];
+        self.rng.fill(&mut key);
+        let session_id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            session_id,
+            Session {
+                key,
+                client: client.to_string(),
+                state: SessionState::Active,
+                last_used: now,
+            },
+        );
+        self.audit.append(now, "monitor", client, &format!("session {session_id} opened"));
+        (session_id, key)
+    }
+
+    /// Record use of a session at logical time `now`, refusing closed
+    /// sessions. The serving layer calls this before every query so a
+    /// revoked or idle-expired session yields a clean per-request error.
+    pub fn touch_session(&mut self, session_id: u64, now: i64) -> Result<()> {
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or_else(|| MonitorError::Unknown(format!("session {session_id}")))?;
+        match session.state {
+            SessionState::Active => {
+                session.last_used = now;
+                Ok(())
+            }
+            SessionState::Revoked => Err(MonitorError::SessionClosed { session_id, reason: "revoked" }),
+            SessionState::Expired => Err(MonitorError::SessionClosed { session_id, reason: "expired" }),
+        }
+    }
+
+    /// Administratively revoke a session (key compromise, policy change).
+    /// Later uses are refused with [`MonitorError::SessionClosed`].
+    pub fn revoke_session(&mut self, session_id: u64, now: i64) -> Result<()> {
+        let session = self
+            .sessions
+            .get_mut(&session_id)
+            .ok_or_else(|| MonitorError::Unknown(format!("session {session_id}")))?;
+        session.state = SessionState::Revoked;
+        let client = session.client.clone();
+        self.audit.append(now, "monitor", &client, &format!("session {session_id} revoked"));
+        Ok(())
+    }
+
+    /// Expire every active session idle for at least `idle_timeout`
+    /// logical ticks; returns the expired ids. The serving layer runs
+    /// this as its idle-timeout sweep.
+    pub fn expire_idle_sessions(&mut self, now: i64, idle_timeout: i64) -> Vec<u64> {
+        let mut expired = Vec::new();
+        for (id, session) in self.sessions.iter_mut() {
+            if session.state == SessionState::Active && now - session.last_used >= idle_timeout {
+                session.state = SessionState::Expired;
+                expired.push(*id);
+            }
+        }
+        expired.sort_unstable();
+        for id in &expired {
+            let client = self.sessions[id].client.clone();
+            self.audit.append(now, "monitor", &client, &format!("session {id} expired (idle)"));
+        }
+        expired
+    }
+
     /// Revoke a session's key and log the cleanup (the paper's session
     /// cleanup protocol deletes host/storage temporaries).
     pub fn cleanup_session(&mut self, session_id: u64) -> Result<()> {
@@ -425,9 +521,14 @@ impl TrustedMonitor {
         Ok(())
     }
 
-    /// Is the session still active?
+    /// Is the session present and active (not revoked/expired)?
     pub fn session_active(&self, session_id: u64) -> bool {
-        self.sessions.contains_key(&session_id)
+        matches!(self.sessions.get(&session_id), Some(s) if s.state == SessionState::Active)
+    }
+
+    /// The session's lifecycle state, if it exists.
+    pub fn session_state(&self, session_id: u64) -> Option<SessionState> {
+        self.sessions.get(&session_id).map(|s| s.state)
     }
 
     /// The audit log (regulator interface).
@@ -585,14 +686,14 @@ mod tests {
         ));
         // Unknown client denied everything, and the denial is logged.
         assert!(f.monitor.authorize(&request("Kz", "SELECT 1", "")).is_err());
-        let denies: Vec<_> = f
+        let denies = f
             .monitor
             .audit()
             .entries()
-            .iter()
+            .into_iter()
             .filter(|e| e.message.starts_with("DENY"))
-            .collect();
-        assert_eq!(denies.len(), 2);
+            .count();
+        assert_eq!(denies, 2);
     }
 
     #[test]
@@ -643,7 +744,7 @@ mod tests {
         let policy = parse_policy("read :- logUpdate(sharing, K, Q)").unwrap();
         f.monitor.register_database("db", policy);
         f.monitor.authorize(&request("Kb", "SELECT p_arrival FROM people", "")).unwrap();
-        let shared: Vec<_> = f.monitor.audit().stream("sharing").collect();
+        let shared = f.monitor.audit().stream("sharing");
         assert_eq!(shared.len(), 1);
         assert_eq!(shared[0].client_key, "Kb");
         assert!(shared[0].message.contains("p_arrival"));
@@ -723,6 +824,51 @@ mod tests {
         let (_, storages) = f.monitor.attested_nodes();
         assert_eq!(storages.len(), 1, "re-attestation replaces, not duplicates");
         assert_eq!(storages[0].location, "US");
+    }
+
+    #[test]
+    fn revoked_session_refused_with_reason() {
+        let mut f = fixture();
+        let (id, _key) = f.monitor.open_session("Ka", 10);
+        assert!(f.monitor.session_active(id));
+        f.monitor.touch_session(id, 11).unwrap();
+        f.monitor.revoke_session(id, 12).unwrap();
+        assert!(!f.monitor.session_active(id));
+        assert_eq!(f.monitor.session_state(id), Some(SessionState::Revoked));
+        assert!(matches!(
+            f.monitor.touch_session(id, 13),
+            Err(MonitorError::SessionClosed { reason: "revoked", .. })
+        ));
+        assert!(f.monitor.audit().entries().iter().any(|e| e.message.contains("revoked")));
+        assert!(f.monitor.audit().verify());
+    }
+
+    #[test]
+    fn idle_sessions_expire_and_are_refused() {
+        let mut f = fixture();
+        let (idle, _) = f.monitor.open_session("Ka", 0);
+        let (busy, _) = f.monitor.open_session("Kb", 0);
+        f.monitor.touch_session(busy, 90).unwrap();
+        let expired = f.monitor.expire_idle_sessions(100, 50);
+        assert_eq!(expired, vec![idle]);
+        assert_eq!(f.monitor.session_state(idle), Some(SessionState::Expired));
+        assert!(f.monitor.session_active(busy));
+        assert!(matches!(
+            f.monitor.touch_session(idle, 101),
+            Err(MonitorError::SessionClosed { reason: "expired", .. })
+        ));
+        // Touching keeps a session alive across later sweeps.
+        f.monitor.touch_session(busy, 120).unwrap();
+        assert!(f.monitor.expire_idle_sessions(140, 50).is_empty());
+        assert!(f.monitor.audit().entries().iter().any(|e| e.message.contains("expired (idle)")));
+    }
+
+    #[test]
+    fn unknown_session_operations_are_clean_errors() {
+        let mut f = fixture();
+        assert!(matches!(f.monitor.touch_session(999, 0), Err(MonitorError::Unknown(_))));
+        assert!(matches!(f.monitor.revoke_session(999, 0), Err(MonitorError::Unknown(_))));
+        assert_eq!(f.monitor.session_state(999), None);
     }
 
     #[test]

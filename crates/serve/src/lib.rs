@@ -1,0 +1,42 @@
+//! # ironsafe-serve
+//!
+//! The concurrent multi-session query server layered over the IronSafe
+//! stack. Everything below this crate executes one query at a time for
+//! one caller; this crate turns that into a *server*:
+//!
+//! * [`SessionManager`] wraps the trusted monitor's session-key
+//!   machinery into an explicit lifecycle — open → active →
+//!   revoked/expired — with an idle-timeout sweep, so every request is
+//!   checked against a live session and refusals come back as clean
+//!   per-request errors.
+//! * [`QueryServer`] owns a worker pool pulling from **bounded
+//!   per-session queues**. Admission control rejects early
+//!   ([`AdmitError::QueueFull`] when a session outruns its queue,
+//!   [`AdmitError::Busy`] when the server-wide backlog is at its limit)
+//!   instead of blocking unboundedly; dispatch is fair round-robin
+//!   across sessions; shutdown drains every admitted query before the
+//!   workers exit.
+//! * All sessions execute against **one** shared
+//!   [`SharedCsaSystem`](ironsafe_csa::SharedCsaSystem) and one loaded
+//!   dataset — the copy-on-write read views introduced in
+//!   `ironsafe-storage` make concurrent execution produce bit-identical
+//!   results and [`CostBreakdown`](ironsafe_csa::CostBreakdown)s to
+//!   serial runs, which is what makes the server's replies and
+//!   simulated-time totals deterministic under any thread interleaving.
+//!
+//! Telemetry: `serve.sessions.active`, `serve.queue.depth`,
+//! `serve.query.{admitted,rejected,completed}` (see [`ServeMetrics`])
+//! plus a per-session span root for every executed query.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod server;
+pub mod session;
+
+pub use metrics::ServeMetrics;
+pub use server::{
+    AdmitError, Job, QueryResponse, QueryServer, ServeConfig, ServeError, Ticket,
+};
+pub use session::{SessionHandle, SessionManager};

@@ -1,0 +1,36 @@
+//! Serving-layer telemetry handles.
+
+use ironsafe_obs::{Counter, Gauge, Registry};
+
+/// The server's metric handles, registered under the `serve.*` names.
+#[derive(Clone, Default)]
+pub struct ServeMetrics {
+    /// `serve.sessions.active` — sessions in the Active state.
+    pub sessions_active: Gauge,
+    /// `serve.queue.depth` — queries admitted but not yet started.
+    pub queue_depth: Gauge,
+    /// `serve.query.admitted` — queries accepted into a session queue.
+    pub admitted: Counter,
+    /// `serve.query.rejected` — admissions refused (full queue, busy
+    /// server, closed session, shutdown).
+    pub rejected: Counter,
+    /// `serve.query.completed` — responses delivered (success or
+    /// per-request error). Equals `admitted` once the server drains.
+    pub completed: Counter,
+}
+
+impl ServeMetrics {
+    /// Fresh, unregistered handles.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach every handle to `registry` under its `serve.*` name.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_gauge("serve.sessions.active", &self.sessions_active);
+        registry.register_gauge("serve.queue.depth", &self.queue_depth);
+        registry.register_counter("serve.query.admitted", &self.admitted);
+        registry.register_counter("serve.query.rejected", &self.rejected);
+        registry.register_counter("serve.query.completed", &self.completed);
+    }
+}

@@ -1,0 +1,466 @@
+//! The query server: bounded per-session queues, a fair worker pool,
+//! and deterministic execution over one shared system.
+//!
+//! ## Admission and backpressure
+//!
+//! Every session owns a bounded queue ([`ServeConfig::queue_capacity`]).
+//! [`QueryServer::submit`] either admits the job (returning a
+//! [`Ticket`] the caller blocks on for the response) or rejects it
+//! immediately: [`AdmitError::QueueFull`] when that session's queue is
+//! at capacity, [`AdmitError::Busy`] when the server-wide backlog hit
+//! [`ServeConfig::max_pending`], [`AdmitError::SessionClosed`] when the
+//! monitor has revoked/expired the session, and
+//! [`AdmitError::ShuttingDown`] during drain. Rejection instead of
+//! blocking is what lets a saturated server shed load with bounded
+//! memory — the client retries with its own policy.
+//!
+//! ## Fairness and determinism
+//!
+//! Workers pop jobs round-robin across session queues, so a chatty
+//! session cannot starve the rest. Which worker runs which job is *not*
+//! deterministic — but it does not need to be: queries execute on
+//! copy-on-write read views whose results and simulated costs are
+//! interleaving-independent, so a seeded arrival schedule produces
+//! bit-identical responses and simulated-time totals on every run.
+//!
+//! ## Shutdown
+//!
+//! [`QueryServer::shutdown`] stops admissions, lets the pool drain every
+//! queued job (each still gets its response), then joins the workers —
+//! `serve.query.completed` ends equal to `serve.query.admitted`.
+
+use crate::metrics::ServeMetrics;
+use crate::session::{SessionHandle, SessionManager};
+use ironsafe_csa::{QueryReport, SharedCsaSystem};
+use ironsafe_monitor::{MonitorError, TrustedMonitor};
+use ironsafe_obs::{Span, Trace, TraceSnapshot};
+use ironsafe_tpch::queries::PaperQuery;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded depth of each session's request queue.
+    pub queue_capacity: usize,
+    /// Server-wide cap on queued (not yet running) queries; admissions
+    /// beyond it are rejected [`AdmitError::Busy`].
+    pub max_pending: usize,
+    /// Logical ticks of inactivity before a session is expired by
+    /// [`QueryServer::expire_idle`].
+    pub idle_timeout: i64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 4, queue_capacity: 16, max_pending: 256, idle_timeout: 10_000 }
+    }
+}
+
+/// One unit of work a session can submit.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A (multi-stage) paper benchmark query, run under the session's
+    /// channel key. Bypasses per-statement policy rewrite — this is the
+    /// measurement path.
+    Query(PaperQuery),
+    /// Raw SQL, routed through the monitor: policy check, rewrite,
+    /// per-query session key, audit — the paper's Figure 5 path.
+    Sql(String),
+}
+
+/// Why an admission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// No session with this id was ever opened on this server.
+    UnknownSession(u64),
+    /// The session is revoked or expired (reason from the monitor).
+    SessionClosed {
+        /// The refused session.
+        session_id: u64,
+        /// `"revoked"` or `"expired"`.
+        reason: String,
+    },
+    /// This session's bounded queue is at capacity; retry after a
+    /// response arrives.
+    QueueFull {
+        /// The session whose queue is full.
+        session_id: u64,
+    },
+    /// The server-wide backlog is at `max_pending`.
+    Busy,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            AdmitError::SessionClosed { session_id, reason } => {
+                write!(f, "session {session_id} is {reason}")
+            }
+            AdmitError::QueueFull { session_id } => {
+                write!(f, "session {session_id} queue is full")
+            }
+            AdmitError::Busy => write!(f, "server backlog full"),
+            AdmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A per-request execution failure, delivered in the response (the
+/// server itself never panics on these).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The monitor refused the request (closed session, policy denial,
+    /// malformed SQL).
+    Monitor(MonitorError),
+    /// The engine failed executing the (already authorized) query.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Monitor(e) => write!(f, "monitor: {e}"),
+            ServeError::Exec(m) => write!(f, "execution: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The server's reply to one admitted job.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// Session the job belonged to.
+    pub session_id: u64,
+    /// Server-wide admission sequence number.
+    pub seq: u64,
+    /// Report on success, clean per-request error otherwise.
+    pub outcome: Result<QueryReport, ServeError>,
+    /// Telemetry trace of the run (span tree behind the breakdown).
+    pub trace: Option<TraceSnapshot>,
+}
+
+/// Handle to one admitted job; blocks for its response.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Admission sequence number (also in the response).
+    pub seq: u64,
+    rx: Receiver<QueryResponse>,
+}
+
+impl Ticket {
+    /// Block until the server delivers the response.
+    pub fn wait(self) -> QueryResponse {
+        self.rx.recv().expect("server dropped a response channel")
+    }
+}
+
+struct QueuedJob {
+    seq: u64,
+    job: Job,
+    reply: Sender<QueryResponse>,
+}
+
+struct SessionEntry {
+    handle: SessionHandle,
+    database: String,
+    queue: VecDeque<QueuedJob>,
+    /// Set when the session is revoked/expired/closed; new admissions
+    /// are refused but already-queued jobs still drain.
+    closed: bool,
+    /// Per-session telemetry root: every query executed for this
+    /// session records a `session-<id>` root span in this trace.
+    trace: Trace,
+}
+
+#[derive(Default)]
+struct DispatchState {
+    sessions: HashMap<u64, SessionEntry>,
+    /// Round-robin order (session open order).
+    order: Vec<u64>,
+    cursor: usize,
+    /// Jobs queued and not yet popped by a worker.
+    pending: usize,
+    /// Jobs popped and currently executing.
+    in_flight: usize,
+    shutting_down: bool,
+}
+
+struct ServerShared {
+    system: Arc<SharedCsaSystem>,
+    sessions: SessionManager,
+    state: Mutex<DispatchState>,
+    work: Condvar,
+    metrics: ServeMetrics,
+}
+
+/// The concurrent multi-session query server.
+pub struct QueryServer {
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+    config: ServeConfig,
+}
+
+impl QueryServer {
+    /// Start a server over one shared system and one monitor, spawning
+    /// the worker pool.
+    pub fn start(
+        system: Arc<SharedCsaSystem>,
+        monitor: Arc<parking_lot::Mutex<TrustedMonitor>>,
+        config: ServeConfig,
+    ) -> Self {
+        let shared = Arc::new(ServerShared {
+            system,
+            sessions: SessionManager::new(monitor, config.idle_timeout),
+            state: Mutex::new(DispatchState::default()),
+            work: Condvar::new(),
+            metrics: ServeMetrics::new(),
+        });
+        // `workers == 0` is allowed: no pool is spawned, jobs queue but
+        // never execute (admission-control tests use this to observe
+        // backpressure without racing a drain).
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        QueryServer { shared, workers, next_seq: AtomicU64::new(0), config }
+    }
+
+    /// The server's metric handles (register them on a
+    /// [`Registry`](ironsafe_obs::Registry) to export).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// The session manager (revocation, idle sweeps, monitor access).
+    pub fn sessions(&self) -> &SessionManager {
+        &self.shared.sessions
+    }
+
+    /// Open a session for `client` against `database`.
+    pub fn open_session(&self, client: &str, database: &str) -> SessionHandle {
+        let handle = self.shared.sessions.open(client);
+        let mut st = self.shared.state.lock().unwrap();
+        st.order.push(handle.id);
+        st.sessions.insert(
+            handle.id,
+            SessionEntry {
+                handle: handle.clone(),
+                database: database.to_string(),
+                queue: VecDeque::new(),
+                closed: false,
+                trace: Trace::new(),
+            },
+        );
+        self.shared.metrics.sessions_active.add(1);
+        handle
+    }
+
+    /// Revoke a session: the monitor refuses further use, new
+    /// admissions are rejected, queued jobs drain with per-request
+    /// errors.
+    pub fn revoke_session(&self, session_id: u64) -> Result<(), MonitorError> {
+        self.shared.sessions.revoke(session_id)?;
+        self.close_locally(&[session_id]);
+        Ok(())
+    }
+
+    /// Run the idle-timeout sweep; returns the expired session ids.
+    pub fn expire_idle(&self) -> Vec<u64> {
+        let expired = self.shared.sessions.expire_idle();
+        self.close_locally(&expired);
+        expired
+    }
+
+    fn close_locally(&self, ids: &[u64]) {
+        let mut st = self.shared.state.lock().unwrap();
+        let mut closed = 0;
+        for id in ids {
+            if let Some(entry) = st.sessions.get_mut(id) {
+                if !entry.closed {
+                    entry.closed = true;
+                    closed += 1;
+                }
+            }
+        }
+        self.shared.metrics.sessions_active.add(-closed);
+    }
+
+    /// Submit a job on a session. Returns a [`Ticket`] on admission or
+    /// an immediate [`AdmitError`] — never blocks on a full queue.
+    pub fn submit(&self, session_id: u64, job: Job) -> Result<Ticket, AdmitError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutting_down {
+            self.shared.metrics.rejected.inc();
+            return Err(AdmitError::ShuttingDown);
+        }
+        if st.pending >= self.config.max_pending {
+            self.shared.metrics.rejected.inc();
+            return Err(AdmitError::Busy);
+        }
+        let entry = match st.sessions.get_mut(&session_id) {
+            Some(e) => e,
+            None => {
+                self.shared.metrics.rejected.inc();
+                return Err(AdmitError::UnknownSession(session_id));
+            }
+        };
+        if entry.closed {
+            let reason = match self.shared.sessions.state(session_id) {
+                Some(ironsafe_monitor::SessionState::Expired) => "expired",
+                _ => "revoked",
+            };
+            self.shared.metrics.rejected.inc();
+            return Err(AdmitError::SessionClosed { session_id, reason: reason.to_string() });
+        }
+        if entry.queue.len() >= self.config.queue_capacity {
+            self.shared.metrics.rejected.inc();
+            return Err(AdmitError::QueueFull { session_id });
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        entry.queue.push_back(QueuedJob { seq, job, reply: tx });
+        st.pending += 1;
+        self.shared.metrics.admitted.inc();
+        self.shared.metrics.queue_depth.set(st.pending as i64);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(Ticket { seq, rx })
+    }
+
+    /// Export the per-session telemetry trace (root spans of every
+    /// query executed for this session).
+    pub fn session_trace(&self, session_id: u64) -> Option<TraceSnapshot> {
+        let st = self.shared.state.lock().unwrap();
+        st.sessions.get(&session_id).map(|e| e.trace.snapshot())
+    }
+
+    /// Stop admissions, drain every queued job, join the pool. Every
+    /// admitted query still receives its response; on return
+    /// `serve.query.completed == serve.query.admitted`.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutting_down = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.metrics.clone()
+    }
+}
+
+/// Pop the next job, rotating fairly across session queues.
+fn pop_next(st: &mut DispatchState) -> Option<(SessionHandle, String, Trace, QueuedJob)> {
+    let n = st.order.len();
+    for i in 0..n {
+        let idx = (st.cursor + i) % n;
+        let sid = st.order[idx];
+        if let Some(entry) = st.sessions.get_mut(&sid) {
+            if let Some(job) = entry.queue.pop_front() {
+                st.cursor = (idx + 1) % n;
+                st.pending -= 1;
+                st.in_flight += 1;
+                return Some((
+                    entry.handle.clone(),
+                    entry.database.clone(),
+                    entry.trace.clone(),
+                    job,
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: Arc<ServerShared>) {
+    loop {
+        let next = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(item) = pop_next(&mut st) {
+                    shared.metrics.queue_depth.set(st.pending as i64);
+                    break Some(item);
+                }
+                if st.shutting_down {
+                    break None;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let Some((handle, database, trace, queued)) = next else {
+            // Draining: queues are empty and no new work can arrive.
+            return;
+        };
+        let outcome = execute(&shared, &handle, &database, &trace, &queued);
+        let (outcome, trace_snapshot) = outcome;
+        let _ = queued.reply.send(QueryResponse {
+            session_id: handle.id,
+            seq: queued.seq,
+            outcome,
+            trace: trace_snapshot,
+        });
+        shared.metrics.completed.inc();
+        let mut st = shared.state.lock().unwrap();
+        st.in_flight -= 1;
+        drop(st);
+        shared.work.notify_all();
+    }
+}
+
+/// Run one job under the session's span root, touching the session
+/// first so revoked/expired sessions yield clean errors.
+fn execute(
+    shared: &ServerShared,
+    handle: &SessionHandle,
+    database: &str,
+    session_trace: &Trace,
+    queued: &QueuedJob,
+) -> (Result<QueryReport, ServeError>, Option<TraceSnapshot>) {
+    // Root span in the session's own trace; the query's internal trace
+    // (installed by the CSA layer) stacks on top and is returned in the
+    // response.
+    let _session_scope = session_trace.install();
+    let root = Span::enter(&format!("session-{}/query-{}", handle.id, queued.seq));
+    if let Err(e) = shared.sessions.touch(handle.id) {
+        drop(root);
+        return (Err(ServeError::Monitor(e)), None);
+    }
+    let result = match &queued.job {
+        Job::Query(q) => shared
+            .system
+            .run_query(q, handle.key)
+            .map_err(|e| ServeError::Exec(e.to_string())),
+        Job::Sql(sql) => match shared.sessions.authorize(&handle.client, database, sql) {
+            Ok(auth) => {
+                let run = shared
+                    .system
+                    .run_statement(&auth.statement, auth.session_key)
+                    .map_err(|e| ServeError::Exec(e.to_string()));
+                shared.sessions.cleanup(auth.session_id);
+                run
+            }
+            Err(e) => Err(ServeError::Monitor(e)),
+        },
+    };
+    drop(root);
+    match result {
+        Ok((report, trace)) => (Ok(report), trace),
+        Err(e) => (Err(e), None),
+    }
+}

@@ -1,0 +1,107 @@
+//! Session lifecycle management over the trusted monitor.
+//!
+//! The monitor owns the authoritative session table (keys, states,
+//! audit trail); this module wraps it behind a shared handle with a
+//! monotonic logical clock, so the server and its workers can open,
+//! touch, revoke and idle-expire sessions concurrently without caring
+//! that the monitor itself is a `&mut self` API.
+
+use ironsafe_monitor::monitor::QueryRequest;
+use ironsafe_monitor::{Authorization, MonitorError, SessionState, TrustedMonitor};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// An open serving session, as handed to a client.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    /// Monitor-issued session id.
+    pub id: u64,
+    /// Channel key bound to this session (used for split execution).
+    pub key: [u8; 32],
+    /// Client identity key the session was opened for.
+    pub client: String,
+}
+
+/// Shared, clock-bearing wrapper around the trusted monitor's session
+/// machinery.
+pub struct SessionManager {
+    monitor: Arc<Mutex<TrustedMonitor>>,
+    clock: AtomicI64,
+    idle_timeout: i64,
+}
+
+impl SessionManager {
+    /// Wrap `monitor`; sessions idle for `idle_timeout` logical ticks
+    /// are expired by [`expire_idle`](SessionManager::expire_idle).
+    pub fn new(monitor: Arc<Mutex<TrustedMonitor>>, idle_timeout: i64) -> Self {
+        SessionManager { monitor, clock: AtomicI64::new(1), idle_timeout }
+    }
+
+    /// Advance and return the logical clock. Every session event gets a
+    /// distinct tick, which keeps the monitor's audit timestamps ordered
+    /// without consulting wall time (determinism).
+    pub fn now(&self) -> i64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Open a session for `client`.
+    pub fn open(&self, client: &str) -> SessionHandle {
+        let now = self.now();
+        let (id, key) = self.monitor.lock().open_session(client, now);
+        SessionHandle { id, key, client: client.to_string() }
+    }
+
+    /// Mark the session used now; errors if it is revoked/expired/gone.
+    pub fn touch(&self, session_id: u64) -> Result<(), MonitorError> {
+        let now = self.now();
+        self.monitor.lock().touch_session(session_id, now)
+    }
+
+    /// Administratively revoke the session.
+    pub fn revoke(&self, session_id: u64) -> Result<(), MonitorError> {
+        let now = self.now();
+        self.monitor.lock().revoke_session(session_id, now)
+    }
+
+    /// Expire every session idle for at least the configured timeout;
+    /// returns the ids that flipped to `Expired`.
+    pub fn expire_idle(&self) -> Vec<u64> {
+        let now = self.now();
+        self.monitor.lock().expire_idle_sessions(now, self.idle_timeout)
+    }
+
+    /// The session's current state, if it exists.
+    pub fn state(&self, session_id: u64) -> Option<SessionState> {
+        self.monitor.lock().session_state(session_id)
+    }
+
+    /// Authorize one SQL statement through the monitor (policy check +
+    /// rewrite + per-query key), stamped with the current logical time.
+    pub fn authorize(
+        &self,
+        client: &str,
+        database: &str,
+        sql: &str,
+    ) -> Result<Authorization, MonitorError> {
+        let now = self.now();
+        self.monitor.lock().authorize(&QueryRequest {
+            client_key: client.to_string(),
+            database: database.to_string(),
+            sql: sql.to_string(),
+            exec_policy: String::new(),
+            access_time: now,
+        })
+    }
+
+    /// Release a per-query session minted by
+    /// [`authorize`](SessionManager::authorize).
+    pub fn cleanup(&self, session_id: u64) {
+        let _ = self.monitor.lock().cleanup_session(session_id);
+    }
+
+    /// The wrapped monitor (audit/regulator interface).
+    pub fn monitor(&self) -> &Arc<Mutex<TrustedMonitor>> {
+        &self.monitor
+    }
+}

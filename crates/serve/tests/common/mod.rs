@@ -1,0 +1,80 @@
+//! Shared fixture: an attested monitor + a loaded shared system.
+
+use ironsafe_crypto::group::Group;
+use ironsafe_crypto::schnorr::KeyPair;
+use ironsafe_csa::cost::CostParams;
+use ironsafe_csa::{CsaSystem, SharedCsaSystem, SystemConfig};
+use ironsafe_monitor::{MonitorConfig, TrustedMonitor};
+use ironsafe_policy::parse_policy;
+use ironsafe_tee::image::SoftwareImage;
+use ironsafe_tee::sgx::{AttestationService, EnclaveConfig, Quote, SgxPlatform};
+use ironsafe_tee::trustzone::{
+    AttestationTa, BootImages, Manufacturer, SecureBoot, SignedImage,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Build a monitor with one attested host and one attested storage
+/// node, plus a registered database `db` readable by `Ka`/`Kb` and
+/// writable by `Ka`.
+pub fn attested_monitor() -> TrustedMonitor {
+    let group = Group::modp_1024();
+    let mut rng = StdRng::seed_from_u64(31);
+
+    let platform = SgxPlatform::from_seed(&group, b"host-platform");
+    let host_image = SoftwareImage::new("host-engine", 5, b"engine".to_vec());
+    let enclave = platform.create_enclave(&host_image, EnclaveConfig::default());
+    let mut ias = AttestationService::new(&group);
+    ias.register_platform(&platform);
+
+    let mfr = Manufacturer::from_seed(&group, b"acme");
+    let device = mfr.make_device("storage-0", 8, &mut rng);
+    let vendor = KeyPair::derive(&group, b"acme", b"tz-manufacturer-root");
+    let images = BootImages {
+        trusted_firmware: SignedImage::sign(
+            &group,
+            &vendor.secret,
+            SoftwareImage::new("atf", 2, b"atf".to_vec()),
+            &mut rng,
+        ),
+        trusted_os: SignedImage::sign(
+            &group,
+            &vendor.secret,
+            SoftwareImage::new("optee", 34, b"optee".to_vec()),
+            &mut rng,
+        ),
+        normal_world: SoftwareImage::new("nw", 3, b"kernel+engine".to_vec()),
+    };
+    let booted = SecureBoot::boot(&device, &mfr.root_public(), &images, &mut rng).unwrap();
+
+    let config = MonitorConfig {
+        expected_host_measurement: host_image.measure(),
+        expected_nw_measurement: booted.nw_measurement,
+        latest_fw: 5,
+    };
+    let mut monitor = TrustedMonitor::new(&group, 77, ias, mfr.root_public(), config);
+
+    let host_keys = KeyPair::generate(&group, &mut rng);
+    let commitment = ironsafe_crypto::sha256::sha256(&host_keys.public.to_bytes(&group));
+    let quote = Quote::generate(&platform, &enclave, &commitment, &mut rng);
+    monitor.attest_host("host-0", "EU", &quote, &host_keys.public).unwrap();
+    let challenge = monitor.storage_challenge();
+    let resp = AttestationTa::new(&booted).respond(challenge, &mut rng);
+    monitor.attest_storage("storage-0", "EU", &resp).unwrap();
+
+    monitor.register_database(
+        "db",
+        parse_policy("read :- sessionKeyIs(Ka) | sessionKeyIs(Kb)\nwrite :- sessionKeyIs(Ka)")
+            .unwrap(),
+    );
+    monitor
+}
+
+/// One small shared system loaded with seeded TPC-H data.
+pub fn shared_system(config: SystemConfig, sf: f64) -> Arc<SharedCsaSystem> {
+    let data = ironsafe_tpch::generate(sf, 42);
+    Arc::new(SharedCsaSystem::new(
+        CsaSystem::build(config, &data, CostParams::default()).unwrap(),
+    ))
+}

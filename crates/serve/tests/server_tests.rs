@@ -1,0 +1,241 @@
+//! End-to-end server tests: lifecycle refusal, backpressure,
+//! determinism under concurrency, and the drain invariant.
+
+mod common;
+
+use common::{attested_monitor, shared_system};
+use ironsafe_csa::{QueryReport, SystemConfig};
+use ironsafe_monitor::MonitorError;
+use ironsafe_serve::{AdmitError, Job, QueryServer, ServeConfig, ServeError};
+use ironsafe_tpch::queries::{paper_queries, PaperQuery};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn server(config: ServeConfig, sys: SystemConfig) -> QueryServer {
+    QueryServer::start(
+        shared_system(sys, 0.002),
+        Arc::new(Mutex::new(attested_monitor())),
+        config,
+    )
+}
+
+fn query(id: u8) -> PaperQuery {
+    paper_queries().into_iter().find(|q| q.id == id).unwrap()
+}
+
+/// A seeded arrival schedule: (session index, query id), shuffled.
+fn schedule(sessions: usize, per_session: usize, seed: u64) -> Vec<(usize, u8)> {
+    let ids = [1u8, 6, 12];
+    let mut jobs: Vec<(usize, u8)> = (0..sessions)
+        .flat_map(|s| (0..per_session).map(move |i| (s, ids[(s + i) % ids.len()])))
+        .collect();
+    // Fisher–Yates with the seeded rng (the rand shim has no shuffle).
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..jobs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        jobs.swap(i, j);
+    }
+    jobs
+}
+
+/// Run one seeded schedule through a fresh server; returns per-job
+/// reports in schedule order plus the final (admitted, completed).
+fn run_schedule(sessions: usize, per_session: usize, seed: u64) -> (Vec<QueryReport>, u64, u64) {
+    let srv = server(
+        ServeConfig { workers: 4, queue_capacity: per_session + 2, ..Default::default() },
+        SystemConfig::StorageOnlySecure,
+    );
+    let handles: Vec<_> =
+        (0..sessions).map(|i| srv.open_session(&format!("client-{i}"), "db")).collect();
+    let tickets: Vec<_> = schedule(sessions, per_session, seed)
+        .into_iter()
+        .map(|(s, qid)| srv.submit(handles[s].id, Job::Query(query(qid))).unwrap())
+        .collect();
+    let reports: Vec<QueryReport> =
+        tickets.into_iter().map(|t| t.wait().outcome.expect("query must succeed")).collect();
+    let metrics = srv.shutdown();
+    (reports, metrics.admitted.get(), metrics.completed.get())
+}
+
+#[test]
+fn stress_run_drains_and_is_deterministic_across_runs() {
+    // ≥ 4 sessions × ≥ 8 queries each, twice, same seed.
+    let (first, admitted_a, completed_a) = run_schedule(4, 8, 2022);
+    let (second, admitted_b, completed_b) = run_schedule(4, 8, 2022);
+    assert_eq!(admitted_a, 32);
+    assert_eq!(completed_a, admitted_a, "every admitted query must complete");
+    assert_eq!(admitted_b, completed_b);
+    assert_eq!(first.len(), second.len());
+    let mut total_a = 0.0;
+    let mut total_b = 0.0;
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.result, b.result, "results must be bit-identical run-to-run");
+        assert_eq!(a.breakdown, b.breakdown, "cost breakdowns must be bit-identical");
+        total_a += a.total_ns();
+        total_b += b.total_ns();
+    }
+    assert_eq!(total_a, total_b, "simulated-time totals must match run-to-run");
+}
+
+#[test]
+fn concurrent_server_matches_serial_execution() {
+    // The server's answers (and per-query CostBreakdowns) must be
+    // bit-identical to running the same queries serially on one system.
+    let sessions = 4;
+    let per_session = 4;
+    let (reports, _, _) = run_schedule(sessions, per_session, 7);
+    let sched = schedule(sessions, per_session, 7);
+
+    let serial_sys = shared_system(SystemConfig::StorageOnlySecure, 0.002);
+    for ((_, qid), concurrent) in sched.iter().zip(&reports) {
+        let (serial, _) = serial_sys.run_query(&query(*qid), [0x5e; 32]).unwrap();
+        assert_eq!(serial.result, concurrent.result, "q{qid} result differs from serial");
+        assert_eq!(serial.breakdown, concurrent.breakdown, "q{qid} breakdown differs from serial");
+    }
+}
+
+#[test]
+fn revoked_session_yields_clean_errors_not_panics() {
+    let srv = server(ServeConfig::default(), SystemConfig::StorageOnlySecure);
+    let s = srv.open_session("client-0", "db");
+
+    // Revoke through the server: later admissions are refused outright.
+    srv.revoke_session(s.id).unwrap();
+    match srv.submit(s.id, Job::Query(query(6))) {
+        Err(AdmitError::SessionClosed { session_id, reason }) => {
+            assert_eq!(session_id, s.id);
+            assert_eq!(reason, "revoked");
+        }
+        other => panic!("expected SessionClosed, got {other:?}"),
+    }
+
+    // Revocation racing an in-queue job: revoke at the monitor only, so
+    // the server still admits — the worker's touch then surfaces a
+    // clean per-request error in the response.
+    let s2 = srv.open_session("client-1", "db");
+    srv.sessions().revoke(s2.id).unwrap();
+    let ticket = srv.submit(s2.id, Job::Query(query(6))).unwrap();
+    match ticket.wait().outcome {
+        Err(ServeError::Monitor(MonitorError::SessionClosed { reason: "revoked", .. })) => {}
+        other => panic!("expected per-request SessionClosed error, got {other:?}"),
+    }
+    let metrics = srv.shutdown();
+    assert_eq!(metrics.completed.get(), metrics.admitted.get());
+}
+
+#[test]
+fn idle_sessions_expire_and_are_refused() {
+    let srv = server(
+        ServeConfig { idle_timeout: 0, ..Default::default() },
+        SystemConfig::StorageOnlySecure,
+    );
+    let s = srv.open_session("client-0", "db");
+    let expired = srv.expire_idle();
+    assert!(expired.contains(&s.id));
+    match srv.submit(s.id, Job::Query(query(6))) {
+        Err(AdmitError::SessionClosed { reason, .. }) => assert_eq!(reason, "expired"),
+        other => panic!("expected SessionClosed(expired), got {other:?}"),
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn backpressure_rejects_instead_of_blocking() {
+    // No workers: nothing drains, so admission decisions are exact.
+    let srv = server(
+        ServeConfig { workers: 0, queue_capacity: 2, max_pending: 3, ..Default::default() },
+        SystemConfig::HostOnlyNonSecure,
+    );
+    let a = srv.open_session("client-a", "db");
+    let b = srv.open_session("client-b", "db");
+
+    let _t1 = srv.submit(a.id, Job::Query(query(6))).unwrap();
+    let _t2 = srv.submit(a.id, Job::Query(query(6))).unwrap();
+    // Session a's bounded queue is full.
+    assert_eq!(
+        srv.submit(a.id, Job::Query(query(6))).unwrap_err(),
+        AdmitError::QueueFull { session_id: a.id }
+    );
+    // Server-wide backlog cap: one more queued job anywhere hits Busy.
+    let _t3 = srv.submit(b.id, Job::Query(query(6))).unwrap();
+    assert_eq!(srv.submit(b.id, Job::Query(query(6))).unwrap_err(), AdmitError::Busy);
+
+    assert_eq!(srv.metrics().admitted.get(), 3);
+    assert_eq!(srv.metrics().rejected.get(), 2);
+    assert_eq!(srv.metrics().queue_depth.get(), 3);
+}
+
+#[test]
+fn unknown_session_rejected() {
+    let srv = server(
+        ServeConfig { workers: 0, ..Default::default() },
+        SystemConfig::HostOnlyNonSecure,
+    );
+    assert_eq!(
+        srv.submit(999, Job::Query(query(6))).unwrap_err(),
+        AdmitError::UnknownSession(999)
+    );
+}
+
+#[test]
+fn shutdown_drains_queued_work() {
+    // Queue several jobs, then shut down immediately without waiting:
+    // the drain must still answer every ticket.
+    let srv = server(ServeConfig::default(), SystemConfig::HostOnlyNonSecure);
+    let s = srv.open_session("client-0", "db");
+    let tickets: Vec<_> =
+        (0..6).map(|_| srv.submit(s.id, Job::Query(query(6))).unwrap()).collect();
+    let metrics = srv.shutdown();
+    assert_eq!(metrics.admitted.get(), 6);
+    assert_eq!(metrics.completed.get(), 6);
+    for t in tickets {
+        t.wait().outcome.unwrap();
+    }
+}
+
+#[test]
+fn sql_path_enforces_policy_and_audits() {
+    let monitor = Arc::new(Mutex::new(attested_monitor()));
+    let srv = QueryServer::start(
+        shared_system(SystemConfig::StorageOnlySecure, 0.002),
+        Arc::clone(&monitor),
+        ServeConfig::default(),
+    );
+    // Ka may read and write; Kz is denied by the access policy.
+    let ka = srv.open_session("Ka", "db");
+    let kz = srv.open_session("Kz", "db");
+
+    let ok = srv
+        .submit(ka.id, Job::Sql("SELECT COUNT(*) FROM region".into()))
+        .unwrap()
+        .wait();
+    let report = ok.outcome.expect("authorized SELECT succeeds");
+    match report.result {
+        ironsafe_sql::QueryResult::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    let denied = srv
+        .submit(kz.id, Job::Sql("SELECT COUNT(*) FROM region".into()))
+        .unwrap()
+        .wait();
+    match denied.outcome {
+        Err(ServeError::Monitor(MonitorError::PolicyViolation(_))) => {}
+        other => panic!("expected policy violation, got {other:?}"),
+    }
+
+    // Per-session span roots recorded for both sessions.
+    let trace = srv.session_trace(ka.id).unwrap();
+    assert!(trace.spans.iter().any(|sp| sp.name.starts_with(&format!("session-{}", ka.id))));
+
+    let metrics = srv.shutdown();
+    assert_eq!(metrics.completed.get(), metrics.admitted.get());
+    // The monitor's audit chain survived the concurrent appends, and
+    // both the grant and the denial landed in it.
+    let m = monitor.lock();
+    assert!(m.audit().verify());
+    assert!(m.audit().entries().iter().any(|e| e.message.starts_with("GRANT")));
+    assert!(m.audit().entries().iter().any(|e| e.message.starts_with("DENY")));
+}

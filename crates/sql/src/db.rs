@@ -79,6 +79,19 @@ impl Database {
         Ok(Database { pager, catalog, catalog_chain: chain })
     }
 
+    /// Assemble a database from an existing catalog and pager without
+    /// touching storage.
+    ///
+    /// This is the read-view constructor used by the serving layer: the
+    /// catalog is a clone of a live database's catalog and the pager is a
+    /// copy-on-write view over that database's pages, so query execution
+    /// (including temporary tables) proceeds without mutating the shared
+    /// store. The catalog chain starts empty — a view that checkpoints
+    /// writes a fresh chain into its own overlay.
+    pub fn from_parts(pager: SharedPager, catalog: Catalog) -> Self {
+        Database { pager, catalog, catalog_chain: Vec::new() }
+    }
+
     /// Persist the catalog into the page-0 chain and commit the pager
     /// (flushing the freshness root to RPMB under the secure pager).
     ///

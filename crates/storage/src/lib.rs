@@ -30,12 +30,14 @@ pub mod freshness;
 pub mod merkle;
 pub mod pager;
 pub mod secure_pager;
+pub mod view;
 
 pub use blockdev::{BlockDevice, BLOCK_SIZE};
 pub use codec::{PageCodec, PAGE_PAYLOAD};
 pub use merkle::MerkleTree;
 pub use pager::{PageId, Pager, PagerStats, PlainPager};
 pub use secure_pager::SecurePager;
+pub use view::{PageCache, ViewPager};
 
 /// Errors raised by the storage stack.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,339 @@
+//! Copy-on-write read views over a shared pager.
+//!
+//! The serving layer runs many queries concurrently against **one**
+//! storage-resident database. Two problems stand in the way of doing
+//! that with the plain [`Pager`] stack:
+//!
+//! 1. *Isolation*: multi-stage queries materialize temporary tables, and
+//!    the catalog checkpoint path rewrites meta pages. Letting every
+//!    session write into the shared store would corrupt it (and make
+//!    page allocation order — hence Merkle paths, hence simulated cost —
+//!    depend on thread interleaving).
+//! 2. *Accounting*: [`PagerStats`] live inside the shared pager, so a
+//!    before/after delta taken by one query would absorb the reads of
+//!    every query running next to it.
+//!
+//! [`ViewPager`] solves both. Reads of base pages fall through to the
+//! shared pager; **all** writes (temporary tables, catalog chains,
+//! copy-on-write updates of base pages) land in a private overlay that
+//! dies with the view. Cost counters are kept per view: on a cache miss
+//! the base pager's counter delta is captured *under the base pager's
+//! own lock*, stored next to the decrypted payload in the shared
+//! [`PageCache`], and replayed on every later hit. A page therefore
+//! charges the same decrypt/Merkle work to every query that reads it, no
+//! matter which query happened to decrypt it first — simulated costs
+//! stay bit-identical run-to-run while the wall clock benefits from
+//! decrypt-once sharing.
+
+use crate::pager::{PageId, Pager, PagerStats};
+use crate::{Result, StorageError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The dynamically-typed shared pager handle the SQL engine uses
+/// (mirrors `ironsafe_sql::heap::SharedPager`, which this crate cannot
+/// name without a dependency cycle).
+pub type SharedDynPager = Arc<Mutex<dyn Pager + Send>>;
+
+/// One decrypted base page plus the counter delta its first read cost.
+#[derive(Debug, Clone)]
+struct CachedPage {
+    payload: Box<[u8]>,
+    delta: PagerStats,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    pages: HashMap<PageId, CachedPage>,
+    /// `(num_pages, page_writes)` of the base pager the cached payloads
+    /// were read from; any change means the base mutated underneath us.
+    mark: Option<(u64, u64)>,
+}
+
+/// Shared decrypted-page cache, validity-checked against base writes.
+///
+/// One cache is attached to one base pager; every [`ViewPager`] over
+/// that base clones the same `Arc<PageCache>`. The cache is cleared
+/// whenever a view is created after the base pager was written to
+/// (exclusive-path DML, bulk loads) — readers never see stale payloads
+/// because view creation and base writes are serialized by the caller
+/// (a `RwLock` in the CSA layer).
+#[derive(Debug, Default)]
+pub struct PageCache {
+    inner: Mutex<CacheState>,
+}
+
+impl PageCache {
+    /// Fresh empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached pages (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached page.
+    pub fn clear(&self) {
+        let mut st = self.inner.lock();
+        st.pages.clear();
+        st.mark = None;
+    }
+
+    /// Invalidate the cache if the base pager changed since it was
+    /// filled (detected via its page/write counters).
+    fn sync(&self, mark: (u64, u64)) {
+        let mut st = self.inner.lock();
+        if st.mark != Some(mark) {
+            st.pages.clear();
+            st.mark = Some(mark);
+        }
+    }
+
+    fn get(&self, id: PageId) -> Option<CachedPage> {
+        self.inner.lock().pages.get(&id).cloned()
+    }
+
+    fn put(&self, id: PageId, page: CachedPage) {
+        self.inner.lock().pages.entry(id).or_insert(page);
+    }
+}
+
+/// A per-query copy-on-write pager over a shared base pager.
+///
+/// *Reads* of base pages go through the shared [`PageCache`]; *writes*
+/// and fresh allocations live in a private overlay (plain host memory —
+/// they model per-session temporaries, which never touch the secure
+/// medium and pay no page crypto). The view's [`PagerStats`] count only
+/// this view's work, deterministically (see module docs).
+pub struct ViewPager {
+    base: SharedDynPager,
+    cache: Arc<PageCache>,
+    /// Pages `< base_pages` belong to the shared base store.
+    base_pages: u64,
+    payload: usize,
+    overlay: HashMap<PageId, Vec<u8>>,
+    next_id: u64,
+    stats: PagerStats,
+}
+
+fn stats_delta(before: PagerStats, after: PagerStats) -> PagerStats {
+    PagerStats {
+        page_reads: after.page_reads - before.page_reads,
+        page_writes: after.page_writes - before.page_writes,
+        decrypts: after.decrypts - before.decrypts,
+        encrypts: after.encrypts - before.encrypts,
+        merkle_nodes: after.merkle_nodes - before.merkle_nodes,
+        rpmb_ops: after.rpmb_ops - before.rpmb_ops,
+    }
+}
+
+fn stats_add(into: &mut PagerStats, d: &PagerStats) {
+    into.page_reads += d.page_reads;
+    into.page_writes += d.page_writes;
+    into.decrypts += d.decrypts;
+    into.encrypts += d.encrypts;
+    into.merkle_nodes += d.merkle_nodes;
+    into.rpmb_ops += d.rpmb_ops;
+}
+
+impl ViewPager {
+    /// Open a view over `base`, sharing `cache` with sibling views.
+    ///
+    /// Must be called while base writes are excluded (the CSA layer
+    /// holds a read lock on the owning system for the view's lifetime).
+    pub fn over(base: SharedDynPager, cache: Arc<PageCache>) -> Self {
+        let (base_pages, payload, mark) = {
+            let b = base.lock();
+            let s = b.stats();
+            (b.num_pages(), b.payload_size(), (b.num_pages(), s.page_writes))
+        };
+        cache.sync(mark);
+        ViewPager {
+            base,
+            cache,
+            base_pages,
+            payload,
+            overlay: HashMap::new(),
+            next_id: base_pages,
+            stats: PagerStats::default(),
+        }
+    }
+
+    /// Number of overlay (view-private) pages.
+    pub fn overlay_pages(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+impl Pager for ViewPager {
+    fn payload_size(&self) -> usize {
+        self.payload
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.next_id
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.overlay.insert(id, vec![0u8; self.payload]);
+        Ok(id)
+    }
+
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.payload {
+            return Err(StorageError::BadBufferSize { expected: self.payload, got: buf.len() });
+        }
+        if let Some(data) = self.overlay.get(&id) {
+            buf.copy_from_slice(data);
+            self.stats.page_reads += 1;
+            return Ok(());
+        }
+        if id >= self.base_pages {
+            return Err(StorageError::PageOutOfRange(id));
+        }
+        if let Some(hit) = self.cache.get(id) {
+            buf.copy_from_slice(&hit.payload);
+            stats_add(&mut self.stats, &hit.delta);
+            return Ok(());
+        }
+        // Miss: read through the base pager, capturing its counter delta
+        // under its own lock so concurrent readers cannot pollute it.
+        let delta = {
+            let mut b = self.base.lock();
+            let before = b.stats();
+            b.read_page(id, buf)?;
+            stats_delta(before, b.stats())
+        };
+        self.cache.put(id, CachedPage { payload: buf.to_vec().into_boxed_slice(), delta });
+        stats_add(&mut self.stats, &delta);
+        Ok(())
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        if data.len() != self.payload {
+            return Err(StorageError::BadBufferSize { expected: self.payload, got: data.len() });
+        }
+        if id >= self.next_id {
+            return Err(StorageError::PageOutOfRange(id));
+        }
+        self.overlay.insert(id, data.to_vec());
+        self.stats.page_writes += 1;
+        Ok(())
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        // Overlay pages are per-session scratch; there is nothing durable
+        // to flush and the shared base must not observe view commits.
+        Ok(())
+    }
+
+    fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PagerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::PlainPager;
+
+    fn base_with_pages(n: u64) -> SharedDynPager {
+        let mut p = PlainPager::new();
+        for i in 0..n {
+            let id = p.allocate_page().unwrap();
+            let data = vec![i as u8; p.payload_size()];
+            p.write_page(id, &data).unwrap();
+        }
+        Arc::new(Mutex::new(p))
+    }
+
+    #[test]
+    fn reads_fall_through_and_count_locally() {
+        let base = base_with_pages(3);
+        let cache = Arc::new(PageCache::new());
+        let mut v = ViewPager::over(base.clone(), cache);
+        let mut buf = vec![0u8; v.payload_size()];
+        v.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        assert_eq!(v.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn writes_stay_in_the_overlay() {
+        let base = base_with_pages(2);
+        let cache = Arc::new(PageCache::new());
+        let mut v = ViewPager::over(base.clone(), cache.clone());
+        let payload = v.payload_size();
+        // Copy-on-write of a base page.
+        v.write_page(0, &vec![9u8; payload]).unwrap();
+        // Fresh allocation.
+        let id = v.allocate_page().unwrap();
+        assert_eq!(id, 2);
+        v.write_page(id, &vec![7u8; payload]).unwrap();
+        let mut buf = vec![0u8; payload];
+        v.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 9), "view sees its own write");
+        v.read_page(id, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+        // The base is untouched.
+        let mut b = base.lock();
+        assert_eq!(b.num_pages(), 2);
+        b.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0), "base page survives COW");
+    }
+
+    #[test]
+    fn cache_hits_replay_the_recorded_delta() {
+        let base = base_with_pages(4);
+        let cache = Arc::new(PageCache::new());
+        let mut cold = ViewPager::over(base.clone(), cache.clone());
+        let mut buf = vec![0u8; cold.payload_size()];
+        cold.read_page(2, &mut buf).unwrap();
+        let cold_stats = cold.stats();
+        // A second view hits the cache but must report identical costs.
+        let mut warm = ViewPager::over(base, cache.clone());
+        warm.read_page(2, &mut buf).unwrap();
+        assert_eq!(warm.stats(), cold_stats, "hit and miss charge the same");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn base_writes_invalidate_the_cache() {
+        let base = base_with_pages(2);
+        let cache = Arc::new(PageCache::new());
+        let mut v = ViewPager::over(base.clone(), cache.clone());
+        let payload = v.payload_size();
+        let mut buf = vec![0u8; payload];
+        v.read_page(0, &mut buf).unwrap();
+        assert_eq!(cache.len(), 1);
+        base.lock().write_page(0, &vec![5u8; payload]).unwrap();
+        let mut v2 = ViewPager::over(base, cache.clone());
+        assert_eq!(cache.len(), 0, "stale payloads dropped");
+        v2.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 5), "fresh read after invalidation");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let base = base_with_pages(1);
+        let cache = Arc::new(PageCache::new());
+        let mut v = ViewPager::over(base, cache);
+        let mut buf = vec![0u8; v.payload_size()];
+        assert!(matches!(v.read_page(9, &mut buf), Err(StorageError::PageOutOfRange(9))));
+        assert!(matches!(v.write_page(9, &buf), Err(StorageError::PageOutOfRange(9))));
+    }
+}

@@ -51,7 +51,7 @@ fn main() {
         .unwrap();
     let audit = dep.monitor().audit();
     assert!(audit.verify(), "audit chain intact");
-    println!("✔ sharing log holds {} entries for the regulator:", audit.stream("sharing").count());
+    println!("✔ sharing log holds {} entries for the regulator:", audit.stream("sharing").len());
     for entry in audit.stream("sharing") {
         println!("    [{}] {} ran: {}", entry.seq, entry.client_key, entry.message);
     }

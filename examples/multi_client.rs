@@ -1,0 +1,98 @@
+//! Multi-client serving: one attested deployment, one shared dataset,
+//! many concurrent sessions with admission control and backpressure.
+//!
+//! ```text
+//! cargo run --release --example multi_client
+//! ```
+
+use ironsafe::serve::{AdmitError, Job, ServeConfig};
+use ironsafe::{Client, Deployment};
+use ironsafe_obs::Registry;
+use std::thread;
+
+fn main() {
+    // 1. Attest the deployment and load data single-client, exactly as
+    //    in the quickstart.
+    let mut dep = Deployment::builder().region("EU").build().expect("attestation succeeds");
+    dep.create_database(
+        "airline",
+        "read :- sessionKeyIs(airline) | sessionKeyIs(hotel) | sessionKeyIs(analyst)\n\
+         write :- sessionKeyIs(airline)",
+    );
+    let airline = Client::new("airline");
+    dep.submit(&airline, "airline", "CREATE TABLE bookings (customer INT, flight TEXT, arrival DATE)", "")
+        .unwrap();
+    dep.submit(
+        &airline,
+        "airline",
+        "INSERT INTO bookings VALUES \
+         (1, 'LH441', '1997-05-02'), \
+         (2, 'LH442', '1997-05-03'), \
+         (3, 'LH441', '1997-05-02'), \
+         (4, 'LH443', '1997-05-04')",
+        "",
+    )
+    .unwrap();
+    println!("✔ deployment attested, 4 bookings loaded");
+
+    // 2. Go multi-session: the deployment becomes a server with a
+    //    4-worker pool and bounded per-session queues.
+    let server = dep.serve(ServeConfig { workers: 4, queue_capacity: 8, ..Default::default() });
+    let registry = Registry::new();
+    server.metrics().register(&registry);
+
+    // 3. Three clients hammer the same shared dataset concurrently.
+    //    Every query still goes through the monitor: policy check,
+    //    rewrite, per-query session key, audit entry.
+    let clients = ["airline", "hotel", "analyst"];
+    let queries = [
+        "SELECT COUNT(*) FROM bookings",
+        "SELECT flight FROM bookings WHERE customer = 2",
+        "SELECT arrival FROM bookings WHERE flight = 'LH441' ORDER BY customer",
+    ];
+    thread::scope(|s| {
+        for (i, name) in clients.iter().enumerate() {
+            let server = &server;
+            s.spawn(move || {
+                let session = server.open_session(name, "airline");
+                for round in 0..4 {
+                    let sql = queries[(i + round) % queries.len()];
+                    // Backpressure-aware submit: a full queue means
+                    // retry after draining one response, never blocking.
+                    let ticket = loop {
+                        match server.submit(session.id, Job::Sql(sql.into())) {
+                            Ok(t) => break t,
+                            Err(AdmitError::QueueFull { .. } | AdmitError::Busy) => {
+                                thread::yield_now();
+                            }
+                            Err(e) => panic!("admission refused: {e}"),
+                        }
+                    };
+                    let resp = ticket.wait();
+                    let report = resp.outcome.expect("policy-compliant query");
+                    println!(
+                        "  {name:>8} q{round}: {:>2} row(s), {:.1} µs simulated",
+                        report.result.rows().len(),
+                        report.total_ns() / 1_000.0
+                    );
+                }
+            });
+        }
+    });
+
+    // 4. A revoked session is refused cleanly — per request, no panic.
+    let mallory = server.open_session("hotel", "airline");
+    server.revoke_session(mallory.id).unwrap();
+    match server.submit(mallory.id, Job::Sql("SELECT COUNT(*) FROM bookings".into())) {
+        Err(AdmitError::SessionClosed { reason, .. }) => {
+            println!("✔ revoked session refused ({reason})");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // 5. Drain and inspect the serving metrics.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.admitted.get(), metrics.completed.get());
+    println!("✔ drained: every admitted query completed");
+    println!("{}", registry.snapshot().render_table());
+}

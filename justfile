@@ -3,10 +3,16 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check:
+check: serve-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
+
+# Serving-layer smoke: run the multi-client example end to end, then
+# the server's own test suite (admission, determinism, drain).
+serve-smoke:
+    cargo run --release --offline --example multi_client
+    cargo test -q --offline -p ironsafe-serve
 
 # Full criterion benchmark suite (minutes).
 bench:

@@ -71,7 +71,7 @@ fn anti_pattern_3_transparent_sharing() {
     // The regulator pulls the sharing log: both queries, attributed.
     let audit = dep.monitor().audit();
     assert!(audit.verify());
-    let shared: Vec<_> = audit.stream("sharing").collect();
+    let shared: Vec<_> = audit.stream("sharing");
     assert_eq!(shared.len(), 2);
     assert!(shared.iter().all(|e| e.client_key == "Kb"));
     assert!(shared[0].message.contains("p_arrival"));
@@ -112,7 +112,7 @@ fn anti_pattern_5_breaches_leave_evidence() {
 
     let audit = dep.monitor().audit();
     assert!(audit.verify());
-    assert_eq!(audit.stream("breach_audit").count(), 1);
+    assert_eq!(audit.stream("breach_audit").len(), 1);
     assert!(audit
         .entries()
         .iter()
@@ -136,5 +136,5 @@ fn policy_filters_compose() {
     };
     let visible = dep.submit(&consumer, "gdpr", "SELECT COUNT(*) FROM people", "").unwrap();
     assert_eq!(visible.result.rows()[0][0].as_i64().unwrap(), expected);
-    assert_eq!(dep.monitor().audit().stream("l").count(), 1);
+    assert_eq!(dep.monitor().audit().stream("l").len(), 1);
 }

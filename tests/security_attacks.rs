@@ -260,12 +260,12 @@ fn crafted_queries_are_logged_and_refused() {
 
 #[test]
 fn audit_log_tampering_is_detectable() {
-    let mut log = ironsafe::monitor::AuditLog::new();
+    let log = ironsafe::monitor::AuditLog::new();
     log.append(1, "monitor", "Ka", "GRANT read: SELECT 1");
     log.append(2, "sharing", "Kb", "SELECT arrival FROM bookings");
     log.append(3, "monitor", "Kb", "session 1 cleaned up");
     assert!(log.verify());
     // A malicious processor rewrites history.
-    log.raw_entries_mut()[1].message = "SELECT nothing".into();
+    log.with_raw_entries(|entries| entries[1].message = "SELECT nothing".into());
     assert!(!log.verify());
 }
