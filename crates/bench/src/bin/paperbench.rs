@@ -1,8 +1,12 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|all] [--sf <f>] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|all] [--sf <f>] [--metrics-out <path>]
 //! ```
+//!
+//! `parallel` (not part of `all`) sweeps morsel-driven execution across
+//! DOP 1/2/4/8 on Q1 and Q6, reporting real wall-clock speedup; it
+//! defaults to SF 0.01 unless `--sf` is given explicitly.
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
@@ -15,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what = "all".to_string();
     let mut sf = DEFAULT_SF;
+    let mut sf_given = false;
     let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -22,6 +27,7 @@ fn main() {
             "--sf" => {
                 i += 1;
                 sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SF);
+                sf_given = true;
             }
             "--metrics-out" => {
                 i += 1;
@@ -224,6 +230,29 @@ fn main() {
         println!("{:<28} {:>8.2}ms   ( 42 ms)", "interconnect", t.interconnect_ms);
         println!("{:<28} {:>8.2}ms   (689 ms)", "total", t.total_ms());
         println!();
+    }
+
+    if what == "parallel" {
+        // Wall-clock sweep; bigger default SF than the simulated figures
+        // so per-run work dwarfs thread startup.
+        let psf = if sf_given { sf } else { 0.01 };
+        println!("== Morsel-driven parallel execution (wall-clock, SF {psf}) ==");
+        println!(
+            "{:>5} {:>4} {:>10} {:>8} {:>10} {:>8}",
+            "query", "dop", "plain", "speedup", "secure", "speedup"
+        );
+        for r in parallel(psf, &[1, 2, 4, 8]) {
+            println!(
+                "{:>5} {:>4} {:>8.2}ms {:>7.2}x {:>8.2}ms {:>7.2}x",
+                format!("#{}", r.query),
+                r.dop,
+                r.plain_ms,
+                r.plain_speedup,
+                r.secure_ms,
+                r.secure_speedup
+            );
+        }
+        println!("(rows verified bit-identical to serial at every DOP)\n");
     }
 
     if let Some(path) = metrics_out {

@@ -904,3 +904,94 @@ pub fn partitioner_ablation(sf: f64) -> Vec<AblationRow> {
         })
         .collect()
 }
+
+// ---------------------------------------------------------------------
+// Morsel-parallel execution: wall-clock speedup vs degree of parallelism.
+// Unlike the simulated figures above, this sweep measures *real* elapsed
+// time — the one observable parallel execution is allowed to change.
+// ---------------------------------------------------------------------
+
+/// One point of the `paperbench parallel` sweep.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// TPC-H query number.
+    pub query: u8,
+    /// Degree of parallelism used.
+    pub dop: usize,
+    /// Best-of-N wall-clock on the plaintext-backed storage DB, ms.
+    pub plain_ms: f64,
+    /// `plain_ms(dop 1) / plain_ms(this dop)`.
+    pub plain_speedup: f64,
+    /// Best-of-N wall-clock on the secure (AES + Merkle) storage DB, ms.
+    pub secure_ms: f64,
+    /// `secure_ms(dop 1) / secure_ms(this dop)`.
+    pub secure_speedup: f64,
+}
+
+/// Sweep Q1 and Q6 across `dops`, verifying at every point that the
+/// parallel rows are bit-identical to the serial reference.
+///
+/// The headline (plaintext) numbers isolate the execution engine: page
+/// reads are memcpys, so decode + expression evaluation dominate and the
+/// morsel path's batched reads, scratch-row decode and fused
+/// scan→filter→aggregate pay off directly. The secure columns show the
+/// same sweep with AES + Merkle verification under the pager lock, which
+/// serializes the read path and caps the achievable speedup.
+pub fn parallel(sf: f64, dops: &[usize]) -> Vec<ParallelRow> {
+    use ironsafe_sql::ast::Statement;
+    use ironsafe_sql::exec::ExecOptions;
+    use std::time::Instant;
+
+    let data = generate(sf, SEED);
+    let mut plain = Database::new(PlainPager::new());
+    ironsafe_tpch::load_into(&mut plain, &data).expect("plain load");
+    let mut secure_sys =
+        CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+            .expect("secure system builds");
+
+    let mut out = Vec::new();
+    for qid in [1u8, 6] {
+        let q = query(qid).expect("known query");
+        let stmt =
+            ironsafe_sql::parser::parse_statement(&q.stages[0].sql).expect("query parses");
+        let sel = match stmt {
+            Statement::Select(s) => s,
+            _ => unreachable!("Q1/Q6 are single SELECTs"),
+        };
+        let reference = plain.select(&sel).expect("serial reference").rows().to_vec();
+
+        let mut base = (0.0f64, 0.0f64);
+        for &dop in dops {
+            let opts = ExecOptions::with_dop(dop);
+            let measure = |db: &mut Database| {
+                let mut best = f64::INFINITY;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    let r = db.select_with(&sel, &opts).expect("query runs");
+                    let ms = t.elapsed().as_secs_f64() * 1e3;
+                    assert_eq!(
+                        r.rows(),
+                        &reference[..],
+                        "q{qid} dop {dop}: rows must be bit-identical to serial"
+                    );
+                    best = best.min(ms);
+                }
+                best
+            };
+            let plain_ms = measure(&mut plain);
+            let secure_ms = measure(secure_sys.storage_db_mut());
+            if dop == dops[0] {
+                base = (plain_ms, secure_ms);
+            }
+            out.push(ParallelRow {
+                query: qid,
+                dop,
+                plain_ms,
+                plain_speedup: base.0 / plain_ms,
+                secure_ms,
+                secure_speedup: base.1 / secure_ms,
+            });
+        }
+    }
+    out
+}

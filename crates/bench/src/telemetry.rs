@@ -34,6 +34,7 @@ pub fn collect_traces(sf: f64) -> TraceBundle {
         .expect("system builds");
     let registry = Registry::new();
     sys.storage_db().register_metrics(&registry);
+    sys.register_exec_metrics(&registry);
 
     let mut merged = String::from("[");
     let mut first = true;

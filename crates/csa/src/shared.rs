@@ -44,9 +44,22 @@ impl SharedCsaSystem {
         q: &PaperQuery,
         session_key: [u8; 32],
     ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
+        self.run_query_with_dop(q, session_key, 1)
+    }
+
+    /// [`SharedCsaSystem::run_query`] at an explicit degree of
+    /// parallelism. DOP > 1 runs the view's read-only fragments on the
+    /// morsel worker pool; reports stay bit-identical to DOP 1.
+    pub fn run_query_with_dop(
+        &self,
+        q: &PaperQuery,
+        session_key: [u8; 32],
+        dop: usize,
+    ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
         let guard = self.inner.read();
         let mut view = guard.read_view();
         view.set_session_key(session_key);
+        view.set_dop(dop);
         let report = view.run_query(q)?;
         Ok((report, view.take_last_trace()))
     }
@@ -60,10 +73,22 @@ impl SharedCsaSystem {
         stmt: &Statement,
         session_key: [u8; 32],
     ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
+        self.run_statement_with_dop(stmt, session_key, 1)
+    }
+
+    /// [`SharedCsaSystem::run_statement`] at an explicit degree of
+    /// parallelism (`SELECT`s only; writes always run serially).
+    pub fn run_statement_with_dop(
+        &self,
+        stmt: &Statement,
+        session_key: [u8; 32],
+        dop: usize,
+    ) -> Result<(QueryReport, Option<TraceSnapshot>)> {
         if matches!(stmt, Statement::Select(_)) {
             let guard = self.inner.read();
             let mut view = guard.read_view();
             view.set_session_key(session_key);
+            view.set_dop(dop);
             let report = view.run_statement(stmt)?;
             Ok((report, view.take_last_trace()))
         } else {

@@ -13,6 +13,7 @@ use crate::partition::{partition_select, partition_select_strategic, OffloadDeci
 use crate::Result;
 use ironsafe_crypto::group::Group;
 use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
+use ironsafe_sql::exec::ExecOptions;
 use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
 use ironsafe_storage::{PageCache, SecurePager, ViewPager};
@@ -132,6 +133,10 @@ pub struct CsaSystem {
     /// (see [`CsaSystem::read_view`]) so sibling views decrypt each base
     /// page once while still charging identical per-view costs.
     read_cache: Arc<PageCache>,
+    /// Morsel-execution options for read-only fragments. Parallelism
+    /// changes wall-clock only: reports, breakdowns and pager-stats
+    /// deltas stay bit-identical to serial execution at any DOP.
+    exec: ExecOptions,
 }
 
 /// Attribute one simulated cost term to a named accounting span.
@@ -177,6 +182,7 @@ impl CsaSystem {
             session_key: [0x5e; 32],
             last_trace: None,
             read_cache: Arc::new(PageCache::new()),
+            exec: ExecOptions::serial(),
         })
     }
 
@@ -190,6 +196,7 @@ impl CsaSystem {
             session_key: [0x5e; 32],
             last_trace: None,
             read_cache: Arc::new(PageCache::new()),
+            exec: ExecOptions::serial(),
         }
     }
 
@@ -218,6 +225,7 @@ impl CsaSystem {
             session_key: self.session_key,
             last_trace: None,
             read_cache: self.read_cache.clone(),
+            exec: self.exec.clone(),
         }
     }
 
@@ -247,6 +255,27 @@ impl CsaSystem {
     /// Install the per-request session key (from the trusted monitor).
     pub fn set_session_key(&mut self, key: [u8; 32]) {
         self.session_key = key;
+    }
+
+    /// Set the degree of parallelism for read-only query execution.
+    ///
+    /// DOP > 1 runs scans and single-table aggregations on the morsel
+    /// worker pool; results, breakdowns and stats deltas stay
+    /// bit-identical to DOP 1 (parallelism buys wall-clock only).
+    pub fn set_dop(&mut self, dop: usize) {
+        self.exec.dop = ironsafe_sql::exec::Dop::new(dop);
+    }
+
+    /// Current morsel-execution options.
+    pub fn exec_options(&self) -> &ExecOptions {
+        &self.exec
+    }
+
+    /// Attach the morsel-execution counters (`exec.morsel.*`) to
+    /// `registry`, alongside [`Database::register_metrics`] for the
+    /// pager counters.
+    pub fn register_exec_metrics(&self, registry: &ironsafe_obs::Registry) {
+        self.exec.metrics.register(registry);
     }
 
     fn pager_delta(&self, before: PagerStats) -> PagerStats {
@@ -338,6 +367,7 @@ impl CsaSystem {
     // sos: the whole query runs next to the data, on the weak CPU.
     // ---------------------------------------------------------------
     fn run_storage_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
+        let exec = self.exec.clone();
         let trace = Trace::new();
         let (result, delta) = {
             let _active = trace.install();
@@ -368,7 +398,7 @@ impl CsaSystem {
                         probe_requests += stage_rows;
                     }
                 }
-                let r = self.storage_db.execute_statement(&stmt)?;
+                let r = self.storage_db.execute_statement_with(&stmt, &exec)?;
                 match &stage.into {
                     Some(name) => {
                         self.storage_db.create_table(name, r.schema())?;
@@ -437,6 +467,7 @@ impl CsaSystem {
     // ---------------------------------------------------------------
     fn run_host_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let secure = self.config.secure();
+        let exec = self.exec.clone();
         let trace = Trace::new();
         let (result, delta, scanned_rows, bytes) = {
             let _active = trace.install();
@@ -474,7 +505,7 @@ impl CsaSystem {
                         probe_requests += stage_rows;
                     }
                 }
-                let r = self.storage_db.execute_statement(&stmt)?;
+                let r = self.storage_db.execute_statement_with(&stmt, &exec)?;
                 match &stage.into {
                     Some(name) => {
                         self.storage_db.create_table(name, r.schema())?;
@@ -557,6 +588,7 @@ impl CsaSystem {
     fn run_split(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let secure = self.config == SystemConfig::IronSafe;
         let p = self.params.clone();
+        let exec = self.exec.clone();
         let trace = Trace::new();
         let (result, delta, bytes, rows_shipped) = {
             let _active = trace.install();
@@ -606,7 +638,7 @@ impl CsaSystem {
                     let info = self.storage_db.catalog().table(table)?;
                     scanned_rows += info.heap.row_count;
                     let table_pages = info.heap.pages.len() as u64;
-                    let frag_result = self.storage_db.select(stmt)?;
+                    let frag_result = self.storage_db.select_with(stmt, &exec)?;
                     let schema = frag_result.schema();
                     let rows = frag_result.rows().to_vec();
                     rows_shipped += rows.len() as u64;
@@ -654,7 +686,7 @@ impl CsaSystem {
                 }
                 let r = {
                     let _host_span = Span::enter("host/join_aggregate");
-                    host_db.select(&host)?
+                    host_db.select_with(&host, &exec)?
                 };
                 match &stage.into {
                     Some(name) => {

@@ -119,6 +119,14 @@ impl Trace {
         TraceGuard { previous }
     }
 
+    /// The trace installed on the current thread, if any — a cloneable
+    /// handle for propagating the active trace into worker threads
+    /// (each worker calls [`Trace::install`] on its own thread; spans
+    /// from every thread land in the same trace).
+    pub fn current() -> Option<Trace> {
+        ACTIVE.with(|a| a.borrow().as_ref().map(|t| t.trace.clone()))
+    }
+
     /// Total simulated nanoseconds attributed so far.
     pub fn sim_total_ns(&self) -> f64 {
         self.inner.lock().sim_cursor_ns
@@ -396,5 +404,23 @@ mod tests {
         });
         handle.join().unwrap();
         assert_eq!(trace.snapshot().spans.len(), 0);
+    }
+
+    #[test]
+    fn current_propagates_into_worker_threads() {
+        assert!(Trace::current().is_none());
+        let trace = Trace::new();
+        let _g = trace.install();
+        let handle = Trace::current().expect("installed");
+        let worker = std::thread::spawn(move || {
+            let _wg = handle.install();
+            let _s = Span::enter("exec/morsel_worker0");
+            add_sim_ns("other", 3.0);
+        });
+        worker.join().unwrap();
+        let snap = trace.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "exec/morsel_worker0");
+        assert_eq!(snap.sim_total_ns(), 3.0);
     }
 }

@@ -182,6 +182,9 @@ struct SessionEntry {
     /// Per-session telemetry root: every query executed for this
     /// session records a `session-<id>` root span in this trace.
     trace: Trace,
+    /// Degree of parallelism for this session's read-only queries,
+    /// clamped to the worker-pool size at open time.
+    dop: usize,
 }
 
 #[derive(Default)]
@@ -251,8 +254,17 @@ impl QueryServer {
         &self.shared.sessions
     }
 
-    /// Open a session for `client` against `database`.
+    /// Open a session for `client` against `database` (serial execution).
     pub fn open_session(&self, client: &str, database: &str) -> SessionHandle {
+        self.open_session_with_dop(client, database, 1)
+    }
+
+    /// Open a session whose read-only queries run at `dop` on the morsel
+    /// pool. The request is clamped to the server's worker-pool size (at
+    /// least 1), so one session cannot oversubscribe the machine.
+    /// Results stay bit-identical to serial at any granted DOP.
+    pub fn open_session_with_dop(&self, client: &str, database: &str, dop: usize) -> SessionHandle {
+        let granted = dop.clamp(1, self.config.workers.max(1));
         let handle = self.shared.sessions.open(client);
         let mut st = self.shared.state.lock().unwrap();
         st.order.push(handle.id);
@@ -264,10 +276,17 @@ impl QueryServer {
                 queue: VecDeque::new(),
                 closed: false,
                 trace: Trace::new(),
+                dop: granted,
             },
         );
         self.shared.metrics.sessions_active.add(1);
         handle
+    }
+
+    /// The DOP granted to a session at open time.
+    pub fn session_dop(&self, session_id: u64) -> Option<usize> {
+        let st = self.shared.state.lock().unwrap();
+        st.sessions.get(&session_id).map(|e| e.dop)
     }
 
     /// Revoke a session: the monitor refuses further use, new
@@ -366,7 +385,7 @@ impl QueryServer {
 }
 
 /// Pop the next job, rotating fairly across session queues.
-fn pop_next(st: &mut DispatchState) -> Option<(SessionHandle, String, Trace, QueuedJob)> {
+fn pop_next(st: &mut DispatchState) -> Option<(SessionHandle, String, Trace, usize, QueuedJob)> {
     let n = st.order.len();
     for i in 0..n {
         let idx = (st.cursor + i) % n;
@@ -380,6 +399,7 @@ fn pop_next(st: &mut DispatchState) -> Option<(SessionHandle, String, Trace, Que
                     entry.handle.clone(),
                     entry.database.clone(),
                     entry.trace.clone(),
+                    entry.dop,
                     job,
                 ));
             }
@@ -403,11 +423,11 @@ fn worker_loop(shared: Arc<ServerShared>) {
                 st = shared.work.wait(st).unwrap();
             }
         };
-        let Some((handle, database, trace, queued)) = next else {
+        let Some((handle, database, trace, dop, queued)) = next else {
             // Draining: queues are empty and no new work can arrive.
             return;
         };
-        let outcome = execute(&shared, &handle, &database, &trace, &queued);
+        let outcome = execute(&shared, &handle, &database, &trace, dop, &queued);
         let (outcome, trace_snapshot) = outcome;
         let _ = queued.reply.send(QueryResponse {
             session_id: handle.id,
@@ -430,6 +450,7 @@ fn execute(
     handle: &SessionHandle,
     database: &str,
     session_trace: &Trace,
+    dop: usize,
     queued: &QueuedJob,
 ) -> (Result<QueryReport, ServeError>, Option<TraceSnapshot>) {
     // Root span in the session's own trace; the query's internal trace
@@ -444,13 +465,13 @@ fn execute(
     let result = match &queued.job {
         Job::Query(q) => shared
             .system
-            .run_query(q, handle.key)
+            .run_query_with_dop(q, handle.key, dop)
             .map_err(|e| ServeError::Exec(e.to_string())),
         Job::Sql(sql) => match shared.sessions.authorize(&handle.client, database, sql) {
             Ok(auth) => {
                 let run = shared
                     .system
-                    .run_statement(&auth.statement, auth.session_key)
+                    .run_statement_with_dop(&auth.statement, auth.session_key, dop)
                     .map_err(|e| ServeError::Exec(e.to_string()));
                 shared.sessions.cleanup(auth.session_id);
                 run

@@ -97,6 +97,26 @@ fn concurrent_server_matches_serial_execution() {
 }
 
 #[test]
+fn parallel_sessions_match_serial_and_dop_is_clamped() {
+    let srv = server(ServeConfig { workers: 3, ..Default::default() }, SystemConfig::IronSafe);
+    // Requested DOP is clamped to the worker-pool size.
+    let fast = srv.open_session_with_dop("client-par", "db", 64);
+    assert_eq!(srv.session_dop(fast.id), Some(3));
+    let slow = srv.open_session("client-ser", "db");
+    assert_eq!(srv.session_dop(slow.id), Some(1));
+
+    for qid in [1u8, 6] {
+        let par = srv.submit(fast.id, Job::Query(query(qid))).unwrap().wait();
+        let ser = srv.submit(slow.id, Job::Query(query(qid))).unwrap().wait();
+        let par = par.outcome.expect("parallel query must succeed");
+        let ser = ser.outcome.expect("serial query must succeed");
+        assert_eq!(par.result, ser.result, "q{qid}: DOP must not change rows");
+        assert_eq!(par.breakdown, ser.breakdown, "q{qid}: DOP must not change simulated cost");
+    }
+    srv.shutdown();
+}
+
+#[test]
 fn revoked_session_yields_clean_errors_not_panics() {
     let srv = server(ServeConfig::default(), SystemConfig::StorageOnlySecure);
     let s = srv.open_session("client-0", "db");

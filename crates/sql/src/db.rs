@@ -5,8 +5,9 @@ use crate::catalog::Catalog;
 use crate::exec::collect;
 use crate::expr::eval;
 use crate::heap::{shared, SharedPager};
+use crate::exec::ExecOptions;
 use crate::parser::parse;
-use crate::plan::plan_select;
+use crate::plan::{plan_select, plan_select_with};
 use crate::schema::{Column, Row, Schema};
 use crate::value::Value;
 use crate::{Result, SqlError};
@@ -193,6 +194,28 @@ impl Database {
         let op = plan_select(&self.catalog, &self.pager, stmt)?;
         let (schema, rows) = collect(op)?;
         Ok(QueryResult::Rows { schema, rows })
+    }
+
+    /// Run a `SELECT` under explicit execution options (DOP, morsel
+    /// size). Rows and pager-stats deltas are bit-identical to
+    /// [`Database::select`] at any DOP; parallelism only buys wall-clock.
+    pub fn select_with(&mut self, stmt: &SelectStmt, opts: &ExecOptions) -> Result<QueryResult> {
+        let op = plan_select_with(&self.catalog, &self.pager, stmt, opts)?;
+        let (schema, rows) = collect(op)?;
+        Ok(QueryResult::Rows { schema, rows })
+    }
+
+    /// [`Database::execute_statement`] under explicit execution options.
+    /// Only `SELECT` is affected; DML/DDL always run serially.
+    pub fn execute_statement_with(
+        &mut self,
+        stmt: &Statement,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult> {
+        match stmt {
+            Statement::Select(sel) => self.select_with(sel, opts),
+            other => self.execute_statement(other),
+        }
     }
 
     fn insert(
@@ -526,6 +549,43 @@ mod tests {
         let stats = db.pager_stats();
         assert!(stats.decrypts > 0, "reads went through the secure path");
         assert!(stats.merkle_nodes > 0, "freshness was verified");
+    }
+
+    #[test]
+    fn parallel_select_matches_serial_for_scans_joins_and_aggs() {
+        let mut db = db();
+        db.execute("CREATE TABLE big (k INT, grp TEXT, v FLOAT)").unwrap();
+        let values: Vec<String> =
+            (0..800).map(|i| format!("({i}, 'g{}', {}.5)", i % 5, i % 13)).collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", values.join(", "))).unwrap();
+        db.execute("CREATE TABLE names (g TEXT, label TEXT)").unwrap();
+        db.execute(
+            "INSERT INTO names VALUES ('g0','zero'),('g1','one'),('g2','two'),('g3','three'),('g4','four')",
+        )
+        .unwrap();
+        let queries = [
+            "SELECT k, v FROM big WHERE v > 6 AND k % 7 = 1",
+            "SELECT grp, COUNT(*), SUM(v * 0.9), AVG(v) FROM big WHERE k < 700 GROUP BY grp ORDER BY grp",
+            "SELECT label, SUM(v) AS s FROM big, names WHERE grp = g GROUP BY label ORDER BY s DESC",
+            "SELECT k FROM big WHERE k % 100 = 3 ORDER BY v DESC, k",
+            "SELECT k FROM big ORDER BY k LIMIT 10", // LIMIT plans stay serial
+        ];
+        let opts = ExecOptions { oversubscribe: true, ..ExecOptions::with_dop(4) };
+        for q in queries {
+            let stmt = crate::parser::parse_statement(q).unwrap();
+            let sel = match &stmt {
+                Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            db.reset_pager_stats();
+            let serial = db.select(sel).unwrap();
+            let serial_stats = db.pager_stats();
+            db.reset_pager_stats();
+            let parallel = db.select_with(sel, &opts).unwrap();
+            let parallel_stats = db.pager_stats();
+            assert_eq!(parallel, serial, "rows diverged for {q}");
+            assert_eq!(parallel_stats, serial_stats, "stats diverged for {q}");
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@ pub struct AggSpec {
     pub name: String,
 }
 
-/// Accumulator for one aggregate in one group.
-enum AggState {
+/// Accumulator for one aggregate in one group. `pub(crate)` so the
+/// morsel-parallel aggregate replays the exact same state machine.
+pub(crate) enum AggState {
     Count(i64),
     Sum { int: i64, float: f64, all_int: bool, seen: bool },
     Avg { sum: f64, count: i64 },
@@ -31,7 +32,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> Self {
+    pub(crate) fn new(func: AggFunc) -> Self {
         match func {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum { int: 0, float: 0.0, all_int: true, seen: false },
@@ -41,7 +42,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn update(&mut self, v: &Value) -> Result<()> {
         if v.is_null() {
             return Ok(()); // aggregates skip NULLs
         }
@@ -78,7 +79,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(c) => Value::Int(c),
             AggState::Sum { int, float, all_int, seen } => {
@@ -102,6 +103,116 @@ impl AggState {
     }
 }
 
+/// Output schema of an aggregation: the group columns followed by the
+/// aggregate columns. Shared by [`HashAggregate`] and the morsel-parallel
+/// aggregate so both plans expose identical schemas.
+pub(crate) fn agg_output_schema(group_names: &[String], aggs: &[AggSpec]) -> Schema {
+    let mut columns = Vec::with_capacity(group_names.len() + aggs.len());
+    for name in group_names {
+        // Output types are dynamic; Text is a safe declared default.
+        columns.push(Column::new(name.clone(), DataType::Text));
+    }
+    for a in aggs {
+        let ty = match a.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            _ => DataType::Float,
+        };
+        columns.push(Column::new(a.name.clone(), ty));
+    }
+    Schema::new(columns)
+}
+
+struct Group {
+    keys: Row,
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Vec<u8>>>>,
+}
+
+/// Grouping accumulator: the single-threaded core of hash aggregation,
+/// fed one row at a time in input order. Both the serial operator and
+/// the morsel-parallel merge drive this same state machine, which is
+/// what makes parallel aggregation bit-identical to serial — group
+/// first-seen order, NULL gating, DISTINCT dedup order and the exact
+/// (non-associative) float accumulation order are all decided here.
+pub(crate) struct GroupAcc {
+    groups: HashMap<Vec<u8>, Group>,
+    order: Vec<Vec<u8>>, // first-seen group order
+}
+
+impl GroupAcc {
+    /// `global` (no GROUP BY) pre-seeds the single output group so empty
+    /// input still yields one row.
+    pub(crate) fn new(aggs: &[AggSpec], global: bool) -> Self {
+        let mut acc = GroupAcc { groups: HashMap::new(), order: Vec::new() };
+        if global {
+            acc.groups.insert(
+                Vec::new(),
+                Group {
+                    keys: Vec::new(),
+                    states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    distinct_seen: aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
+                },
+            );
+            acc.order.push(Vec::new());
+        }
+        acc
+    }
+
+    /// Fold one input row: `key` is the concatenated group-key encoding,
+    /// `key_vals` the evaluated group expressions (cloned on first sight
+    /// of the group only), `agg_vals` one evaluated input per aggregate
+    /// (`COUNT(*)` rows pass `Int(1)`).
+    pub(crate) fn update(
+        &mut self,
+        aggs: &[AggSpec],
+        key: &[u8],
+        key_vals: &[Value],
+        agg_vals: &[Value],
+    ) -> Result<()> {
+        if !self.groups.contains_key(key) {
+            self.order.push(key.to_vec());
+            self.groups.insert(
+                key.to_vec(),
+                Group {
+                    keys: key_vals.to_vec(),
+                    states: aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    distinct_seen: aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
+                },
+            );
+        }
+        let group = self.groups.get_mut(key).expect("just ensured");
+        for (i, spec) in aggs.iter().enumerate() {
+            let v = &agg_vals[i];
+            if spec.arg.is_none() || !v.is_null() {
+                if let Some(seen) = &mut group.distinct_seen[i] {
+                    let mut kb = Vec::new();
+                    v.key_bytes(&mut kb);
+                    if !seen.insert(kb) {
+                        continue;
+                    }
+                }
+                group.states[i].update(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit one output row per group, in first-seen order.
+    pub(crate) fn finish(mut self) -> Vec<Row> {
+        let mut rows = Vec::with_capacity(self.order.len());
+        for key in self.order {
+            let g = self.groups.remove(&key).expect("tracked key");
+            let mut row = g.keys;
+            for s in g.states {
+                row.push(s.finish());
+            }
+            rows.push(row);
+        }
+        rows
+    }
+}
+
 /// Hash aggregate: groups by `group_exprs`, computes `aggs` per group.
 ///
 /// Output schema: the group expressions (named `g0..gN` unless overridden)
@@ -121,24 +232,12 @@ impl HashAggregate {
     /// Build the operator. `group_names` label the group-by outputs.
     pub fn new(input: BoxOp, group_exprs: Vec<Expr>, group_names: Vec<String>, aggs: Vec<AggSpec>) -> Self {
         assert_eq!(group_exprs.len(), group_names.len());
-        let mut columns = Vec::with_capacity(group_exprs.len() + aggs.len());
-        for (name, _e) in group_names.iter().zip(group_exprs.iter()) {
-            // Output types are dynamic; Text is a safe declared default.
-            columns.push(Column::new(name.clone(), DataType::Text));
-        }
-        for a in &aggs {
-            let ty = match a.func {
-                AggFunc::Count => DataType::Int,
-                AggFunc::Avg => DataType::Float,
-                _ => DataType::Float,
-            };
-            columns.push(Column::new(a.name.clone(), ty));
-        }
+        let schema = agg_output_schema(&group_names, &aggs);
         HashAggregate {
             input: Some(input),
             group_exprs,
             aggs,
-            schema: Schema::new(columns),
+            schema,
             output: Vec::new().into_iter(),
             emitted: 0,
         }
@@ -146,74 +245,29 @@ impl HashAggregate {
 
     fn materialize(&mut self) -> Result<()> {
         let mut input = self.input.take().expect("materialize called once");
-        struct Group {
-            keys: Row,
-            states: Vec<AggState>,
-            distinct_seen: Vec<Option<HashSet<Vec<u8>>>>,
-        }
-        let mut groups: HashMap<Vec<u8>, Group> = HashMap::new();
-        let mut order: Vec<Vec<u8>> = Vec::new(); // first-seen group order
-
-        let global = self.group_exprs.is_empty();
-        if global {
-            let g = Group {
-                keys: Vec::new(),
-                states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                distinct_seen: self.aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
-            };
-            groups.insert(Vec::new(), g);
-            order.push(Vec::new());
-        }
-
+        let mut acc = GroupAcc::new(&self.aggs, self.group_exprs.is_empty());
+        let mut agg_vals = Vec::with_capacity(self.aggs.len());
+        let mut key = Vec::new();
+        let mut key_vals = Vec::with_capacity(self.group_exprs.len());
         while let Some(row) = input.next()? {
             let schema = input.schema();
-            let mut key = Vec::new();
-            let mut key_vals = Vec::with_capacity(self.group_exprs.len());
+            key.clear();
+            key_vals.clear();
             for e in &self.group_exprs {
                 let v = eval(e, schema, &row)?;
                 v.key_bytes(&mut key);
                 key_vals.push(v);
             }
-            if !groups.contains_key(&key) {
-                order.push(key.clone());
-                groups.insert(
-                    key.clone(),
-                    Group {
-                        keys: key_vals,
-                        states: self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                        distinct_seen: self.aggs.iter().map(|a| a.distinct.then(HashSet::new)).collect(),
-                    },
-                );
-            }
-            let group = groups.get_mut(&key).expect("just ensured");
-            for (i, spec) in self.aggs.iter().enumerate() {
-                let v = match &spec.arg {
+            agg_vals.clear();
+            for spec in &self.aggs {
+                agg_vals.push(match &spec.arg {
                     None => Value::Int(1), // COUNT(*) counts rows
                     Some(e) => eval(e, schema, &row)?,
-                };
-                if spec.arg.is_none() || !v.is_null() {
-                    if let Some(seen) = &mut group.distinct_seen[i] {
-                        let mut kb = Vec::new();
-                        v.key_bytes(&mut kb);
-                        if !seen.insert(kb) {
-                            continue;
-                        }
-                    }
-                    group.states[i].update(&v)?;
-                }
+                });
             }
+            acc.update(&self.aggs, &key, &key_vals, &agg_vals)?;
         }
-
-        let mut rows = Vec::with_capacity(order.len());
-        for key in order {
-            let g = groups.remove(&key).expect("tracked key");
-            let mut row = g.keys;
-            for s in g.states {
-                row.push(s.finish());
-            }
-            rows.push(row);
-        }
-        self.output = rows.into_iter();
+        self.output = acc.finish().into_iter();
         Ok(())
     }
 }

@@ -6,11 +6,16 @@
 
 pub mod aggregate;
 pub mod join;
+pub mod morsel;
 pub mod scan;
 pub mod sort;
 
 pub use aggregate::{AggSpec, HashAggregate};
 pub use join::{HashJoin, NestedLoopJoin};
+pub use morsel::{
+    Dop, ExecMetrics, ExecOptions, Morsel, MorselScan, MorselSource, ParallelHashAggregate,
+    partition_pages,
+};
 pub use scan::SeqScan;
 pub use sort::Sort;
 

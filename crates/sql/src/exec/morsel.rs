@@ -1,0 +1,621 @@
+//! Morsel-driven parallel scan and aggregation.
+//!
+//! The serial operators pull one row at a time through one core. For
+//! read-only plans over heap tables, this module splits the heap's page
+//! list into fixed-size **morsels**, hands them to a pool of worker
+//! threads (bounded by [`Dop`] and the machine's available
+//! parallelism), and merges per-morsel results in morsel order — which
+//! *is* page order, which *is* the serial row order.
+//!
+//! Each worker claims morsels off a shared atomic cursor, batch-reads
+//! the morsel's pages through [`Pager::read_pages`] (one pager lock per
+//! morsel, pipelined decrypt + verify for secure pagers), then decodes,
+//! filters, and pre-evaluates expressions outside the lock with a reused
+//! scratch row.
+//!
+//! **Determinism invariant**: parallel execution buys wall-clock time
+//! only — `QueryResult` rows, `CostBreakdown`s and `PagerStats` deltas
+//! are bit-identical to serial execution at any DOP. Scans preserve row
+//! order by construction. Aggregation is the subtle part: float
+//! accumulation is not associative and group order is first-seen, so
+//! workers only *pre-evaluate* per-row expressions; a single-threaded
+//! merge replays the exact serial [`GroupAcc`] state machine in row
+//! order. Page-level counters commute, so batched out-of-order reads
+//! leave every stats delta unchanged.
+
+use crate::ast::Expr;
+use crate::exec::aggregate::{agg_output_schema, AggSpec, GroupAcc};
+use crate::exec::{BoxOp, Operator};
+use crate::expr::{bind, eval_bound, BoundExpr};
+use crate::heap::{scan_page_rows, HeapFile, SharedPager};
+use crate::schema::{Row, Schema};
+use crate::value::Value;
+use crate::{Result, SqlError};
+use ironsafe_obs::{Counter, Registry, Span, Trace};
+use ironsafe_storage::pager::PageId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pages per morsel when [`ExecOptions::morsel_pages`] is not overridden.
+pub const DEFAULT_MORSEL_PAGES: usize = 16;
+
+/// Degree of parallelism for morsel execution. `Dop::new(1)` (the
+/// default) keeps every plan on the serial operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dop(usize);
+
+impl Dop {
+    /// Clamp `n` to at least 1.
+    pub fn new(n: usize) -> Self {
+        Dop(n.max(1))
+    }
+
+    /// Worker count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+}
+
+impl Default for Dop {
+    fn default() -> Self {
+        Dop(1)
+    }
+}
+
+/// Live `exec.morsel.*` counters bumped by morsel workers.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Parallel scans dispatched (`exec.morsel.scans`).
+    pub scans: Counter,
+    /// Morsels claimed by workers (`exec.morsel.dispatched`).
+    pub morsels: Counter,
+    /// Rows decoded by morsel workers (`exec.morsel.rows`).
+    pub rows: Counter,
+}
+
+impl ExecMetrics {
+    /// Attach every cell to `registry` under its `exec.morsel.*` name.
+    pub fn register(&self, registry: &Registry) {
+        registry.register_counter("exec.morsel.scans", &self.scans);
+        registry.register_counter("exec.morsel.dispatched", &self.morsels);
+        registry.register_counter("exec.morsel.rows", &self.rows);
+    }
+}
+
+/// Knobs for morsel execution, threaded from the session/system down to
+/// the planner.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker count; 1 selects the serial operators.
+    pub dop: Dop,
+    /// Pages per morsel.
+    pub morsel_pages: usize,
+    /// Spawn exactly `dop` workers even beyond the machine's available
+    /// parallelism. Off by default: the pool is additionally capped at
+    /// `std::thread::available_parallelism()`, because surplus threads
+    /// on saturated cores cost context switches without buying any
+    /// wall-clock time. Tests force it on to exercise cross-thread
+    /// determinism regardless of the host's core count.
+    pub oversubscribe: bool,
+    /// Live counters shared by every scan run under these options.
+    pub metrics: ExecMetrics,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            dop: Dop::default(),
+            morsel_pages: DEFAULT_MORSEL_PAGES,
+            oversubscribe: false,
+            metrics: ExecMetrics::default(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// Parallel execution with `dop` workers.
+    pub fn with_dop(dop: usize) -> Self {
+        ExecOptions { dop: Dop::new(dop), ..Self::default() }
+    }
+
+    /// True when plans should use the morsel operators.
+    pub fn parallel(&self) -> bool {
+        self.dop.get() > 1
+    }
+}
+
+/// A contiguous run of heap page indexes, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First page index.
+    pub start: usize,
+    /// One past the last page index.
+    pub end: usize,
+}
+
+/// Split `num_pages` heap pages into fixed-size morsels. Every page
+/// index in `0..num_pages` lands in exactly one morsel; concatenating
+/// the morsels in order yields `0..num_pages`.
+pub fn partition_pages(num_pages: usize, morsel_pages: usize) -> Vec<Morsel> {
+    let size = morsel_pages.max(1);
+    let mut morsels = Vec::with_capacity(num_pages.div_ceil(size));
+    let mut start = 0;
+    while start < num_pages {
+        let end = (start + size).min(num_pages);
+        morsels.push(Morsel { start, end });
+        start = end;
+    }
+    morsels
+}
+
+/// One heap scan the morsel engine can parallelize: the table's heap,
+/// the pager it lives on, the scan schema, and an optional pushed-down
+/// predicate evaluated inside the workers.
+#[derive(Clone)]
+pub struct MorselSource {
+    /// Scan output schema (the table's columns).
+    pub schema: Schema,
+    /// The table's page list.
+    pub heap: HeapFile,
+    /// Pager the pages live on.
+    pub pager: SharedPager,
+    /// Pushed-down filter; rows failing it are dropped inside workers
+    /// without being cloned out of the scratch buffer.
+    pub pred: Option<Expr>,
+}
+
+/// Run `per_row` over every row of `source` (post-predicate), folding
+/// each morsel's rows into a fresh `M`, morsels in parallel. Returns the
+/// per-morsel accumulators in morsel order — i.e. in serial row order —
+/// so callers merge without re-sorting. The first error, by morsel
+/// order, is returned. Folding into per-morsel state (rather than
+/// emitting per-row values) lets callers amortize allocations across a
+/// whole morsel.
+fn run_morsels<M, F>(source: &MorselSource, opts: &ExecOptions, per_row: F) -> Result<Vec<M>>
+where
+    M: Default + Send,
+    F: Fn(&Row, &mut M) -> Result<()> + Sync,
+{
+    let payload = source.pager.lock().payload_size();
+    let ncols = source.schema.len();
+    let morsels = partition_pages(source.heap.pages.len(), opts.morsel_pages);
+    opts.metrics.scans.inc();
+
+    // Bind the predicate once: per-row evaluation then skips column-name
+    // resolution entirely (see `crate::expr::bind`).
+    let pred: Option<BoundExpr> = match &source.pred {
+        Some(p) => Some(bind(p, &source.schema)?),
+        None => None,
+    };
+    let pred = pred.as_ref();
+
+    // Per-morsel kernel: one batched read under the pager lock, then
+    // decode + filter + fold outside it with a reused scratch row.
+    let work = |m: &Morsel, scratch: &mut Row| -> Result<M> {
+        let ids: Vec<PageId> = source.heap.pages[m.start..m.end].to_vec();
+        let mut buf = vec![0u8; ids.len() * payload];
+        source.pager.lock().read_pages(&ids, &mut buf).map_err(SqlError::from)?;
+        opts.metrics.morsels.inc();
+        let mut acc = M::default();
+        let mut rows_seen = 0u64;
+        for page in buf.chunks_exact(payload) {
+            scan_page_rows(page, ncols, scratch, |row| {
+                rows_seen += 1;
+                if let Some(pred) = pred {
+                    if !eval_bound(pred, row)?.is_truthy() {
+                        return Ok(());
+                    }
+                }
+                per_row(row, &mut acc)
+            })?;
+        }
+        opts.metrics.rows.add(rows_seen);
+        Ok(acc)
+    };
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cap = if opts.oversubscribe { usize::MAX } else { hw };
+    let nworkers = opts.dop.get().min(morsels.len()).min(cap).max(1);
+    if nworkers <= 1 {
+        let mut scratch: Row = Vec::with_capacity(ncols);
+        let mut out = Vec::with_capacity(morsels.len());
+        for m in &morsels {
+            out.push(work(m, &mut scratch)?);
+        }
+        return Ok(out);
+    }
+
+    let slots: Vec<Mutex<Option<Result<M>>>> =
+        morsels.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let trace = Trace::current();
+    crossbeam::thread::scope(|s| {
+        for w in 0..nworkers {
+            let trace = trace.clone();
+            let (slots, cursor, morsels, work) = (&slots, &cursor, &morsels, &work);
+            s.spawn(move |_| {
+                // Workers join the parent's trace so their spans land in
+                // the same timeline; they attribute no simulated time
+                // (parallelism buys wall-clock, not simulated time).
+                let _guard = trace.as_ref().map(|t| t.install());
+                let name = format!("exec/morsel_worker{w}");
+                let _span = Span::enter(&name);
+                let mut scratch: Row = Vec::with_capacity(ncols);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= morsels.len() {
+                        break;
+                    }
+                    *slots[i].lock() = Some(work(&morsels[i], &mut scratch));
+                }
+            });
+        }
+    })
+    .expect("morsel workers do not panic");
+
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.into_inner().expect("every morsel was claimed") {
+            Ok(m) => out.push(m),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Parallel sequential scan: emits exactly the rows (in exactly the
+/// order) of `SeqScan` + an optional `Filter`, using the morsel pool.
+/// Materializes on first pull.
+pub struct MorselScan {
+    source: MorselSource,
+    opts: ExecOptions,
+    output: std::vec::IntoIter<Row>,
+    started: bool,
+    emitted: u64,
+}
+
+impl MorselScan {
+    /// Build a parallel scan over `source`.
+    pub fn new(source: MorselSource, opts: ExecOptions) -> Self {
+        MorselScan { source, opts, output: Vec::new().into_iter(), started: false, emitted: 0 }
+    }
+}
+
+impl Operator for MorselScan {
+    fn schema(&self) -> &Schema {
+        &self.source.schema
+    }
+
+    fn describe(&self) -> String {
+        let pred = match &self.source.pred {
+            Some(p) => format!(", filter {}", crate::ast::expr_to_sql(p)),
+            None => String::new(),
+        };
+        format!(
+            "MorselScan ({} pages, {} rows, dop {}{pred})",
+            self.source.heap.page_count(),
+            self.source.heap.row_count,
+            self.opts.dop.get()
+        )
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.started {
+            self.started = true;
+            let chunks = run_morsels(&self.source, &self.opts, |row, out: &mut Vec<Row>| {
+                out.push(row.clone());
+                Ok(())
+            })?;
+            let mut rows = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+            for mut c in chunks {
+                rows.append(&mut c);
+            }
+            self.output = rows.into_iter();
+        }
+        let row = self.output.next();
+        self.emitted += row.is_some() as u64;
+        Ok(row)
+    }
+}
+
+/// One morsel's pre-evaluated aggregation inputs, stored flat: group-key
+/// encodings concatenated in `keys` (row boundaries in `key_ends`) and
+/// evaluated values row-major in `vals` (group values then aggregate
+/// inputs, fixed width per row).
+#[derive(Default)]
+struct TupleArena {
+    keys: Vec<u8>,
+    key_ends: Vec<usize>,
+    vals: Vec<Value>,
+}
+
+/// Parallel hash aggregation over a single heap scan.
+///
+/// Workers pre-evaluate the expensive per-row work — page decode,
+/// predicate, group-key encoding, aggregate inputs — and the merge
+/// replays the serial [`GroupAcc`] state machine single-threaded in row
+/// order. Group first-seen order, DISTINCT dedup, NULL gating and float
+/// accumulation order are therefore identical to [`HashAggregate`]
+/// (`crate::exec::HashAggregate`) at any DOP.
+pub struct ParallelHashAggregate {
+    source: MorselSource,
+    opts: ExecOptions,
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    output: std::vec::IntoIter<Row>,
+    started: bool,
+    emitted: u64,
+}
+
+impl ParallelHashAggregate {
+    /// Build the operator; mirrors `HashAggregate::new` but reads its
+    /// input via the morsel pool instead of a child operator.
+    pub fn new(
+        source: MorselSource,
+        opts: ExecOptions,
+        group_exprs: Vec<Expr>,
+        group_names: Vec<String>,
+        aggs: Vec<AggSpec>,
+    ) -> Self {
+        assert_eq!(group_exprs.len(), group_names.len());
+        let schema = agg_output_schema(&group_names, &aggs);
+        ParallelHashAggregate {
+            source,
+            opts,
+            group_exprs,
+            aggs,
+            schema,
+            output: Vec::new().into_iter(),
+            started: false,
+            emitted: 0,
+        }
+    }
+
+    fn materialize(&mut self) -> Result<()> {
+        let schema = &self.source.schema;
+        // Bind group keys and aggregate inputs once; workers then
+        // evaluate index-resolved expressions per row.
+        let groups: Vec<BoundExpr> =
+            self.group_exprs.iter().map(|e| bind(e, schema)).collect::<Result<_>>()?;
+        let args: Vec<Option<BoundExpr>> = self
+            .aggs
+            .iter()
+            .map(|spec| spec.arg.as_ref().map(|e| bind(e, schema)).transpose())
+            .collect::<Result<_>>()?;
+        // Workers: evaluate group keys and aggregate inputs per row into
+        // flat per-morsel arenas — no per-row allocations, just three
+        // amortized Vec growths per morsel.
+        let arenas = run_morsels(&self.source, &self.opts, |row, arena: &mut TupleArena| {
+            for e in &groups {
+                let v = eval_bound(e, row)?;
+                v.key_bytes(&mut arena.keys);
+                arena.vals.push(v);
+            }
+            for arg in &args {
+                arena.vals.push(match arg {
+                    None => Value::Int(1), // COUNT(*) counts rows
+                    Some(e) => eval_bound(e, row)?,
+                });
+            }
+            arena.key_ends.push(arena.keys.len());
+            Ok(())
+        })?;
+        // Merge: replay the serial accumulator in row order.
+        let ngroups = self.group_exprs.len();
+        let width = ngroups + self.aggs.len();
+        let mut acc = GroupAcc::new(&self.aggs, self.group_exprs.is_empty());
+        for arena in arenas {
+            let mut start = 0;
+            for (i, &end) in arena.key_ends.iter().enumerate() {
+                let vals = &arena.vals[i * width..(i + 1) * width];
+                acc.update(&self.aggs, &arena.keys[start..end], &vals[..ngroups], &vals[ngroups..])?;
+                start = end;
+            }
+        }
+        self.output = acc.finish().into_iter();
+        Ok(())
+    }
+}
+
+impl Operator for ParallelHashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn describe(&self) -> String {
+        let groups: Vec<String> = self.group_exprs.iter().map(crate::ast::expr_to_sql).collect();
+        let aggs: Vec<String> = self.aggs.iter().map(|a| a.name.clone()).collect();
+        format!(
+            "ParallelHashAggregate: group by [{}], compute [{}] (dop {})",
+            groups.join(", "),
+            aggs.join(", "),
+            self.opts.dop.get()
+        )
+    }
+
+    fn rows_out(&self) -> u64 {
+        self.emitted
+    }
+
+    fn next(&mut self) -> Result<Option<Row>> {
+        if !self.started {
+            self.started = true;
+            self.materialize()?;
+        }
+        let row = self.output.next();
+        self.emitted += row.is_some() as u64;
+        Ok(row)
+    }
+}
+
+/// Boxed [`MorselScan`] as a plan source.
+pub fn boxed_scan(source: MorselSource, opts: &ExecOptions) -> BoxOp {
+    Box::new(MorselScan::new(source, opts.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggFunc;
+    use crate::exec::{collect, Filter, HashAggregate, SeqScan};
+    use crate::heap::shared;
+    use crate::parser::parse_expression;
+    use crate::schema::Column;
+    use crate::value::DataType;
+    use ironsafe_storage::pager::PlainPager;
+    use proptest::prelude::*;
+
+    fn fixture(nrows: i64) -> (MorselSource, SharedPager) {
+        let pager = shared(PlainPager::new());
+        let mut heap = HeapFile::new();
+        heap.append_rows(
+            &pager,
+            (0..nrows).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("grp{}", i % 7)),
+                    Value::Float(i as f64 * 0.25),
+                ]
+            }),
+        )
+        .unwrap();
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("g", DataType::Text),
+            Column::new("x", DataType::Float),
+        ]);
+        (MorselSource { schema, heap, pager: pager.clone(), pred: None }, pager)
+    }
+
+    #[test]
+    fn parallel_scan_matches_serial_scan_rows_and_stats() {
+        let (mut source, pager) = fixture(2000);
+        source.pred = Some(parse_expression("a % 3 = 0").unwrap());
+        pager.lock().reset_stats();
+        let serial = {
+            let scan = Box::new(SeqScan::new(
+                source.schema.clone(),
+                source.heap.clone(),
+                pager.clone(),
+            ));
+            let filtered = Box::new(Filter::new(scan, source.pred.clone().unwrap()));
+            collect(filtered).unwrap().1
+        };
+        let serial_stats = pager.lock().stats();
+        pager.lock().reset_stats();
+        let opts =
+            ExecOptions { morsel_pages: 3, oversubscribe: true, ..ExecOptions::with_dop(4) };
+        let parallel =
+            collect(Box::new(MorselScan::new(source.clone(), opts.clone()))).unwrap().1;
+        let parallel_stats = pager.lock().stats();
+        assert_eq!(parallel, serial, "row stream must be order-identical");
+        assert_eq!(parallel_stats, serial_stats, "stats delta must be identical");
+        assert!(opts.metrics.morsels.get() > 1);
+        assert_eq!(opts.metrics.rows.get(), 2000);
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial_bit_for_bit() {
+        let (source, pager) = fixture(3000);
+        let group_exprs = vec![parse_expression("g").unwrap()];
+        let aggs = vec![
+            AggSpec { func: AggFunc::Count, arg: None, distinct: false, name: "cnt".into() },
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(parse_expression("x * 1.1").unwrap()),
+                distinct: false,
+                name: "s".into(),
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                arg: Some(parse_expression("x").unwrap()),
+                distinct: false,
+                name: "m".into(),
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                arg: Some(parse_expression("a % 11").unwrap()),
+                distinct: true,
+                name: "d".into(),
+            },
+        ];
+        let serial = {
+            let scan = Box::new(SeqScan::new(
+                source.schema.clone(),
+                source.heap.clone(),
+                pager.clone(),
+            ));
+            let agg = HashAggregate::new(
+                scan,
+                group_exprs.clone(),
+                vec!["g".into()],
+                aggs.clone(),
+            );
+            collect(Box::new(agg)).unwrap()
+        };
+        for dop in [2, 4, 8] {
+            let par = collect(Box::new(ParallelHashAggregate::new(
+                source.clone(),
+                ExecOptions { morsel_pages: 2, oversubscribe: true, ..ExecOptions::with_dop(dop) },
+                group_exprs.clone(),
+                vec!["g".into()],
+                aggs.clone(),
+            )))
+            .unwrap();
+            assert_eq!(par.1, serial.1, "dop {dop} drifted from serial");
+            assert_eq!(
+                par.0.columns.iter().map(|c| &c.name).collect::<Vec<_>>(),
+                serial.0.columns.iter().map(|c| &c.name).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_heap_parallel_global_aggregate_yields_one_row() {
+        let pager = shared(PlainPager::new());
+        let source = MorselSource {
+            schema: Schema::new(vec![Column::new("a", DataType::Int)]),
+            heap: HeapFile::new(),
+            pager,
+            pred: None,
+        };
+        let agg = ParallelHashAggregate::new(
+            source,
+            ExecOptions::with_dop(4),
+            vec![],
+            vec![],
+            vec![AggSpec { func: AggFunc::Count, arg: None, distinct: false, name: "c".into() }],
+        );
+        let (_, rows) = collect(Box::new(agg)).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]]);
+    }
+
+    proptest! {
+        #[test]
+        fn partitioner_covers_every_page_exactly_once(
+            num_pages in 0usize..5000,
+            morsel_pages in 0usize..130,
+        ) {
+            let morsels = partition_pages(num_pages, morsel_pages);
+            // Concatenated, the morsels are exactly 0..num_pages: no
+            // gaps, no overlaps, order preserved.
+            let mut covered = Vec::with_capacity(num_pages);
+            for m in &morsels {
+                prop_assert!(m.start < m.end, "empty morsel {m:?}");
+                prop_assert!(m.end - m.start <= morsel_pages.max(1));
+                covered.extend(m.start..m.end);
+            }
+            prop_assert_eq!(covered, (0..num_pages).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,4 +1,18 @@
 //! Expression evaluation against a row.
+//!
+//! Two evaluators share one set of semantic helpers:
+//!
+//! * [`eval`] walks the parsed [`Expr`] tree, resolving column names
+//!   against the [`Schema`] on every row — simple, and fine for the
+//!   volcano operators.
+//! * [`bind`] + [`eval_bound`] split that work: binding resolves every
+//!   column reference to its row index **once per scan**, so per-row
+//!   evaluation skips name resolution (case folding plus a linear
+//!   column search) entirely. The morsel workers use this path.
+//!
+//! All operator semantics (three-valued logic, arithmetic promotion,
+//! built-in functions, `LIKE`) live in shared helpers, so the two
+//! evaluators cannot drift apart.
 
 use crate::ast::{BinOp, Expr, UnaryOp};
 use crate::schema::{Row, Schema};
@@ -11,85 +25,26 @@ use std::cmp::Ordering;
 /// Aggregate calls are *not* valid here — the aggregation operator
 /// replaces them with computed columns before evaluation.
 pub fn eval(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
+    let ev = |e: &Expr| eval(e, schema, row);
     match expr {
         Expr::Column(name) => {
             let idx = schema.resolve(name)?;
             Ok(row[idx].clone())
         }
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Unary { op, expr } => {
-            let v = eval(expr, schema, row)?;
-            match op {
-                UnaryOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(SqlError::Eval(format!("cannot negate {other:?}"))),
-                },
-                UnaryOp::Not => {
-                    if v.is_null() {
-                        Ok(Value::Null)
-                    } else {
-                        Ok(Value::Int(!v.is_truthy() as i64))
-                    }
-                }
-            }
-        }
-        Expr::Binary { op, left, right } => eval_binary(*op, left, right, schema, row),
+        Expr::Unary { op, expr } => unary_value(*op, ev(expr)?),
+        Expr::Binary { op, left, right } => eval_binary_with(*op, &**left, &**right, &ev),
         Expr::Between { expr, low, high, negated } => {
-            let v = eval(expr, schema, row)?;
-            let lo = eval(low, schema, row)?;
-            let hi = eval(high, schema, row)?;
-            match (v.compare(&lo), v.compare(&hi)) {
-                (Some(a), Some(b)) => {
-                    let inside = a != Ordering::Less && b != Ordering::Greater;
-                    Ok(Value::Int((inside ^ negated) as i64))
-                }
-                _ => Ok(Value::Null),
-            }
+            Ok(between_values(ev(expr)?, ev(low)?, ev(high)?, *negated))
         }
-        Expr::InList { expr, list, negated } => {
-            let v = eval(expr, schema, row)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            let mut found = false;
-            for item in list {
-                let iv = eval(item, schema, row)?;
-                if v.compare(&iv) == Some(Ordering::Equal) {
-                    found = true;
-                    break;
-                }
-            }
-            Ok(Value::Int((found ^ negated) as i64))
-        }
-        Expr::Like { expr, pattern, negated } => {
-            let v = eval(expr, schema, row)?;
-            match v {
-                Value::Null => Ok(Value::Null),
-                Value::Text(s) => Ok(Value::Int((like_match(pattern, &s) ^ negated) as i64)),
-                other => Err(SqlError::Eval(format!("LIKE needs text, got {other:?}"))),
-            }
-        }
-        Expr::IsNull { expr, negated } => {
-            let v = eval(expr, schema, row)?;
-            Ok(Value::Int((v.is_null() ^ negated) as i64))
-        }
-        Expr::Case { when_then, else_expr } => {
-            for (cond, val) in when_then {
-                if eval(cond, schema, row)?.is_truthy() {
-                    return eval(val, schema, row);
-                }
-            }
-            match else_expr {
-                Some(e) => eval(e, schema, row),
-                None => Ok(Value::Null),
-            }
-        }
+        Expr::InList { expr, list, negated } => in_list_with(ev(expr)?, list, *negated, &ev),
+        Expr::Like { expr, pattern, negated } => like_value(ev(expr)?, pattern, *negated),
+        Expr::IsNull { expr, negated } => Ok(Value::Int((ev(expr)?.is_null() ^ negated) as i64)),
+        Expr::Case { when_then, else_expr } => case_with(when_then, else_expr.as_deref(), &ev),
         Expr::Func { name, args } => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, schema, row)?);
+                vals.push(ev(a)?);
             }
             eval_func(name, &vals)
         }
@@ -97,42 +52,233 @@ pub fn eval(expr: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
     }
 }
 
-fn eval_binary(op: BinOp, left: &Expr, right: &Expr, schema: &Schema, row: &Row) -> Result<Value> {
-    // Short-circuit logical operators with SQL three-valued logic.
+/// An [`Expr`] with every column reference pre-resolved to its row
+/// index. Built by [`bind`], evaluated by [`eval_bound`].
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Column reference, resolved to a row index.
+    Col(usize),
+    /// Literal value.
+    Literal(Value),
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<BoundExpr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound (inclusive).
+        low: Box<BoundExpr>,
+        /// Upper bound (inclusive).
+        high: Box<BoundExpr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidate values.
+        list: Vec<BoundExpr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// The pattern (`%`/`_` wildcards).
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `CASE WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// `(condition, result)` arms, tried in order.
+        when_then: Vec<(BoundExpr, BoundExpr)>,
+        /// `ELSE` result; `NULL` when absent.
+        else_expr: Option<Box<BoundExpr>>,
+    },
+    /// Built-in scalar function call.
+    Func {
+        /// Function name (upper-case).
+        name: String,
+        /// Argument expressions.
+        args: Vec<BoundExpr>,
+    },
+}
+
+/// Resolve every column reference in `expr` against `schema`, producing
+/// a [`BoundExpr`] that evaluates without per-row name lookups.
+///
+/// Errors on unknown or ambiguous columns and on aggregate calls — the
+/// same conditions [`eval`] would report, just surfaced at bind time.
+pub fn bind(expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
+    Ok(match expr {
+        Expr::Column(name) => BoundExpr::Col(schema.resolve(name)?),
+        Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+        Expr::Unary { op, expr } => {
+            BoundExpr::Unary { op: *op, expr: Box::new(bind(expr, schema)?) }
+        }
+        Expr::Binary { op, left, right } => BoundExpr::Binary {
+            op: *op,
+            left: Box::new(bind(left, schema)?),
+            right: Box::new(bind(right, schema)?),
+        },
+        Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+            expr: Box::new(bind(expr, schema)?),
+            low: Box::new(bind(low, schema)?),
+            high: Box::new(bind(high, schema)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => BoundExpr::InList {
+            expr: Box::new(bind(expr, schema)?),
+            list: list.iter().map(|e| bind(e, schema)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            expr: Box::new(bind(expr, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => {
+            BoundExpr::IsNull { expr: Box::new(bind(expr, schema)?), negated: *negated }
+        }
+        Expr::Case { when_then, else_expr } => BoundExpr::Case {
+            when_then: when_then
+                .iter()
+                .map(|(c, v)| Ok((bind(c, schema)?, bind(v, schema)?)))
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(bind(e, schema)?)),
+                None => None,
+            },
+        },
+        Expr::Func { name, args } => BoundExpr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| bind(a, schema)).collect::<Result<_>>()?,
+        },
+        Expr::Agg { .. } => {
+            return Err(SqlError::Eval("aggregate outside aggregation context".into()))
+        }
+    })
+}
+
+/// Evaluate a [`BoundExpr`] against `row`. Semantically identical to
+/// [`eval`] on the expression it was bound from (shared helpers), minus
+/// the per-row column-name resolution.
+pub fn eval_bound(expr: &BoundExpr, row: &Row) -> Result<Value> {
+    let ev = |e: &BoundExpr| eval_bound(e, row);
+    match expr {
+        BoundExpr::Col(idx) => Ok(row[*idx].clone()),
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Unary { op, expr } => unary_value(*op, ev(expr)?),
+        BoundExpr::Binary { op, left, right } => eval_binary_with(*op, &**left, &**right, &ev),
+        BoundExpr::Between { expr, low, high, negated } => {
+            Ok(between_values(ev(expr)?, ev(low)?, ev(high)?, *negated))
+        }
+        BoundExpr::InList { expr, list, negated } => in_list_with(ev(expr)?, list, *negated, &ev),
+        BoundExpr::Like { expr, pattern, negated } => like_value(ev(expr)?, pattern, *negated),
+        BoundExpr::IsNull { expr, negated } => {
+            Ok(Value::Int((ev(expr)?.is_null() ^ negated) as i64))
+        }
+        BoundExpr::Case { when_then, else_expr } => {
+            case_with(when_then, else_expr.as_deref(), &ev)
+        }
+        BoundExpr::Func { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(ev(a)?);
+            }
+            eval_func(name, &vals)
+        }
+    }
+}
+
+/// Apply a unary operator to an already-evaluated operand.
+fn unary_value(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Eval(format!("cannot negate {other:?}"))),
+        },
+        UnaryOp::Not => {
+            if v.is_null() {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Int(!v.is_truthy() as i64))
+            }
+        }
+    }
+}
+
+/// Binary operator over lazily-evaluated operands — `AND`/`OR` apply SQL
+/// three-valued logic with short-circuiting; everything else evaluates
+/// both sides and defers to [`binary_values`]. Generic over the node
+/// type so [`eval`] and [`eval_bound`] share one implementation.
+fn eval_binary_with<E>(
+    op: BinOp,
+    left: &E,
+    right: &E,
+    ev: &impl Fn(&E) -> Result<Value>,
+) -> Result<Value> {
     match op {
         BinOp::And => {
-            let l = eval(left, schema, row)?;
+            let l = ev(left)?;
             if !l.is_null() && !l.is_truthy() {
                 return Ok(Value::Int(0));
             }
-            let r = eval(right, schema, row)?;
+            let r = ev(right)?;
             if !r.is_null() && !r.is_truthy() {
                 return Ok(Value::Int(0));
             }
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            return Ok(Value::Int(1));
+            Ok(Value::Int(1))
         }
         BinOp::Or => {
-            let l = eval(left, schema, row)?;
+            let l = ev(left)?;
             if !l.is_null() && l.is_truthy() {
                 return Ok(Value::Int(1));
             }
-            let r = eval(right, schema, row)?;
+            let r = ev(right)?;
             if !r.is_null() && r.is_truthy() {
                 return Ok(Value::Int(1));
             }
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            return Ok(Value::Int(0));
+            Ok(Value::Int(0))
         }
-        _ => {}
+        _ => binary_values(op, ev(left)?, ev(right)?),
     }
+}
 
-    let l = eval(left, schema, row)?;
-    let r = eval(right, schema, row)?;
+/// Non-logical binary operator over already-evaluated operands.
+fn binary_values(op: BinOp, l: Value, r: Value) -> Result<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -153,7 +299,67 @@ fn eval_binary(op: BinOp, left: &Expr, right: &Expr, schema: &Schema, row: &Row)
             };
             Ok(Value::Int(b as i64))
         }
-        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        BinOp::And | BinOp::Or => unreachable!("short-circuited by eval_binary_with"),
+    }
+}
+
+/// `BETWEEN` over already-evaluated operands (NULL if any side is
+/// incomparable).
+fn between_values(v: Value, lo: Value, hi: Value, negated: bool) -> Value {
+    match (v.compare(&lo), v.compare(&hi)) {
+        (Some(a), Some(b)) => {
+            let inside = a != Ordering::Less && b != Ordering::Greater;
+            Value::Int((inside ^ negated) as i64)
+        }
+        _ => Value::Null,
+    }
+}
+
+/// `IN (list…)` with short-circuit on the first match; generic over the
+/// node type for the same reason as [`eval_binary_with`].
+fn in_list_with<E>(
+    v: Value,
+    list: &[E],
+    negated: bool,
+    ev: &impl Fn(&E) -> Result<Value>,
+) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let mut found = false;
+    for item in list {
+        let iv = ev(item)?;
+        if v.compare(&iv) == Some(Ordering::Equal) {
+            found = true;
+            break;
+        }
+    }
+    Ok(Value::Int((found ^ negated) as i64))
+}
+
+/// `LIKE` over an already-evaluated operand.
+fn like_value(v: Value, pattern: &str, negated: bool) -> Result<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Text(s) => Ok(Value::Int((like_match(pattern, &s) ^ negated) as i64)),
+        other => Err(SqlError::Eval(format!("LIKE needs text, got {other:?}"))),
+    }
+}
+
+/// `CASE` with lazily-evaluated arms.
+fn case_with<E>(
+    when_then: &[(E, E)],
+    else_expr: Option<&E>,
+    ev: &impl Fn(&E) -> Result<Value>,
+) -> Result<Value> {
+    for (cond, val) in when_then {
+        if ev(cond)?.is_truthy() {
+            return ev(val);
+        }
+    }
+    match else_expr {
+        Some(e) => ev(e),
+        None => Ok(Value::Null),
     }
 }
 
@@ -422,6 +628,61 @@ mod tests {
         let row = vec![Value::Text("1995-06-17".into())];
         let e = parse_expression("d BETWEEN '1995-01-01' AND '1995-12-31'").unwrap();
         assert_eq!(eval(&e, &schema, &row).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn bound_eval_matches_tree_eval_on_every_form() {
+        // One expression per variant family, evaluated both ways over
+        // rows covering NULLs, negatives and text.
+        let exprs = [
+            "a + 5 * b - 2",
+            "-a % 3",
+            "a / 4",
+            "n + 1",
+            "NOT (a = 10)",
+            "n = 1 AND a = 10",
+            "n = 1 OR a = 99",
+            "a BETWEEN 5 AND 15",
+            "n BETWEEN 1 AND 2",
+            "a NOT IN (1, 10, 100)",
+            "n IN (1, 2)",
+            "s LIKE 'hel%'",
+            "s NOT LIKE '%z%'",
+            "n IS NULL",
+            "s IS NOT NULL",
+            "CASE WHEN a > 5 THEN s ELSE 'small' END",
+            "CASE WHEN a > 99 THEN 'big' END",
+            "SUBSTR(s, 2, 3)",
+            "LENGTH(s)",
+            "ABS(0 - a)",
+            "ROUND(b * 1.337, 2)",
+        ];
+        let schema = schema();
+        let rows = [
+            row(),
+            vec![Value::Int(-3), Value::Float(0.0), Value::Text("zz".into()), Value::Int(7)],
+            vec![Value::Null, Value::Null, Value::Null, Value::Null],
+        ];
+        for src in exprs {
+            let e = parse_expression(src).unwrap();
+            let b = bind(&e, &schema).unwrap();
+            for r in &rows {
+                let tree = eval(&e, &schema, r);
+                let bound = eval_bound(&b, r);
+                match (tree, bound) {
+                    (Ok(x), Ok(y)) => assert_eq!(x, y, "`{src}` diverged on {r:?}"),
+                    (Err(_), Err(_)) => {}
+                    (t, b) => panic!("`{src}` on {r:?}: tree {t:?} vs bound {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bind_rejects_unknown_columns_and_aggregates() {
+        let schema = schema();
+        assert!(bind(&parse_expression("missing + 1").unwrap(), &schema).is_err());
+        assert!(bind(&parse_expression("SUM(a)").unwrap(), &schema).is_err());
     }
 }
 

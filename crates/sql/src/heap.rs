@@ -40,10 +40,27 @@ fn encode_row(row: &Row) -> Vec<u8> {
     buf
 }
 
-fn decode_page_rows(payload: &[u8], ncols: usize) -> Result<Vec<Row>> {
+/// Walk every row of an encoded heap-page payload, reusing `scratch`
+/// for the decoded values so a full-page scan performs no per-row `Vec`
+/// allocation. The visitor borrows each row only until it returns;
+/// callers keep survivors by cloning (the morsel scanner's filter path
+/// clones only rows that pass the predicate).
+pub fn scan_page_rows(
+    payload: &[u8],
+    ncols: usize,
+    scratch: &mut Row,
+    mut visit: impl FnMut(&Row) -> Result<()>,
+) -> Result<()> {
+    if payload.len() < HEADER {
+        return Err(SqlError::Eval("corrupt heap page: shorter than header".into()));
+    }
     let used = u32::from_be_bytes(payload[0..4].try_into().expect("4")) as usize;
     let nrows = u16::from_be_bytes(payload[4..6].try_into().expect("2")) as usize;
-    let mut rows = Vec::with_capacity(nrows);
+    // The header is attacker-controlled on a tampered medium: bound it
+    // before any slicing, or a corrupt `used` panics instead of erroring.
+    if used < HEADER || used > payload.len() {
+        return Err(SqlError::Eval("corrupt heap page: used bytes out of bounds".into()));
+    }
     let mut pos = HEADER;
     for _ in 0..nrows {
         if pos + 4 > used {
@@ -56,16 +73,29 @@ fn decode_page_rows(payload: &[u8], ncols: usize) -> Result<Vec<Row>> {
             return Err(SqlError::Eval("corrupt heap page: record overruns page".into()));
         }
         let mut vpos = pos;
-        let mut row = Vec::with_capacity(ncols);
+        scratch.clear();
         for _ in 0..ncols {
-            row.push(decode_value(&payload[..end], &mut vpos)?);
+            scratch.push(decode_value(&payload[..end], &mut vpos)?);
         }
         if vpos != end {
             return Err(SqlError::Eval("corrupt heap page: record length mismatch".into()));
         }
-        rows.push(row);
+        visit(&*scratch)?;
         pos = end;
     }
+    Ok(())
+}
+
+/// Decode every row of an encoded heap-page payload into freshly
+/// allocated rows. Public for the codec benchmarks, which compare it
+/// against the allocation-free [`scan_page_rows`] path.
+pub fn decode_page_rows(payload: &[u8], ncols: usize) -> Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    let mut scratch: Row = Vec::with_capacity(ncols);
+    scan_page_rows(payload, ncols, &mut scratch, |row| {
+        rows.push(row.clone());
+        Ok(())
+    })?;
     Ok(rows)
 }
 
@@ -319,6 +349,38 @@ mod tests {
         let rows = heap.all_rows(&p, 3).unwrap();
         assert!(rows[0][0].is_null());
         assert!(rows[0][2].is_null());
+    }
+
+    #[test]
+    fn corrupt_used_field_is_an_error_not_a_panic() {
+        // `used` far beyond the page must error cleanly, not slice-panic.
+        let mut payload = vec![0u8; 256];
+        payload[0..4].copy_from_slice(&100_000u32.to_be_bytes());
+        payload[4..6].copy_from_slice(&5u16.to_be_bytes());
+        assert!(matches!(decode_page_rows(&payload, 3), Err(SqlError::Eval(_))));
+        // `used` smaller than the header is equally invalid.
+        payload[0..4].copy_from_slice(&2u32.to_be_bytes());
+        assert!(matches!(decode_page_rows(&payload, 3), Err(SqlError::Eval(_))));
+        // A payload shorter than the header cannot be decoded at all.
+        assert!(matches!(decode_page_rows(&[0u8; 3], 1), Err(SqlError::Eval(_))));
+    }
+
+    #[test]
+    fn scratch_scan_visits_same_rows_as_decode() {
+        let p = pager();
+        let mut heap = HeapFile::new();
+        heap.append_rows(&p, (0..40).map(row)).unwrap();
+        let mut payload = vec![0u8; p.lock().payload_size()];
+        p.lock().read_page(heap.pages[0], &mut payload).unwrap();
+        let decoded = decode_page_rows(&payload, 3).unwrap();
+        let mut visited = Vec::new();
+        let mut scratch = Vec::new();
+        scan_page_rows(&payload, 3, &mut scratch, |r| {
+            visited.push(r.clone());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(visited, decoded);
     }
 
     #[test]

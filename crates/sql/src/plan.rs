@@ -14,7 +14,8 @@
 use crate::ast::{BinOp, Expr, SelectItem, SelectStmt};
 use crate::catalog::Catalog;
 use crate::exec::{
-    AggSpec, BoxOp, Filter, HashAggregate, HashJoin, Limit, NestedLoopJoin, Project, SeqScan, Sort,
+    AggSpec, BoxOp, ExecOptions, Filter, HashAggregate, HashJoin, Limit, MorselScan, MorselSource,
+    NestedLoopJoin, ParallelHashAggregate, Project, SeqScan, Sort,
 };
 use crate::heap::SharedPager;
 use crate::schema::{Column, Schema};
@@ -99,19 +100,40 @@ fn classify(expr: Expr, schemas: &[Schema]) -> Result<Pred> {
     }
 }
 
-/// Plan a `SELECT` into an executable operator tree.
+/// Plan a `SELECT` into an executable operator tree (serial execution).
 pub fn plan_select(catalog: &Catalog, pager: &SharedPager, stmt: &SelectStmt) -> Result<BoxOp> {
+    plan_select_with(catalog, pager, stmt, &ExecOptions::serial())
+}
+
+/// Plan a `SELECT`, choosing morsel-parallel scan/aggregate operators
+/// when `opts` requests DOP > 1.
+///
+/// Parallel plans emit bit-identical rows and identical `PagerStats`
+/// deltas to their serial counterparts; the only plan shape where that
+/// would break — `LIMIT` short-circuiting a scan before it reads every
+/// page — is kept serial.
+pub fn plan_select_with(
+    catalog: &Catalog,
+    pager: &SharedPager,
+    stmt: &SelectStmt,
+    opts: &ExecOptions,
+) -> Result<BoxOp> {
     if stmt.from.is_empty() {
         return plan_projection_only(stmt);
     }
+    // LIMIT lets the serial pipeline stop pulling mid-scan (fewer page
+    // reads); a morsel scan materializes everything, so its stats would
+    // diverge. Conservatively keep any LIMIT plan serial.
+    let par = opts.parallel() && stmt.limit.is_none();
 
-    // 1. Scans.
+    // 1. Table metadata (scan operators are built after predicate
+    // classification so pushed filters can live inside morsel workers).
     let mut schemas = Vec::with_capacity(stmt.from.len());
-    let mut scans: Vec<Option<BoxOp>> = Vec::with_capacity(stmt.from.len());
+    let mut heaps = Vec::with_capacity(stmt.from.len());
     for tref in &stmt.from {
         let info = catalog.table(&tref.name)?;
         schemas.push(info.schema.clone());
-        scans.push(Some(Box::new(SeqScan::new(info.schema.clone(), info.heap.clone(), pager.clone()))));
+        heaps.push(info.heap.clone());
     }
 
     // 2. Classify predicates.
@@ -132,15 +154,33 @@ pub fn plan_select(catalog: &Catalog, pager: &SharedPager, stmt: &SelectStmt) ->
         }
     }
 
-    // 3. Filtered scans.
-    let mut filtered: Vec<Option<BoxOp>> = Vec::with_capacity(scans.len());
-    for (i, scan) in scans.iter_mut().enumerate() {
-        let s = scan.take().expect("scan built above");
+    // 3. Filtered scans. Serial: SeqScan under an optional Filter.
+    // Parallel: a MorselScan with the pushed predicate evaluated inside
+    // the workers (same rows, same order, same page reads).
+    let mut filtered: Vec<Option<BoxOp>> = Vec::with_capacity(schemas.len());
+    let mut lone_source: Option<MorselSource> = None;
+    for (i, (schema, heap)) in schemas.iter().zip(heaps.iter()).enumerate() {
         let preds = std::mem::take(&mut single[i]);
-        filtered.push(Some(match join_conjuncts(preds) {
-            Some(p) => Box::new(Filter::new(s, p)),
-            None => s,
-        }));
+        let pred = join_conjuncts(preds);
+        let op: BoxOp = if par {
+            let source = MorselSource {
+                schema: schema.clone(),
+                heap: heap.clone(),
+                pager: pager.clone(),
+                pred,
+            };
+            if schemas.len() == 1 {
+                lone_source = Some(source.clone());
+            }
+            Box::new(MorselScan::new(source, opts.clone()))
+        } else {
+            let s: BoxOp = Box::new(SeqScan::new(schema.clone(), heap.clone(), pager.clone()));
+            match pred {
+                Some(p) => Box::new(Filter::new(s, p)),
+                None => s,
+            }
+        };
+        filtered.push(Some(op));
     }
 
     // 4. Greedy left-deep join order following FROM order.
@@ -266,7 +306,19 @@ pub fn plan_select(catalog: &Catalog, pager: &SharedPager, stmt: &SelectStmt) ->
             })
             .collect();
         let group_names: Vec<String> = (0..stmt.group_by.len()).map(|i| format!("__grp{i}")).collect();
-        current = Box::new(HashAggregate::new(current, stmt.group_by.clone(), group_names, specs));
+        current = match lone_source {
+            // Single-table aggregation (the TPC-H Q1/Q6 shape): fuse
+            // scan + filter + partial evaluation into the morsel workers
+            // and replay the serial accumulator in the merge.
+            Some(source) => Box::new(ParallelHashAggregate::new(
+                source,
+                opts.clone(),
+                stmt.group_by.clone(),
+                group_names,
+                specs,
+            )),
+            None => Box::new(HashAggregate::new(current, stmt.group_by.clone(), group_names, specs)),
+        };
 
         let rw = |e: &Expr| rewrite_post_agg(e, &stmt.group_by, &agg_nodes);
         if let Some(h) = &stmt.having {

@@ -46,6 +46,30 @@ pub trait Pager {
     /// Read page `id` into `buf` (must be exactly `payload_size()` bytes).
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()>;
 
+    /// Read a batch of pages into `out`, which must hold exactly
+    /// `ids.len() * payload_size()` bytes; page `ids[i]` lands at
+    /// `out[i * payload_size()..]`.
+    ///
+    /// The default implementation loops [`Pager::read_page`]; secure
+    /// implementations override it to pipeline device I/O, decryption
+    /// and Merkle verification across the whole batch. Implementations
+    /// must keep the per-page counter increments identical to an
+    /// equivalent sequence of single-page reads, so batched and looped
+    /// reads produce the same [`PagerStats`] delta.
+    fn read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
+        let payload = self.payload_size();
+        if out.len() != ids.len() * payload {
+            return Err(StorageError::BadBufferSize {
+                expected: ids.len() * payload,
+                got: out.len(),
+            });
+        }
+        for (id, chunk) in ids.iter().zip(out.chunks_exact_mut(payload)) {
+            self.read_page(*id, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Write `data` (exactly `payload_size()` bytes) to page `id`.
     fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<()>;
 
@@ -171,6 +195,31 @@ mod tests {
         let mut small = vec![0u8; 8];
         assert!(matches!(p.read_page(id, &mut small), Err(StorageError::BadBufferSize { .. })));
         assert!(matches!(p.write_page(id, &small), Err(StorageError::BadBufferSize { .. })));
+    }
+
+    #[test]
+    fn batch_read_matches_looped_reads() {
+        let mut p = PlainPager::new();
+        for i in 0..5u8 {
+            let id = p.allocate_page().unwrap();
+            p.write_page(id, &vec![i; PAGE_PAYLOAD]).unwrap();
+        }
+        p.reset_stats();
+        let ids = [4u64, 0, 2];
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        p.read_pages(&ids, &mut out).unwrap();
+        assert_eq!(p.stats().page_reads, 3);
+        for (i, id) in ids.iter().enumerate() {
+            assert!(out[i * PAGE_PAYLOAD..(i + 1) * PAGE_PAYLOAD]
+                .iter()
+                .all(|&b| b == *id as u8));
+        }
+        // Wrong buffer size is rejected up front.
+        let mut short = vec![0u8; PAGE_PAYLOAD];
+        assert!(matches!(
+            p.read_pages(&ids, &mut short),
+            Err(StorageError::BadBufferSize { .. })
+        ));
     }
 
     #[test]

@@ -3,10 +3,17 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke
+check: serve-smoke par-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
+
+# Parallel-execution smoke: golden parity (rows, cost breakdowns and
+# pager-stats deltas bit-identical at DOP 4 across every Table 2
+# configuration) plus the morsel engine's own unit tests.
+par-smoke:
+    cargo test -q --offline -p ironsafe-csa --test parallel_golden
+    cargo test -q --offline -p ironsafe-sql morsel
 
 # Serving-layer smoke: run the multi-client example end to end, then
 # the server's own test suite (admission, determinism, drain).
