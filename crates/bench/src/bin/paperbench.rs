@@ -1,12 +1,17 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|all] [--sf <f>] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|all] [--sf <f>] [--metrics-out <path>]
 //! ```
 //!
 //! `parallel` (not part of `all`) sweeps morsel-driven execution across
 //! DOP 1/2/4/8 on Q1 and Q6, reporting real wall-clock speedup; it
 //! defaults to SF 0.01 unless `--sf` is given explicitly.
+//!
+//! `chaos` (not part of `all`) sweeps seeded fault injection across
+//! rates and demonstrates per-surface recovery; with `--metrics-out`
+//! the aggregated `faults.*` counters are written as JSON lines to
+//! `<path>.metrics.jsonl`.
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
@@ -253,6 +258,41 @@ fn main() {
             );
         }
         println!("(rows verified bit-identical to serial at every DOP)\n");
+    }
+
+    if what == "chaos" {
+        // Seeds × rates = 50 combos, the acceptance floor for the sweep.
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let rates = [0.0005, 0.002, 0.01, 0.05, 0.2];
+        let csf = if sf_given { sf } else { 0.002 };
+        println!("== Chaos: seeded fault storms on scs (SF {csf}, {} seeds x {} rates) ==", seeds.len(), rates.len());
+        let report = chaos::run_chaos(csf, &seeds, &rates);
+        println!(
+            "{:>8} {:>6} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+            "rate", "runs", "identical", "errors", "injected", "retried", "recovered", "exhausted"
+        );
+        for r in &report.rows {
+            println!(
+                "{:>7.2}% {:>6} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+                r.rate * 100.0, r.runs, r.identical, r.typed_errors,
+                r.injected, r.retried, r.recovered, r.exhausted
+            );
+        }
+        println!("\nper-surface recovery (one scheduled transient fault each):");
+        for s in &report.surfaces {
+            println!(
+                "  {:<8} injected {:>2}, recovered {:>2}  {}",
+                s.surface, s.injected, s.recovered,
+                if s.ok { "OK" } else { "FAILED" }
+            );
+        }
+        println!("\n{} seed x rate combos; every run: identical rows or a typed error, no panics\n", report.combos);
+        if let Some(path) = metrics_out {
+            let sidecar = format!("{path}.metrics.jsonl");
+            std::fs::write(&sidecar, &report.metrics_jsonl).expect("write chaos metrics sidecar");
+            println!("chaos: wrote fault counters to {sidecar}");
+        }
+        return;
     }
 
     if let Some(path) = metrics_out {

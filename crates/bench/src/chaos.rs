@@ -1,0 +1,259 @@
+//! Chaos experiment harness for `paperbench chaos`.
+//!
+//! Sweeps seeded fault plans across injection rates on the full IronSafe
+//! configuration and reports, per rate: how many runs recovered to rows
+//! bit-identical to the fault-free baseline, how many surfaced a clean
+//! typed error, and the fault counters (`faults.injected` / `retried` /
+//! `recovered` / `exhausted`) aggregated across the sweep. A second
+//! stage demonstrates one recovered transient fault on each injectable
+//! surface — device, secure channel, enclave, RPMB — with the recovery
+//! visible in the exported counters.
+
+use ironsafe::deploy::{Client, Deployment};
+use ironsafe_csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe_faults::{FaultPlan, FaultSite};
+use ironsafe_obs::export::metrics_to_jsonl;
+use ironsafe_obs::{Counter, Registry};
+use ironsafe_sql::Row;
+use ironsafe_tpch::generate;
+use ironsafe_tpch::queries::{paper_queries, PaperQuery};
+
+use crate::figures::SEED;
+
+/// One row of the rate sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosRateRow {
+    /// Per-site injection probability this row sweeps.
+    pub rate: f64,
+    /// Query runs at this rate (seeds × queries).
+    pub runs: u32,
+    /// Runs whose rows were bit-identical to the fault-free baseline.
+    pub identical: u32,
+    /// Runs that surfaced a clean typed error.
+    pub typed_errors: u32,
+    /// Faults injected across all runs at this rate.
+    pub injected: u64,
+    /// Retries spent recovering them.
+    pub retried: u64,
+    /// Faults absorbed by a successful retry.
+    pub recovered: u64,
+    /// Faults that exhausted the retry budget.
+    pub exhausted: u64,
+}
+
+/// One per-surface recovery demonstration.
+#[derive(Debug, Clone)]
+pub struct SurfaceRecovery {
+    /// Which surface the fault was injected into.
+    pub surface: &'static str,
+    /// Faults injected on that surface.
+    pub injected: u64,
+    /// Faults recovered (retry or restart).
+    pub recovered: u64,
+    /// Did the run finish with correct results?
+    pub ok: bool,
+}
+
+/// Everything `paperbench chaos` prints and exports.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The rate sweep, one row per rate.
+    pub rows: Vec<ChaosRateRow>,
+    /// Per-surface recovery demonstrations.
+    pub surfaces: Vec<SurfaceRecovery>,
+    /// Seed × rate combinations swept.
+    pub combos: u32,
+    /// `metrics_to_jsonl` dump including the aggregated `faults.*`
+    /// counters (for `--metrics-out`).
+    pub metrics_jsonl: String,
+}
+
+fn query(id: u8) -> PaperQuery {
+    paper_queries().into_iter().find(|q| q.id == id).expect("paper query exists")
+}
+
+/// A plan injecting on every surface a read-only split query crosses.
+fn storm_plan(seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_rate(FaultSite::DeviceRead, rate)
+        .with_rate(FaultSite::PageBitFlip, rate)
+        .with_rate(FaultSite::PageMacCorrupt, rate)
+        .with_rate(FaultSite::FreshnessStale, rate)
+        .with_rate(FaultSite::ChannelDrop, rate)
+        .with_rate(FaultSite::ChannelCorrupt, rate)
+        .with_rate(FaultSite::ChannelReorder, rate)
+}
+
+/// Run the chaos sweep at `sf` over `seeds` × `rates`.
+///
+/// Panics if any query run panics (that is the point of the harness:
+/// faults must surface as recoveries or typed errors, never panics).
+pub fn run_chaos(sf: f64, seeds: &[u64], rates: &[f64]) -> ChaosReport {
+    let data = generate(sf, SEED);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let queries = [query(1), query(6)];
+    let baselines: Vec<Vec<Row>> = queries
+        .iter()
+        .map(|q| sys.run_query(q).expect("fault-free baseline").result.rows().to_vec())
+        .collect();
+
+    let totals = [Counter::new(), Counter::new(), Counter::new(), Counter::new()];
+    let mut rows = Vec::new();
+    let mut combos = 0u32;
+    for &rate in rates {
+        let mut row = ChaosRateRow {
+            rate,
+            runs: 0,
+            identical: 0,
+            typed_errors: 0,
+            injected: 0,
+            retried: 0,
+            recovered: 0,
+            exhausted: 0,
+        };
+        for &seed in seeds {
+            combos += 1;
+            let plan = storm_plan(seed, rate);
+            sys.set_fault_plan(plan.clone());
+            for (q, baseline) in queries.iter().zip(&baselines) {
+                row.runs += 1;
+                match sys.run_query(q) {
+                    Ok(report) => {
+                        assert_eq!(
+                            report.result.rows(),
+                            &baseline[..],
+                            "seed {seed} rate {rate}: recovered rows must be bit-identical"
+                        );
+                        row.identical += 1;
+                    }
+                    Err(_) => row.typed_errors += 1,
+                }
+            }
+            let m = plan.metrics();
+            row.injected += m.injected.get();
+            row.retried += m.retried.get();
+            row.recovered += m.recovered.get();
+            row.exhausted += m.exhausted.get();
+        }
+        totals[0].add(row.injected);
+        totals[1].add(row.retried);
+        totals[2].add(row.recovered);
+        totals[3].add(row.exhausted);
+        rows.push(row);
+    }
+    sys.set_fault_plan(FaultPlan::none());
+
+    let surfaces = vec![
+        device_recovery(&mut sys, &baselines[1]),
+        channel_recovery(&mut sys, &baselines[1]),
+        enclave_recovery(),
+        rpmb_recovery(),
+    ];
+
+    // Export: sweep totals under the canonical `faults.*` names, plus
+    // per-surface recovery counters.
+    let registry = Registry::new();
+    registry.register_counter("faults.injected", &totals[0]);
+    registry.register_counter("faults.retried", &totals[1]);
+    registry.register_counter("faults.recovered", &totals[2]);
+    registry.register_counter("faults.exhausted", &totals[3]);
+    for s in &surfaces {
+        let injected = Counter::new();
+        injected.add(s.injected);
+        let recovered = Counter::new();
+        recovered.add(s.recovered);
+        registry.register_counter(&format!("faults.surface.{}.injected", s.surface), &injected);
+        registry.register_counter(&format!("faults.surface.{}.recovered", s.surface), &recovered);
+    }
+
+    ChaosReport {
+        rows,
+        surfaces,
+        combos,
+        metrics_jsonl: metrics_to_jsonl(&registry.snapshot()),
+    }
+}
+
+/// One transient device-read error, absorbed by the pager's retry.
+fn device_recovery(sys: &mut CsaSystem, baseline: &[Row]) -> SurfaceRecovery {
+    let plan = FaultPlan::seeded(SEED).with_nth(FaultSite::DeviceRead, 2);
+    sys.set_fault_plan(plan.clone());
+    let ok = match sys.run_query(&query(6)) {
+        Ok(r) => r.result.rows() == baseline,
+        Err(_) => false,
+    };
+    sys.set_fault_plan(FaultPlan::none());
+    let m = plan.metrics();
+    SurfaceRecovery { surface: "device", injected: m.injected.get(), recovered: m.recovered.get(), ok }
+}
+
+/// One record dropped in transit, recovered by retransmission.
+fn channel_recovery(sys: &mut CsaSystem, baseline: &[Row]) -> SurfaceRecovery {
+    let plan = FaultPlan::seeded(SEED).with_nth(FaultSite::ChannelDrop, 1);
+    sys.set_fault_plan(plan.clone());
+    let ok = match sys.run_query(&query(6)) {
+        Ok(r) => r.result.rows() == baseline,
+        Err(_) => false,
+    };
+    sys.set_fault_plan(FaultPlan::none());
+    let m = plan.metrics();
+    SurfaceRecovery { surface: "channel", injected: m.injected.get(), recovered: m.recovered.get(), ok }
+}
+
+/// One enclave crash, recovered by supervisor restart + sealed-state
+/// reload.
+fn enclave_recovery() -> SurfaceRecovery {
+    let plan = FaultPlan::seeded(SEED).with_nth(FaultSite::EnclaveCrash, 2);
+    let ok = deployment_roundtrip(plan.clone()).map(|restarts| restarts >= 1).unwrap_or(false);
+    let m = plan.metrics();
+    SurfaceRecovery { surface: "enclave", injected: m.injected.get(), recovered: m.recovered.get(), ok }
+}
+
+/// One RPMB write refused busy, recovered by re-issuing the write.
+fn rpmb_recovery() -> SurfaceRecovery {
+    let plan = FaultPlan::seeded(SEED).with_nth(FaultSite::RpmbWrite, 1);
+    let ok = deployment_roundtrip(plan.clone()).is_some();
+    let m = plan.metrics();
+    SurfaceRecovery { surface: "rpmb", injected: m.injected.get(), recovered: m.recovered.get(), ok }
+}
+
+/// Build a faulted deployment, run a tiny write+read workload, return
+/// the supervisor's restart count on success.
+fn deployment_roundtrip(plan: FaultPlan) -> Option<u64> {
+    let mut dep = Deployment::builder().fault_plan(plan).build().ok()?;
+    dep.create_database("db", "read :- sessionKeyIs(chaos)\nwrite :- sessionKeyIs(chaos)");
+    let client = Client::new("chaos");
+    dep.submit(&client, "db", "CREATE TABLE t (a INT)", "").ok()?;
+    dep.submit(&client, "db", "INSERT INTO t VALUES (1), (2), (3)", "").ok()?;
+    let resp = dep.submit(&client, "db", "SELECT a FROM t ORDER BY a", "").ok()?;
+    if resp.result.rows().len() == 3 {
+        Some(dep.supervisor().restarts())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_report_covers_every_surface_and_exports_fault_counters() {
+        let report = run_chaos(0.001, &[1, 2], &[0.002, 0.05]);
+        assert_eq!(report.combos, 4);
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.runs, row.identical + row.typed_errors, "no run may vanish");
+        }
+        assert_eq!(report.surfaces.len(), 4);
+        for s in &report.surfaces {
+            assert!(s.ok, "surface {} must recover", s.surface);
+            assert!(s.injected >= 1, "surface {} must inject", s.surface);
+            assert!(s.recovered >= 1, "surface {} must recover the fault", s.surface);
+        }
+        assert!(report.metrics_jsonl.contains("faults.injected"));
+        assert!(report.metrics_jsonl.contains("faults.recovered"));
+        assert!(report.metrics_jsonl.contains("faults.surface.rpmb.recovered"));
+    }
+}

@@ -35,6 +35,11 @@ pub fn collect_traces(sf: f64) -> TraceBundle {
     let registry = Registry::new();
     sys.storage_db().register_metrics(&registry);
     sys.register_exec_metrics(&registry);
+    // A zero-rate plan: injects nothing, but exports the `faults.*`
+    // counters so dashboards see the recovery path even when idle.
+    let fault_plan = ironsafe_faults::FaultPlan::seeded(SEED);
+    sys.set_fault_plan(fault_plan.clone());
+    fault_plan.register_metrics(&registry);
 
     let mut merged = String::from("[");
     let mut first = true;
@@ -82,6 +87,11 @@ mod tests {
         assert!(bundle.spans > bundle.queries, "each query has stage spans");
         // Counters from the secure pager made it into the sidecar.
         assert!(bundle.metrics_jsonl.contains("storage.page.read"));
+        // The fault-injection counters export too (zero under a
+        // zero-rate plan, but present for dashboards).
+        for name in ["faults.injected", "faults.retried", "faults.recovered", "faults.exhausted"] {
+            assert!(bundle.metrics_jsonl.contains(name), "missing {name}");
+        }
         for line in bundle.metrics_jsonl.lines() {
             assert!(looks_like_valid_json(line), "{line}");
         }

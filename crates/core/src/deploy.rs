@@ -10,8 +10,9 @@ use ironsafe_policy::parse_policy;
 use ironsafe_serve::{QueryServer, ServeConfig};
 use ironsafe_sql::{Database, QueryResult};
 use ironsafe_storage::SecurePager;
+use ironsafe_faults::FaultPlan;
 use ironsafe_tee::image::SoftwareImage;
-use ironsafe_tee::sgx::{AttestationService, Enclave, EnclaveConfig, Quote, SgxPlatform};
+use ironsafe_tee::sgx::{AttestationService, EnclaveConfig, EnclaveSupervisor, Quote, SgxPlatform};
 use ironsafe_tee::trustzone::{AttestationTa, BootImages, Manufacturer, SecureBoot, SignedImage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +65,7 @@ pub struct DeploymentBuilder {
     seed: u64,
     host_fw: u32,
     storage_fw: u32,
+    fault_plan: FaultPlan,
 }
 
 impl Default for DeploymentBuilder {
@@ -74,6 +76,7 @@ impl Default for DeploymentBuilder {
             seed: 0x1705,
             host_fw: 5,
             storage_fw: 5,
+            fault_plan: FaultPlan::none(),
         }
     }
 }
@@ -104,18 +107,32 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Install a deterministic fault-injection plan covering the whole
+    /// deployment: the secure pager (device/page/freshness sites), the
+    /// supervised host enclave (crash, EPC pressure) and the RPMB
+    /// device. [`FaultPlan::none`] by default.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
     /// Manufacture the hardware, boot it, and attest everything.
     pub fn build(self) -> Result<Deployment> {
         let group = Group::modp_1024();
         let mut rng = StdRng::seed_from_u64(self.seed);
 
-        // --- Host: SGX platform + host-engine enclave. -----------------
-        let platform = SgxPlatform::from_seed(&group, b"ironsafe-host-platform");
+        // --- Host: SGX platform + supervised host-engine enclave. ------
+        let platform = Arc::new(SgxPlatform::from_seed(&group, b"ironsafe-host-platform"));
         let host_image = SoftwareImage::new("host-engine", self.host_fw, b"ironsafe host engine".to_vec());
-        let enclave = platform.create_enclave(&host_image, EnclaveConfig {
-            epc_limit_bytes: self.params.epc_limit_bytes,
-            ..EnclaveConfig::default()
-        });
+        let mut supervisor = EnclaveSupervisor::new(
+            Arc::clone(&platform),
+            host_image.clone(),
+            EnclaveConfig {
+                epc_limit_bytes: self.params.epc_limit_bytes,
+                ..EnclaveConfig::default()
+            },
+            self.fault_plan.clone(),
+        );
         let mut ias = AttestationService::new(&group);
         ias.register_platform(&platform);
 
@@ -154,7 +171,7 @@ impl DeploymentBuilder {
         let mut monitor = TrustedMonitor::new(&group, self.seed ^ 0x0170, ias, mfr.root_public(), config);
         let host_session_keys = KeyPair::generate(&group, &mut rng);
         let commitment = ironsafe_crypto::sha256::sha256(&host_session_keys.public.to_bytes(&group));
-        let quote = Quote::generate(&platform, &enclave, &commitment, &mut rng);
+        let quote = Quote::generate(&platform, supervisor.enclave(), &commitment, &mut rng);
         let host_cert = monitor.attest_host("host-0", &self.region, &quote, &host_session_keys.public)?;
         let challenge = monitor.storage_challenge();
         let response = AttestationTa::new(&booted).respond(challenge, &mut rng);
@@ -172,10 +189,17 @@ impl DeploymentBuilder {
             )
             .map_err(|e| IronSafeError::Csa(ironsafe_csa::CsaError::Storage(e)))?,
         );
-        let system = CsaSystem::from_database(SystemConfig::IronSafe, storage_db, self.params);
+        let mut system = CsaSystem::from_database(SystemConfig::IronSafe, storage_db, self.params);
+        system.set_fault_plan(self.fault_plan.clone());
+
+        // Seal the deployment identity into the supervisor: after an
+        // injected enclave crash, the restarted instance reloads this
+        // blob (same platform seal key, same measurement) and the
+        // deployment keeps serving without re-attestation.
+        supervisor.seal_state(format!("ironsafe-deployment/{}", self.region).as_bytes(), &mut rng);
 
         let _ = host_cert;
-        Ok(Deployment { group, monitor, system, enclave, clock: 0 })
+        Ok(Deployment { group, monitor, system, supervisor, clock: 0 })
     }
 }
 
@@ -184,8 +208,9 @@ pub struct Deployment {
     group: Group,
     monitor: TrustedMonitor,
     system: CsaSystem,
-    #[allow(dead_code)]
-    enclave: Enclave,
+    /// The supervised host enclave: crash → restart + sealed-state
+    /// reload, EPC pressure → bounded retry.
+    supervisor: EnclaveSupervisor,
     clock: i64,
 }
 
@@ -208,6 +233,11 @@ impl Deployment {
     /// Mutable CSA system access (benchmark harnesses).
     pub fn system_mut(&mut self) -> &mut CsaSystem {
         &mut self.system
+    }
+
+    /// The supervised host enclave (restart counter, sealed state).
+    pub fn supervisor(&self) -> &EnclaveSupervisor {
+        &self.supervisor
     }
 
     /// Register a database and its owner access policy with the monitor.
@@ -251,8 +281,22 @@ impl Deployment {
             access_time: self.clock,
         };
         let auth = self.monitor.authorize(&request)?;
+        // The host engine runs inside the supervised enclave: entry is
+        // where injected crashes and EPC pressure surface, and where
+        // the supervisor transparently restarts (reloading its sealed
+        // state) or retries before the query executes.
+        self.supervisor.enter()?;
         self.system.set_session_key(auth.session_key);
-        let report = self.system.run_statement(&auth.statement)?;
+        let report = match self.system.run_statement(&auth.statement) {
+            Ok(report) => {
+                self.supervisor.exit()?;
+                report
+            }
+            Err(e) => {
+                let _ = self.supervisor.exit();
+                return Err(e.into());
+            }
+        };
         self.monitor.cleanup_session(auth.session_id)?;
         Ok(Response {
             result: report.result.clone(),
@@ -359,6 +403,32 @@ mod tests {
         let metrics = server.shutdown();
         assert_eq!(metrics.admitted.get(), 8);
         assert_eq!(metrics.completed.get(), 8);
+    }
+
+    #[test]
+    fn injected_enclave_crash_is_recovered_by_the_supervisor() {
+        use ironsafe_faults::{FaultPlan, FaultSite};
+
+        // The third enclave entry crashes; the supervisor restarts the
+        // enclave, reloads its sealed deployment state and the query
+        // stream continues uninterrupted.
+        let mut dep = Deployment::builder()
+            .fault_plan(FaultPlan::seeded(11).with_nth(FaultSite::EnclaveCrash, 3))
+            .build()
+            .unwrap();
+        dep.create_database("db", "read :- sessionKeyIs(alice)\nwrite :- sessionKeyIs(alice)");
+        let alice = Client::new("alice");
+        dep.submit(&alice, "db", "CREATE TABLE t (a INT)", "").unwrap();
+        dep.submit(&alice, "db", "INSERT INTO t VALUES (1), (2)", "").unwrap();
+        let resp = dep.submit(&alice, "db", "SELECT a FROM t ORDER BY a", "").unwrap();
+        assert_eq!(resp.result.rows().len(), 2);
+        assert!(resp.verify_proof(&dep));
+        assert!(dep.supervisor().restarts() >= 1, "the crash must have forced a restart");
+        assert_eq!(
+            dep.supervisor().state(),
+            Some(&b"ironsafe-deployment/EU"[..]),
+            "sealed state survives the restart"
+        );
     }
 
     #[test]

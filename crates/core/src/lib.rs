@@ -72,6 +72,9 @@ pub enum IronSafeError {
     Csa(ironsafe_csa::CsaError),
     /// SQL failure.
     Sql(ironsafe_sql::SqlError),
+    /// TEE failure (enclave entry, sealing, RPMB) that survived the
+    /// supervisor's restart/retry budget.
+    Tee(ironsafe_tee::TeeError),
 }
 
 impl std::fmt::Display for IronSafeError {
@@ -80,6 +83,7 @@ impl std::fmt::Display for IronSafeError {
             IronSafeError::Monitor(e) => write!(f, "monitor: {e}"),
             IronSafeError::Csa(e) => write!(f, "csa: {e}"),
             IronSafeError::Sql(e) => write!(f, "sql: {e}"),
+            IronSafeError::Tee(e) => write!(f, "tee: {e}"),
         }
     }
 }
@@ -101,6 +105,12 @@ impl From<ironsafe_csa::CsaError> for IronSafeError {
 impl From<ironsafe_sql::SqlError> for IronSafeError {
     fn from(e: ironsafe_sql::SqlError) -> Self {
         IronSafeError::Sql(e)
+    }
+}
+
+impl From<ironsafe_tee::TeeError> for IronSafeError {
+    fn from(e: ironsafe_tee::TeeError) -> Self {
+        IronSafeError::Tee(e)
     }
 }
 

@@ -60,6 +60,21 @@ impl std::fmt::Display for CsaError {
 
 impl std::error::Error for CsaError {}
 
+impl ironsafe_faults::Transient for CsaError {
+    /// Channel faults (drop/corrupt/reorder) clear on retransmission;
+    /// storage faults delegate to [`ironsafe_storage::StorageError`]
+    /// (including ones the SQL engine wrapped while driving the pager).
+    /// SQL and monitor errors are deterministic decisions, never noise.
+    fn is_transient(&self) -> bool {
+        match self {
+            CsaError::Channel(_) => true,
+            CsaError::Storage(e) => e.is_transient(),
+            CsaError::Sql(ironsafe_sql::SqlError::Storage(e)) => e.is_transient(),
+            CsaError::Sql(_) | CsaError::Monitor(_) => false,
+        }
+    }
+}
+
 impl From<ironsafe_sql::SqlError> for CsaError {
     fn from(e: ironsafe_sql::SqlError) -> Self {
         CsaError::Sql(e)

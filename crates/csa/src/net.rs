@@ -9,6 +9,7 @@
 
 use crate::{CsaError, Result};
 use ironsafe_crypto::aes::Aes128;
+use ironsafe_faults::{FaultPlan, FaultSite};
 use ironsafe_obs::{Counter, Registry};
 use ironsafe_crypto::hkdf;
 use ironsafe_crypto::hmac::hmac_sha256_concat;
@@ -39,6 +40,7 @@ pub struct SecureChannel {
     pub messages: u64,
     bytes_counter: Counter,
     messages_counter: Counter,
+    fault_plan: FaultPlan,
 }
 
 impl SecureChannel {
@@ -53,7 +55,21 @@ impl SecureChannel {
             messages: 0,
             bytes_counter: Counter::new(),
             messages_counter: Counter::new(),
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Install a fault plan on the receive path (see
+    /// [`SecureChannel::recv_rows`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Next sequence number this endpoint will accept. Exposed so tests
+    /// can assert the replay window does **not** advance on rejected
+    /// records (which is what makes retransmission sound).
+    pub fn expect_seq(&self) -> u64 {
+        self.expect_seq
     }
 
     /// Attach this direction's live counters to `registry` as
@@ -113,6 +129,35 @@ impl SecureChannel {
             }
         }
         self.seal(&buf)
+    }
+
+    /// Receive a row record across the (simulated) wire: applies the
+    /// fault plan's transit faults, then [`SecureChannel::open_rows`].
+    ///
+    /// Faults perturb a *cloned* record — the sender's pristine record
+    /// survives, and because `expect_seq` only advances on successful
+    /// authentication, retransmitting the identical record after a
+    /// rejection succeeds (same seq, same nonce, same ciphertext: a
+    /// straight retransmission, no nonce reuse with new plaintext).
+    pub fn recv_rows(&mut self, record: &Record) -> Result<Vec<Row>> {
+        if self.fault_plan.should_fire(FaultSite::ChannelDrop) {
+            return Err(CsaError::Channel("record lost in transit (receive timeout)"));
+        }
+        if self.fault_plan.should_fire(FaultSite::ChannelCorrupt) {
+            let mut r = record.clone();
+            if let Some(b) = r.payload.first_mut() {
+                *b ^= 0x40;
+            } else {
+                r.mac[0] ^= 0x40;
+            }
+            return self.open_rows(&r);
+        }
+        if self.fault_plan.should_fire(FaultSite::ChannelReorder) {
+            let mut r = record.clone();
+            r.seq = r.seq.wrapping_add(1);
+            return self.open_rows(&r);
+        }
+        self.open_rows(record)
     }
 
     /// Open a record and deserialize its rows.
@@ -222,5 +267,91 @@ mod tests {
         let rec = tx.seal_rows(&schema(), &rows);
         let got = rx.open_rows(&rec).unwrap();
         assert!(got[0][0].is_null());
+    }
+
+    /// Satellite: replayed, reordered and truncated records must each
+    /// return a typed `CsaError` (never a panic), and `expect_seq` must
+    /// not advance on any rejection.
+    #[test]
+    fn adversarial_records_are_typed_errors_and_do_not_advance_seq() {
+        let (mut tx, mut rx) = channel_pair(&[9; 32]);
+        let first = tx.seal_rows(&schema(), &rows());
+        rx.open_rows(&first).unwrap();
+        assert_eq!(rx.expect_seq(), 1);
+
+        // Replay of an already-accepted record.
+        match rx.open_rows(&first) {
+            Err(CsaError::Channel(_)) => {}
+            other => panic!("replay must be a typed channel error, got {other:?}"),
+        }
+        assert_eq!(rx.expect_seq(), 1, "replay must not advance expect_seq");
+
+        // Reordered (future-sequence) record.
+        let _skipped = tx.seal_rows(&schema(), &rows());
+        let future = tx.seal_rows(&schema(), &rows());
+        match rx.open_rows(&future) {
+            Err(CsaError::Channel(_)) => {}
+            other => panic!("reorder must be a typed channel error, got {other:?}"),
+        }
+        assert_eq!(rx.expect_seq(), 1, "reorder must not advance expect_seq");
+
+        // Truncated record: payload cut mid-stream (MAC now fails).
+        let mut truncated = _skipped.clone();
+        truncated.payload.truncate(truncated.payload.len() / 2);
+        match rx.open_rows(&truncated) {
+            Err(CsaError::Channel(_)) => {}
+            other => panic!("truncation must be a typed channel error, got {other:?}"),
+        }
+        assert_eq!(rx.expect_seq(), 1, "truncation must not advance expect_seq");
+
+        // The pristine in-order record still authenticates afterwards —
+        // rejection left the channel state fully usable.
+        let got = rx.open_rows(&_skipped).unwrap();
+        assert_eq!(got, rows());
+        assert_eq!(rx.expect_seq(), 2);
+    }
+
+    #[test]
+    fn short_authenticated_payload_is_a_typed_error() {
+        // Seal a raw 3-byte payload and open it through the row parser:
+        // authentication passes, framing fails — typed error, no panic.
+        let (mut tx, mut rx) = channel_pair(&[4; 32]);
+        let rec = tx.seal(b"abc");
+        match rx.open_rows(&rec) {
+            Err(CsaError::Channel(m)) => assert_eq!(m, "short row batch"),
+            other => panic!("expected short-batch error, got {other:?}"),
+        }
+        // open() succeeded before framing failed, so seq advanced — the
+        // record authenticated; only the framing above it was bad.
+        assert_eq!(rx.expect_seq(), 1);
+    }
+
+    #[test]
+    fn injected_transit_faults_reject_then_pristine_retransmit_succeeds() {
+        let (mut tx, mut rx) = channel_pair(&[7; 32]);
+        // Fire one of each transit fault on the first three receives.
+        // Arrival counts are per-site, and a fired site short-circuits
+        // the later ones, so scheduling each site's own first arrival
+        // yields drop, then corrupt, then reorder on calls 1..3.
+        rx.set_fault_plan(
+            FaultPlan::seeded(31)
+                .with_nth(FaultSite::ChannelDrop, 1)
+                .with_nth(FaultSite::ChannelCorrupt, 1)
+                .with_nth(FaultSite::ChannelReorder, 1),
+        );
+        let rec = tx.seal_rows(&schema(), &rows());
+        for expect in ["lost in transit", "MAC mismatch", "out of order"] {
+            match rx.recv_rows(&rec) {
+                Err(CsaError::Channel(m)) => {
+                    assert!(m.contains(expect), "wanted {expect:?} in {m:?}")
+                }
+                other => panic!("expected channel error, got {other:?}"),
+            }
+            assert_eq!(rx.expect_seq(), 0, "no rejection may advance expect_seq");
+        }
+        // Fourth delivery of the *same pristine record* goes through.
+        let got = rx.recv_rows(&rec).unwrap();
+        assert_eq!(got, rows());
+        assert_eq!(rx.expect_seq(), 1);
     }
 }

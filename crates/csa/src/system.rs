@@ -15,6 +15,7 @@ use ironsafe_crypto::group::Group;
 use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
 use ironsafe_sql::exec::ExecOptions;
 use ironsafe_sql::{Database, QueryResult, Schema};
+use ironsafe_faults::{retry_with, FaultPlan, RetryPolicy};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
 use ironsafe_storage::{PageCache, SecurePager, ViewPager};
 use ironsafe_obs::{Span, Trace, TraceSnapshot};
@@ -137,6 +138,12 @@ pub struct CsaSystem {
     /// changes wall-clock only: reports, breakdowns and pager-stats
     /// deltas stay bit-identical to serial execution at any DOP.
     exec: ExecOptions,
+    /// Deterministic fault-injection plan, pushed into the storage pager
+    /// and the secure channel. [`FaultPlan::none`] by default.
+    fault_plan: FaultPlan,
+    /// Retry budget used when recovering from injected transient faults
+    /// on the channel path.
+    retry: RetryPolicy,
 }
 
 /// Attribute one simulated cost term to a named accounting span.
@@ -183,6 +190,8 @@ impl CsaSystem {
             last_trace: None,
             read_cache: Arc::new(PageCache::new()),
             exec: ExecOptions::serial(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -197,6 +206,8 @@ impl CsaSystem {
             last_trace: None,
             read_cache: Arc::new(PageCache::new()),
             exec: ExecOptions::serial(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -226,7 +237,32 @@ impl CsaSystem {
             last_trace: None,
             read_cache: self.read_cache.clone(),
             exec: self.exec.clone(),
+            fault_plan: self.fault_plan.clone(),
+            retry: self.retry,
         }
+    }
+
+    /// Install a deterministic fault-injection plan on this system.
+    ///
+    /// The plan is pushed into the storage pager (device, page-integrity
+    /// and freshness fault sites) and cloned into the secure channel of
+    /// every subsequent split-query run, so one seeded plan governs the
+    /// whole query path. Views opened via [`CsaSystem::read_view`] after
+    /// this call inherit the plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.storage_db.pager().lock().set_fault_plan(plan.clone());
+        self.fault_plan = plan;
+    }
+
+    /// The active fault-injection plan ([`FaultPlan::none`] by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Set the retry budget used to recover from injected transient faults.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+        self.storage_db.pager().lock().set_retry_policy(policy);
     }
 
     /// Telemetry trace of the most recent `run_query`/`run_statement`
@@ -597,6 +633,9 @@ impl CsaSystem {
             let mut host_db = Database::new(PlainPager::new());
             let mut epc = EpcSimulator::new(p.epc_limit_bytes);
             let (mut tx, mut rx) = channel_pair(&self.session_key);
+            rx.set_fault_plan(self.fault_plan.clone());
+            let plan = self.fault_plan.clone();
+            let retry = self.retry;
 
             let mut scanned_rows = 0u64;
             let mut rows_shipped = 0u64;
@@ -653,9 +692,15 @@ impl CsaSystem {
                         crate::partition::OffloadDecision::Offload => {
                             rows_serialized += rows.len() as u64;
                             // Serialize through the channel (records of ≤4096 rows).
+                            // Each record is sealed once; injected transit faults
+                            // (drop/corrupt/reorder) reject delivery without
+                            // advancing the receive window, and the retransmit of
+                            // the pristine record is accepted under the retry
+                            // budget — so bytes_sent counts each record once.
                             for chunk in rows.chunks(4096) {
                                 let record = tx.seal_rows(&schema, chunk);
-                                let back = rx.open_rows(&record)?;
+                                let back =
+                                    retry_with(&plan, &retry, || rx.recv_rows(&record))?;
                                 debug_assert_eq!(back.len(), chunk.len());
                             }
                         }

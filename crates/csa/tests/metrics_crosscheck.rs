@@ -62,6 +62,47 @@ fn decrypt_counter_tracks_reads_on_secure_config() {
 }
 
 #[test]
+fn injected_device_fault_is_recovered_and_counted_without_drifting_counters() {
+    use ironsafe_faults::{FaultPlan, FaultSite};
+
+    let data = ironsafe_tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let baseline = sys
+        .run_query(&query(6).expect("q6 known"))
+        .expect("fault-free q6 runs")
+        .result
+        .rows()
+        .to_vec();
+
+    // One transient device-read error early in the scan; the pager's
+    // bounded retry must absorb it.
+    let plan = FaultPlan::seeded(7).with_nth(FaultSite::DeviceRead, 3);
+    sys.set_fault_plan(plan.clone());
+
+    let registry = Registry::new();
+    sys.storage_db().register_metrics(&registry);
+    plan.register_metrics(&registry);
+    let before = registry.snapshot();
+
+    let report = sys.run_query(&query(6).expect("q6 known")).expect("q6 survives the fault");
+    assert_eq!(report.result.rows(), &baseline[..], "recovered run must be bit-identical");
+
+    let after = registry.snapshot();
+    let delta = |name: &str| after.counter(name).unwrap() - before.counter(name).unwrap();
+    assert!(delta("faults.injected") >= 1, "the scheduled fault must fire");
+    assert!(delta("faults.retried") >= 1, "the fault must be retried");
+    assert!(delta("faults.recovered") >= 1, "the retry must succeed");
+    assert_eq!(delta("faults.exhausted"), 0, "one transient fault never exhausts the budget");
+
+    // The crosscheck invariant must hold *through* the retry: failed
+    // attempts roll their stats back, so the live counter still agrees
+    // with the cost model's committed page-read count.
+    assert_eq!(delta("storage.page.read"), report.pages_read_storage);
+    assert_eq!(delta("storage.page.read"), delta("storage.page.decrypt"));
+}
+
+#[test]
 fn plain_pager_registers_no_storage_counters() {
     let data = ironsafe_tpch::generate(0.002, 42);
     let sys = CsaSystem::build(SystemConfig::HostOnlyNonSecure, &data, CostParams::default())

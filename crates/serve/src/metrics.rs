@@ -17,6 +17,10 @@ pub struct ServeMetrics {
     /// `serve.query.completed` — responses delivered (success or
     /// per-request error). Equals `admitted` once the server drains.
     pub completed: Counter,
+    /// `serve.violations.audited` — integrity/freshness violations
+    /// detected during execution and recorded in the monitor's audit
+    /// log before the per-request error was delivered.
+    pub violations_audited: Counter,
 }
 
 impl ServeMetrics {
@@ -32,5 +36,6 @@ impl ServeMetrics {
         registry.register_counter("serve.query.admitted", &self.admitted);
         registry.register_counter("serve.query.rejected", &self.rejected);
         registry.register_counter("serve.query.completed", &self.completed);
+        registry.register_counter("serve.violations.audited", &self.violations_audited);
     }
 }

@@ -443,6 +443,43 @@ fn worker_loop(shared: Arc<ServerShared>) {
     }
 }
 
+/// Convert an engine failure into the per-request [`ServeError`],
+/// first recording any detected integrity/freshness violation in the
+/// monitor's audit log. Only the failing session sees the error; the
+/// audit entry is the durable record a regulator can later inspect.
+fn exec_error(
+    shared: &ServerShared,
+    handle: &SessionHandle,
+    e: ironsafe_csa::CsaError,
+) -> ServeError {
+    use ironsafe_csa::CsaError;
+    use ironsafe_storage::StorageError;
+    use ironsafe_tee::TeeError;
+    // Storage failures reach the serving layer either directly or
+    // wrapped by the SQL engine that was driving the pager.
+    let storage = match &e {
+        CsaError::Storage(se) | CsaError::Sql(ironsafe_sql::SqlError::Storage(se)) => Some(se),
+        _ => None,
+    };
+    let kind = match storage {
+        Some(StorageError::IntegrityViolation(_)) => Some("integrity"),
+        Some(StorageError::FreshnessViolation(_)) => Some("freshness"),
+        Some(StorageError::Tee(TeeError::RpmbViolation(_))) => Some("freshness"),
+        _ => None,
+    };
+    if let Some(kind) = kind {
+        let ts = shared.sessions.now();
+        shared.sessions.monitor().lock().audit().append(
+            ts,
+            "violation",
+            &handle.client,
+            &format!("{kind} violation detected executing session {} query: {e}", handle.id),
+        );
+        shared.metrics.violations_audited.inc();
+    }
+    ServeError::Exec(e.to_string())
+}
+
 /// Run one job under the session's span root, touching the session
 /// first so revoked/expired sessions yield clean errors.
 fn execute(
@@ -466,13 +503,13 @@ fn execute(
         Job::Query(q) => shared
             .system
             .run_query_with_dop(q, handle.key, dop)
-            .map_err(|e| ServeError::Exec(e.to_string())),
+            .map_err(|e| exec_error(shared, handle, e)),
         Job::Sql(sql) => match shared.sessions.authorize(&handle.client, database, sql) {
             Ok(auth) => {
                 let run = shared
                     .system
                     .run_statement_with_dop(&auth.statement, auth.session_key, dop)
-                    .map_err(|e| ServeError::Exec(e.to_string()));
+                    .map_err(|e| exec_error(shared, handle, e));
                 shared.sessions.cleanup(auth.session_id);
                 run
             }

@@ -259,3 +259,80 @@ fn sql_path_enforces_policy_and_audits() {
     assert!(m.audit().entries().iter().any(|e| e.message.starts_with("GRANT")));
     assert!(m.audit().entries().iter().any(|e| e.message.starts_with("DENY")));
 }
+
+#[test]
+fn revoking_with_jobs_queued_drains_them_with_typed_errors() {
+    // Revoke at the monitor only, so the server's admission path still
+    // accepts jobs for the session — every one of them is queued against
+    // an already-dead session and must drain with a clean per-request
+    // SessionClosed error, never a panic or a dropped ticket.
+    let srv = server(ServeConfig::default(), SystemConfig::StorageOnlySecure);
+    let s = srv.open_session("client-0", "db");
+    srv.sessions().revoke(s.id).unwrap();
+
+    let tickets: Vec<_> =
+        (0..5).map(|_| srv.submit(s.id, Job::Query(query(6))).unwrap()).collect();
+    for t in tickets {
+        match t.wait().outcome {
+            Err(ServeError::Monitor(MonitorError::SessionClosed { reason: "revoked", .. })) => {}
+            other => panic!("queued job must fail SessionClosed, got {other:?}"),
+        }
+    }
+
+    // Server-side revocation on top refuses any further admission.
+    srv.revoke_session(s.id).unwrap();
+    match srv.submit(s.id, Job::Query(query(6))) {
+        Err(AdmitError::SessionClosed { reason, .. }) => assert_eq!(reason, "revoked"),
+        other => panic!("expected SessionClosed admission error, got {other:?}"),
+    }
+
+    let metrics = srv.shutdown();
+    assert_eq!(metrics.admitted.get(), 5, "all five queued jobs were admitted");
+    assert_eq!(metrics.completed.get(), metrics.admitted.get(), "drain invariant");
+}
+
+#[test]
+fn injected_integrity_fault_degrades_one_request_and_is_audited() {
+    use ironsafe_faults::{FaultPlan, FaultSite};
+
+    let monitor = Arc::new(Mutex::new(attested_monitor()));
+    let system = shared_system(SystemConfig::IronSafe, 0.002);
+    let srv = QueryServer::start(Arc::clone(&system), Arc::clone(&monitor), ServeConfig::default());
+    let a = srv.open_session("client-a", "db");
+    let b = srv.open_session("client-b", "db");
+
+    // Every page read MAC-corrupts: retries exhaust, the request fails.
+    system.with_system_mut(|s| {
+        s.set_fault_plan(FaultPlan::seeded(5).with_rate(FaultSite::PageMacCorrupt, 1.0));
+    });
+    let failed = srv.submit(a.id, Job::Query(query(6))).unwrap().wait();
+    match failed.outcome {
+        Err(ServeError::Exec(m)) => {
+            assert!(m.contains("integrity"), "typed integrity error, got {m:?}")
+        }
+        other => panic!("expected per-request integrity failure, got {other:?}"),
+    }
+
+    // The violation was recorded in the monitor's audit log.
+    assert!(srv.metrics().violations_audited.get() >= 1);
+    {
+        let m = monitor.lock();
+        assert!(m.audit().verify(), "audit chain stays valid");
+        assert!(
+            m.audit()
+                .entries()
+                .iter()
+                .any(|e| e.stream == "violation" && e.message.contains("integrity")),
+            "violation entry must be in the audit log"
+        );
+    }
+
+    // Only that request failed: with the plan cleared, the other
+    // session's query runs to completion over the same shared system.
+    system.with_system_mut(|s| s.set_fault_plan(FaultPlan::none()));
+    let ok = srv.submit(b.id, Job::Query(query(6))).unwrap().wait();
+    ok.outcome.expect("healthy session is unaffected by the earlier fault");
+
+    let metrics = srv.shutdown();
+    assert_eq!(metrics.completed.get(), metrics.admitted.get());
+}

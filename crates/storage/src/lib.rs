@@ -57,6 +57,8 @@ pub enum StorageError {
     },
     /// Underlying TEE error (RPMB etc.).
     Tee(ironsafe_tee::TeeError),
+    /// The block device failed an I/O request (torn read, bus reset).
+    DeviceIo(&'static str),
 }
 
 impl std::fmt::Display for StorageError {
@@ -69,6 +71,25 @@ impl std::fmt::Display for StorageError {
                 write!(f, "bad buffer size: expected {expected}, got {got}")
             }
             StorageError::Tee(e) => write!(f, "TEE error: {e}"),
+            StorageError::DeviceIo(m) => write!(f, "device I/O error: {m}"),
+        }
+    }
+}
+
+impl ironsafe_faults::Transient for StorageError {
+    /// Device I/O errors and integrity violations are retried: a torn
+    /// read or in-transit bit flip clears on a re-read of the pristine
+    /// medium (persistent tampering keeps failing and surfaces once the
+    /// retry budget is spent). Freshness violations are *never*
+    /// transient — a stale root is a rollback/fork event the RPMB
+    /// protocol exists to make permanent and loud. TEE errors delegate.
+    fn is_transient(&self) -> bool {
+        match self {
+            StorageError::DeviceIo(_) | StorageError::IntegrityViolation(_) => true,
+            StorageError::Tee(e) => e.is_transient(),
+            StorageError::PageOutOfRange(_)
+            | StorageError::FreshnessViolation(_)
+            | StorageError::BadBufferSize { .. } => false,
         }
     }
 }

@@ -60,6 +60,13 @@ impl MerkleTree {
         self.node_visits = 0;
     }
 
+    /// Restore the visit counter to an earlier snapshot — used by the
+    /// secure pager to keep batch reads stats-atomic: a failed batch
+    /// rolls its partial Merkle work back out of the counters.
+    pub fn restore_node_visits(&mut self, snapshot: u64) {
+        self.node_visits = snapshot;
+    }
+
     fn leaf_hash(&self, index: u64, page_mac: &[u8; 32]) -> NodeHash {
         hmac_sha256_concat(&self.key, &[b"merkle-leaf", &index.to_be_bytes(), page_mac])
     }

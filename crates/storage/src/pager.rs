@@ -40,6 +40,14 @@ pub trait Pager {
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
 
+    /// Install a fault-injection plan. Pagers without fault hooks (the
+    /// plaintext pager, views over an already-hooked base) ignore it.
+    fn set_fault_plan(&mut self, _plan: ironsafe_faults::FaultPlan) {}
+
+    /// Set the retry budget used to recover from injected transient
+    /// faults. Pagers without fault hooks ignore it.
+    fn set_retry_policy(&mut self, _policy: ironsafe_faults::RetryPolicy) {}
+
     /// Allocate a fresh zeroed page; returns its id.
     fn allocate_page(&mut self) -> Result<PageId>;
 

@@ -14,6 +14,7 @@ use crate::freshness::FreshnessManager;
 use crate::merkle::{MerkleTree, NodeHash};
 use crate::pager::{PageId, Pager, PagerStats};
 use crate::{Result, StorageError};
+use ironsafe_faults::{retry_with, FaultPlan, FaultSite, RetryPolicy};
 use ironsafe_obs::{Counter, Registry};
 use ironsafe_tee::trustzone::{SecureStorageTa, TrustZoneDevice};
 use rand::SeedableRng;
@@ -68,6 +69,8 @@ pub struct SecurePager {
     page_reads: u64,
     page_writes: u64,
     metrics: PagerMetrics,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
     /// When false, skip the per-read Merkle verification (ablation knob;
     /// the paper's system always verifies).
     pub verify_freshness_on_read: bool,
@@ -99,6 +102,8 @@ impl SecurePager {
             page_reads: 0,
             page_writes: 0,
             metrics: PagerMetrics::default(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             verify_freshness_on_read: true,
         })
     }
@@ -144,6 +149,8 @@ impl SecurePager {
             page_reads: 0,
             page_writes: 0,
             metrics: PagerMetrics::default(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             verify_freshness_on_read: true,
         })
     }
@@ -173,6 +180,94 @@ impl SecurePager {
     pub fn metrics(&self) -> &PagerMetrics {
         &self.metrics
     }
+
+    /// Run `f`, rolling the crypto/Merkle work counters back to their
+    /// pre-call snapshot on failure. This is what makes batch reads
+    /// stats-atomic: a mid-batch decrypt or freshness failure leaves no
+    /// partial counts behind, so a retried attempt is not
+    /// double-counted and an aborted query charges nothing.
+    fn with_stats_rollback<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        let decrypts = self.codec.decrypt_count;
+        let encrypts = self.codec.encrypt_count;
+        let merkle_visits = self.merkle.node_visits();
+        match f(self) {
+            ok @ Ok(_) => ok,
+            Err(e) => {
+                self.codec.decrypt_count = decrypts;
+                self.codec.encrypt_count = encrypts;
+                self.merkle.restore_node_visits(merkle_visits);
+                Err(e)
+            }
+        }
+    }
+
+    /// One read attempt for a single page, with fault hooks. Injected
+    /// corruption flips bytes in the *local* block copy — the medium
+    /// keeps the pristine block, so a retry genuinely recovers.
+    fn try_read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        if self.fault_plan.should_fire(FaultSite::DeviceRead) {
+            return Err(StorageError::DeviceIo("injected device read error"));
+        }
+        let mut block = [0u8; BLOCK_SIZE];
+        self.device.read_block(id, &mut block)?;
+        if self.fault_plan.should_fire(FaultSite::PageBitFlip) {
+            block[17] ^= 0x01;
+        }
+        if self.fault_plan.should_fire(FaultSite::PageMacCorrupt) {
+            block[BLOCK_SIZE - 1] ^= 0x01;
+        }
+        let mac = self.codec.decrypt_page(id, &block, buf)?;
+        if self.verify_freshness_on_read {
+            if self.fault_plan.should_fire(FaultSite::FreshnessStale) {
+                return Err(StorageError::FreshnessViolation(
+                    "stale page observed (injected rollback)",
+                ));
+            }
+            if !self.merkle.verify(id, &mac, &self.trusted_root) {
+                return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
+            }
+        }
+        Ok(())
+    }
+
+    /// One attempt at the pipelined batch read (see [`Pager::read_pages`]).
+    fn try_read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
+        // Pass 1: device I/O.
+        let mut blocks = vec![0u8; ids.len() * BLOCK_SIZE];
+        for (id, block) in ids.iter().zip(blocks.chunks_exact_mut(BLOCK_SIZE)) {
+            if self.fault_plan.should_fire(FaultSite::DeviceRead) {
+                return Err(StorageError::DeviceIo("injected device read error"));
+            }
+            self.device.read_block(*id, block.try_into().expect("BLOCK_SIZE chunk"))?;
+            if self.fault_plan.should_fire(FaultSite::PageBitFlip) {
+                block[17] ^= 0x01;
+            }
+            if self.fault_plan.should_fire(FaultSite::PageMacCorrupt) {
+                block[BLOCK_SIZE - 1] ^= 0x01;
+            }
+        }
+        // Pass 2: decryption (collect the page MACs for verification).
+        let mut macs = Vec::with_capacity(ids.len());
+        for ((id, block), buf) in
+            ids.iter().zip(blocks.chunks_exact(BLOCK_SIZE)).zip(out.chunks_exact_mut(PAGE_PAYLOAD))
+        {
+            macs.push(self.codec.decrypt_page(*id, block.try_into().expect("BLOCK_SIZE chunk"), buf)?);
+        }
+        // Pass 3: freshness verification against the trusted root.
+        if self.verify_freshness_on_read {
+            for (id, mac) in ids.iter().zip(&macs) {
+                if self.fault_plan.should_fire(FaultSite::FreshnessStale) {
+                    return Err(StorageError::FreshnessViolation(
+                        "stale page observed (injected rollback)",
+                    ));
+                }
+                if !self.merkle.verify(*id, mac, &self.trusted_root) {
+                    return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Pager for SecurePager {
@@ -195,26 +290,30 @@ impl Pager for SecurePager {
     }
 
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
-        let mut block = [0u8; BLOCK_SIZE];
-        self.device.read_block(id, &mut block)?;
-        let mac = self.codec.decrypt_page(id, &block, buf)?;
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        retry_with(&plan, &policy, || {
+            self.with_stats_rollback(|p| p.try_read_page(id, buf))
+        })?;
+        // Stats and telemetry commit only once the read fully succeeded,
+        // so failed/retried attempts charge nothing.
+        self.page_reads += 1;
+        self.metrics.page_reads.inc();
         self.metrics.decrypts.inc();
         if self.verify_freshness_on_read {
             self.metrics.hmac_verifies.inc();
-            if !self.merkle.verify(id, &mac, &self.trusted_root) {
-                return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
-            }
         }
-        self.page_reads += 1;
-        self.metrics.page_reads.inc();
         Ok(())
     }
 
     /// Pipelined batch read: one pass of device I/O for the whole batch,
     /// one pass of decryption, one pass of Merkle verification, with the
     /// telemetry counters bumped once per pass instead of once per page.
-    /// On success the stats delta is identical to `ids.len()` single-page
-    /// reads; a failure aborts mid-batch (the caller discards the query).
+    /// The batch is **stats-atomic**: either the whole batch succeeds
+    /// and charges exactly `ids.len()` single-page reads' worth of
+    /// counters, or it fails and charges nothing — a mid-batch
+    /// decrypt/MAC/freshness failure (or a retried transient fault)
+    /// never leaves partial or double counts behind.
     fn read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
         if out.len() != ids.len() * PAGE_PAYLOAD {
             return Err(StorageError::BadBufferSize {
@@ -223,30 +322,17 @@ impl Pager for SecurePager {
             });
         }
         let n = ids.len() as u64;
-        // Pass 1: device I/O.
-        let mut blocks = vec![0u8; ids.len() * BLOCK_SIZE];
-        for (id, block) in ids.iter().zip(blocks.chunks_exact_mut(BLOCK_SIZE)) {
-            self.device.read_block(*id, block.try_into().expect("BLOCK_SIZE chunk"))?;
-        }
-        // Pass 2: decryption (collect the page MACs for verification).
-        let mut macs = Vec::with_capacity(ids.len());
-        for ((id, block), buf) in
-            ids.iter().zip(blocks.chunks_exact(BLOCK_SIZE)).zip(out.chunks_exact_mut(PAGE_PAYLOAD))
-        {
-            macs.push(self.codec.decrypt_page(*id, block.try_into().expect("BLOCK_SIZE chunk"), buf)?);
-        }
-        self.metrics.decrypts.add(n);
-        // Pass 3: freshness verification against the trusted root.
-        if self.verify_freshness_on_read {
-            self.metrics.hmac_verifies.add(n);
-            for (id, mac) in ids.iter().zip(&macs) {
-                if !self.merkle.verify(*id, mac, &self.trusted_root) {
-                    return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
-                }
-            }
-        }
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        retry_with(&plan, &policy, || {
+            self.with_stats_rollback(|p| p.try_read_pages(ids, out))
+        })?;
         self.page_reads += n;
         self.metrics.page_reads.add(n);
+        self.metrics.decrypts.add(n);
+        if self.verify_freshness_on_read {
+            self.metrics.hmac_verifies.add(n);
+        }
         Ok(())
     }
 
@@ -254,6 +340,17 @@ impl Pager for SecurePager {
         if id >= self.device.num_blocks() {
             return Err(StorageError::PageOutOfRange(id));
         }
+        // Device write faults fire before any crypto or tree work, so a
+        // failed attempt mutates nothing and a bounded retry recovers.
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        retry_with(&plan, &policy, || {
+            if plan.should_fire(FaultSite::DeviceWrite) {
+                Err(StorageError::DeviceIo("injected device write error"))
+            } else {
+                Ok(())
+            }
+        })?;
         let (block, mac) = self.codec.encrypt_page(id, data, &mut self.rng)?;
         self.device.write_block(id, &block)?;
         self.merkle.update(id, &mac);
@@ -266,8 +363,26 @@ impl Pager for SecurePager {
 
     fn commit(&mut self) -> Result<()> {
         let root = self.trusted_root;
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        // An injected `tee.rpmb.write_fail` surfaces as a transient
+        // `RpmbBusy`; the client recomputes the write counter on each
+        // attempt, so the retried commit authenticates cleanly.
+        retry_with(&plan, &policy, || {
+            self.freshness.commit_root(&self.ta, &mut self.tz, &root)
+        })?;
+        // Counted only once the root actually landed in the RPMB.
         self.metrics.rpmb_writes.inc();
-        self.freshness.commit_root(&self.ta, &mut self.tz, &root)
+        Ok(())
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.tz.rpmb.set_fault_plan(plan.clone());
+        self.fault_plan = plan;
+    }
+
+    fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     fn stats(&self) -> PagerStats {
@@ -512,5 +627,126 @@ mod tests {
     fn write_to_unallocated_page_rejected() {
         let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
         assert_eq!(pager.write_page(0, &payload(1)), Err(StorageError::PageOutOfRange(0)));
+    }
+
+    /// Satellite regression: a mid-batch failure must not leave stats
+    /// counters partially bumped (which would double-count on retry and
+    /// diverge `PagerStats` from the obs counters).
+    #[test]
+    fn failed_batch_read_charges_no_stats() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..4u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        // Tamper page 2: pages 0 and 1 decrypt fine before the batch dies.
+        pager.device_mut().raw_tamper(2, 100, 0xff);
+        pager.reset_stats();
+        let before_obs = pager.metrics().decrypts.get();
+        let ids: Vec<PageId> = (0..4).collect();
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        assert!(matches!(
+            pager.read_pages(&ids, &mut out),
+            Err(StorageError::IntegrityViolation(_))
+        ));
+        let s = pager.stats();
+        assert_eq!(s.page_reads, 0, "failed batch must not count page reads");
+        assert_eq!(s.decrypts, 0, "partial decrypts must be rolled back");
+        assert_eq!(s.merkle_nodes, 0, "partial Merkle work must be rolled back");
+        assert_eq!(pager.metrics().decrypts.get(), before_obs, "obs counter unchanged");
+        // Undo the XOR tamper; a subsequent clean read charges exactly
+        // its own work on top of the zeroed counters.
+        pager.device_mut().raw_tamper(2, 100, 0xff);
+        let mut single = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(0, &mut single).unwrap();
+        assert_eq!(pager.stats().page_reads, 1);
+        assert_eq!(pager.stats().decrypts, 1);
+    }
+
+    #[test]
+    fn failed_single_read_charges_no_stats() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(7)).unwrap();
+        pager.device_mut().raw_tamper(id, 100, 0xff);
+        pager.reset_stats();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        assert!(pager.read_page(id, &mut buf).is_err());
+        assert_eq!(pager.stats(), PagerStats::default(), "failed read charges nothing");
+    }
+
+    #[test]
+    fn injected_device_read_fault_recovers_via_retry() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(5)).unwrap();
+        let plan = FaultPlan::seeded(21).with_nth(FaultSite::DeviceRead, 1);
+        pager.set_fault_plan(plan.clone());
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(5), "retried read returns correct data");
+        assert_eq!(plan.metrics().injected.get(), 1);
+        assert_eq!(plan.metrics().recovered.get(), 1);
+        assert_eq!(pager.stats().page_reads, 1, "retry does not double-count");
+    }
+
+    #[test]
+    fn injected_bitflip_is_detected_then_recovered() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(9)).unwrap();
+        pager.reset_stats();
+        let plan = FaultPlan::seeded(22).with_nth(FaultSite::PageBitFlip, 1);
+        pager.set_fault_plan(plan.clone());
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(9), "medium was pristine; re-read recovers");
+        assert_eq!(plan.metrics().recovered.get(), 1);
+        assert_eq!(pager.stats().decrypts, 1, "failed decrypt attempt rolled back");
+    }
+
+    #[test]
+    fn injected_stale_page_is_a_clean_permanent_error() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(3)).unwrap();
+        let plan = FaultPlan::seeded(23).with_nth(FaultSite::FreshnessStale, 1);
+        pager.set_fault_plan(plan.clone());
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        assert!(matches!(
+            pager.read_page(id, &mut buf),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+        assert_eq!(plan.metrics().retried.get(), 0, "freshness violations are never retried");
+    }
+
+    #[test]
+    fn injected_rpmb_write_failure_recovers_on_commit() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        let plan = FaultPlan::seeded(24).with_nth(FaultSite::RpmbWrite, 1);
+        pager.set_fault_plan(plan.clone());
+        pager.commit().unwrap();
+        assert_eq!(plan.metrics().injected.get(), 1);
+        assert_eq!(plan.metrics().recovered.get(), 1);
+        assert_eq!(pager.metrics().rpmb_writes.get(), 1, "one commit counted once");
+        // The committed root survives a reboot (freshness state intact).
+        let (tz, medium) = pager.into_parts();
+        assert!(SecurePager::open(tz, medium, 9).is_ok());
+    }
+
+    #[test]
+    fn injected_device_write_fault_recovers() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        let plan = FaultPlan::seeded(25).with_nth(FaultSite::DeviceWrite, 1);
+        pager.set_fault_plan(plan.clone());
+        pager.write_page(id, &payload(8)).unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.set_fault_plan(FaultPlan::none());
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(8));
+        assert_eq!(plan.metrics().recovered.get(), 1);
     }
 }

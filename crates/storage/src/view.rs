@@ -226,6 +226,13 @@ impl Pager for ViewPager {
     /// captured individually — Merkle path lengths differ per page — so
     /// later cache hits replay exactly what each page cost, and the
     /// view's stats delta is identical to looped single-page reads.
+    ///
+    /// The batch is atomic with respect to the view's stats and the
+    /// shared cache: every delta and cache insertion is staged locally
+    /// and committed only after the whole batch succeeded, so a
+    /// mid-batch base failure leaves no partial counts and no
+    /// partially-populated cache behind (a retried batch would
+    /// otherwise double-charge the already-served prefix).
     fn read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
         if out.len() != ids.len() * self.payload {
             return Err(StorageError::BadBufferSize {
@@ -233,33 +240,39 @@ impl Pager for ViewPager {
                 got: out.len(),
             });
         }
+        let mut staged = PagerStats::default();
         let mut misses: Vec<(usize, PageId)> = Vec::new();
         for (i, (&id, chunk)) in
             ids.iter().zip(out.chunks_exact_mut(self.payload)).enumerate()
         {
             if let Some(data) = self.overlay.get(&id) {
                 chunk.copy_from_slice(data);
-                self.stats.page_reads += 1;
+                staged.page_reads += 1;
             } else if id >= self.base_pages {
                 return Err(StorageError::PageOutOfRange(id));
             } else if let Some(hit) = self.cache.get(id) {
                 chunk.copy_from_slice(&hit.payload);
-                stats_add(&mut self.stats, &hit.delta);
+                stats_add(&mut staged, &hit.delta);
             } else {
                 misses.push((i, id));
             }
         }
-        if misses.is_empty() {
-            return Ok(());
+        let mut puts: Vec<(PageId, CachedPage)> = Vec::with_capacity(misses.len());
+        if !misses.is_empty() {
+            let mut b = self.base.lock();
+            for (i, id) in misses {
+                let chunk = &mut out[i * self.payload..(i + 1) * self.payload];
+                let before = b.stats();
+                b.read_page(id, chunk)?;
+                let delta = stats_delta(before, b.stats());
+                puts.push((id, CachedPage { payload: chunk.to_vec().into_boxed_slice(), delta }));
+                stats_add(&mut staged, &delta);
+            }
         }
-        let mut b = self.base.lock();
-        for (i, id) in misses {
-            let chunk = &mut out[i * self.payload..(i + 1) * self.payload];
-            let before = b.stats();
-            b.read_page(id, chunk)?;
-            let delta = stats_delta(before, b.stats());
-            self.cache.put(id, CachedPage { payload: chunk.to_vec().into_boxed_slice(), delta });
-            stats_add(&mut self.stats, &delta);
+        // Commit point: the whole batch succeeded.
+        stats_add(&mut self.stats, &staged);
+        for (id, page) in puts {
+            self.cache.put(id, page);
         }
         Ok(())
     }
@@ -403,6 +416,49 @@ mod tests {
         }
         // Misses were cached for later hits (readahead).
         assert!(cache.len() >= 3);
+    }
+
+    /// Satellite regression: a mid-batch base failure must leave the
+    /// view's stats and the shared cache untouched — no partial counts,
+    /// no partially-populated cache.
+    #[test]
+    fn failed_batch_leaves_stats_and_cache_untouched() {
+        use crate::secure_pager::SecurePager;
+        use ironsafe_crypto::group::Group;
+        use ironsafe_tee::trustzone::Manufacturer;
+        use rand::SeedableRng;
+
+        let group = Group::modp_1024();
+        let mfr = Manufacturer::from_seed(&group, b"acme");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let tz = mfr.make_device("view-fault", 8, &mut rng);
+        let mut pager = SecurePager::create(tz, 5).unwrap();
+        let payload = pager.payload_size();
+        for i in 0..4u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &vec![i; payload]).unwrap();
+        }
+        // Page 3 is tampered: a batch [0, 1, 2, 3] serves three pages
+        // before dying on the fourth.
+        pager.device_mut().raw_tamper(3, 100, 0xff);
+        let base: SharedDynPager = Arc::new(Mutex::new(pager));
+        let cache = Arc::new(PageCache::new());
+        let mut v = ViewPager::over(base, cache.clone());
+        let ids = [0u64, 1, 2, 3];
+        let mut out = vec![0u8; ids.len() * payload];
+        assert!(matches!(
+            v.read_pages(&ids, &mut out),
+            Err(StorageError::IntegrityViolation(_))
+        ));
+        assert_eq!(v.stats(), PagerStats::default(), "no partial stats from a failed batch");
+        assert!(cache.is_empty(), "no partial cache population from a failed batch");
+        // The good pages are still individually readable and charge
+        // exactly one read each afterwards.
+        let mut buf = vec![0u8; payload];
+        v.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        assert_eq!(v.stats().page_reads, 1);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub enum TeeError {
     RpmbViolation(&'static str),
     /// Secure boot refused an image.
     BootFailed(&'static str),
+    /// Enclave entry aborted under EPC pressure (transient: re-entry
+    /// after the backoff usually succeeds once residency drains).
+    EpcPressure(&'static str),
+    /// The RPMB device refused a write because it was busy (transient:
+    /// the client recomputes the write counter and re-issues).
+    RpmbBusy(&'static str),
 }
 
 impl std::fmt::Display for TeeError {
@@ -50,11 +56,22 @@ impl std::fmt::Display for TeeError {
             TeeError::UnsealFailed => write!(f, "unseal failed"),
             TeeError::RpmbViolation(m) => write!(f, "RPMB violation: {m}"),
             TeeError::BootFailed(m) => write!(f, "secure boot failed: {m}"),
+            TeeError::EpcPressure(m) => write!(f, "EPC pressure: {m}"),
+            TeeError::RpmbBusy(m) => write!(f, "RPMB busy: {m}"),
         }
     }
 }
 
 impl std::error::Error for TeeError {}
+
+impl ironsafe_faults::Transient for TeeError {
+    /// EPC pressure and a busy RPMB clear on their own; everything else
+    /// (failed attestation, destroyed enclave, rollback detection,
+    /// unseal failure) is a protocol event, not noise.
+    fn is_transient(&self) -> bool {
+        matches!(self, TeeError::EpcPressure(_) | TeeError::RpmbBusy(_))
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, TeeError>;

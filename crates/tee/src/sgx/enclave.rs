@@ -12,6 +12,7 @@ use crate::sgx::seal::{self, SealedBlob};
 use crate::{Result, TeeError};
 use ironsafe_crypto::group::Group;
 use ironsafe_crypto::schnorr::KeyPair;
+use ironsafe_faults::{FaultPlan, FaultSite};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -87,6 +88,17 @@ impl SgxPlatform {
 
     /// Build and initialize an enclave from `image`, measuring it.
     pub fn create_enclave(&self, image: &SoftwareImage, config: EnclaveConfig) -> Enclave {
+        self.create_enclave_with_faults(image, config, FaultPlan::none())
+    }
+
+    /// [`SgxPlatform::create_enclave`] with a fault plan wired into the
+    /// enclave's entry path (`tee.enclave.crash`, `tee.epc.abort`).
+    pub fn create_enclave_with_faults(
+        &self,
+        image: &SoftwareImage,
+        config: EnclaveConfig,
+        fault_plan: FaultPlan,
+    ) -> Enclave {
         Enclave {
             measurement: image.measure(),
             image_name: image.name.clone(),
@@ -98,6 +110,7 @@ impl SgxPlatform {
             transitions: ironsafe_obs::Counter::new(),
             seal_key: seal::derive_seal_key(&self.root_secret, image.measure().as_bytes()),
             destroyed: AtomicU64::new(0),
+            fault_plan,
         }
     }
 }
@@ -114,6 +127,7 @@ pub struct Enclave {
     transitions: ironsafe_obs::Counter,
     seal_key: [u8; 32],
     destroyed: AtomicU64,
+    fault_plan: FaultPlan,
 }
 
 impl std::fmt::Debug for Enclave {
@@ -152,8 +166,21 @@ impl Enclave {
     }
 
     /// Record an enclave entry (ECALL).
+    ///
+    /// Under an active fault plan an entry can crash the enclave
+    /// (`tee.enclave.crash` — the enclave is destroyed and must be
+    /// rebuilt, e.g. by an
+    /// [`EnclaveSupervisor`](crate::sgx::EnclaveSupervisor)) or abort
+    /// transiently under EPC pressure (`tee.epc.abort`).
     pub fn enter(&self) -> Result<()> {
         self.check_alive()?;
+        if self.fault_plan.should_fire(FaultSite::EnclaveCrash) {
+            self.destroy();
+            return Err(TeeError::InvalidState("enclave crashed (injected fault)"));
+        }
+        if self.fault_plan.should_fire(FaultSite::EpcAbort) {
+            return Err(TeeError::EpcPressure("entry aborted (injected fault)"));
+        }
         self.ecalls.fetch_add(1, Ordering::Relaxed);
         self.transitions.inc();
         Ok(())

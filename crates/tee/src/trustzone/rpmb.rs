@@ -10,6 +10,7 @@
 
 use crate::{Result, TeeError};
 use ironsafe_crypto::hmac::hmac_sha256_concat;
+use ironsafe_faults::{FaultPlan, FaultSite};
 use ironsafe_obs::{Counter, Registry};
 
 /// RPMB block size in bytes (half-sector data frames in real eMMC; a round
@@ -24,6 +25,7 @@ pub struct Rpmb {
     write_counter: u64,
     reads: Counter,
     writes: Counter,
+    fault_plan: FaultPlan,
 }
 
 impl Rpmb {
@@ -35,7 +37,16 @@ impl Rpmb {
             write_counter: 0,
             reads: Counter::new(),
             writes: Counter::new(),
+            fault_plan: FaultPlan::none(),
         }
+    }
+
+    /// Install a fault plan; `tee.rpmb.write_fail` faults make
+    /// authenticated writes fail with [`TeeError::RpmbBusy`] before the
+    /// device state changes (write counter untouched, so a retried
+    /// write with a recomputed MAC succeeds).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
     }
 
     /// Attach the part's operation counters to `registry` as
@@ -82,6 +93,9 @@ impl Rpmb {
         data: &[u8; RPMB_BLOCK],
         mac: &[u8; 32],
     ) -> Result<()> {
+        if self.fault_plan.should_fire(FaultSite::RpmbWrite) {
+            return Err(TeeError::RpmbBusy("injected RPMB write failure"));
+        }
         let key = *self.key()?;
         if addr >= self.blocks.len() {
             return Err(TeeError::RpmbViolation("address out of range"));

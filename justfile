@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke
+check: serve-smoke par-smoke chaos-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -20,6 +20,17 @@ par-smoke:
 serve-smoke:
     cargo run --release --offline --example multi_client
     cargo test -q --offline -p ironsafe-serve
+
+# Fault-injection smoke: the chaos harness (50 seed x rate storms,
+# identical-rows-or-typed-error invariant, per-surface recovery) plus
+# the fault plan's own unit tests.
+chaos-smoke:
+    cargo test -q --offline -p ironsafe --test chaos
+    cargo test -q --offline -p ironsafe-faults
+
+# Full chaos sweep through paperbench, with exported fault counters.
+chaos out="chaos-metrics":
+    cargo run --release --offline -p ironsafe-bench --bin paperbench chaos --metrics-out {{out}}
 
 # Full criterion benchmark suite (minutes).
 bench:

@@ -1,0 +1,184 @@
+//! Chaos harness: sweep seeded fault plans across rates and assert the
+//! system degrades gracefully — every query either returns rows
+//! bit-identical to the fault-free run (the fault was absorbed by a
+//! retry/restart) or a clean typed error. Never a panic, never silently
+//! wrong rows.
+//!
+//! The sweep reuses one loaded system and swaps the fault plan between
+//! combos: `FaultPlan` state (arrival counters, metrics) lives in the
+//! plan, not the system, so each combo starts fresh.
+
+use ironsafe::csa::cost::CostParams;
+use ironsafe::csa::{CsaSystem, SystemConfig};
+use ironsafe::deploy::{Client, Deployment};
+use ironsafe::tpch::queries::{paper_queries, PaperQuery};
+use ironsafe_faults::{FaultPlan, FaultSite};
+use ironsafe_sql::Row;
+
+const SEEDS: [u64; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+const RATES: [f64; 5] = [0.0005, 0.002, 0.01, 0.05, 0.2];
+
+fn query(id: u8) -> PaperQuery {
+    paper_queries().into_iter().find(|q| q.id == id).unwrap()
+}
+
+/// A plan firing on every injectable surface a read-only split query
+/// crosses: device, page integrity, freshness, and the secure channel.
+fn storm_plan(seed: u64, rate: f64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_rate(FaultSite::DeviceRead, rate)
+        .with_rate(FaultSite::PageBitFlip, rate)
+        .with_rate(FaultSite::PageMacCorrupt, rate)
+        .with_rate(FaultSite::FreshnessStale, rate)
+        .with_rate(FaultSite::ChannelDrop, rate)
+        .with_rate(FaultSite::ChannelCorrupt, rate)
+        .with_rate(FaultSite::ChannelReorder, rate)
+}
+
+#[test]
+fn fault_storm_sweep_yields_identical_rows_or_typed_errors() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let queries = [query(1), query(6)];
+    let baselines: Vec<Vec<Row>> = queries
+        .iter()
+        .map(|q| sys.run_query(q).expect("fault-free run").result.rows().to_vec())
+        .collect();
+
+    let mut combos = 0u32;
+    let mut clean_runs = 0u32;
+    let mut typed_errors = 0u32;
+    for seed in SEEDS {
+        for rate in RATES {
+            combos += 1;
+            let plan = storm_plan(seed, rate);
+            sys.set_fault_plan(plan.clone());
+            for (q, baseline) in queries.iter().zip(&baselines) {
+                // A panic anywhere in here fails the test: graceful
+                // degradation means every outcome is one of these two.
+                match sys.run_query(q) {
+                    Ok(report) => {
+                        assert_eq!(
+                            report.result.rows(),
+                            &baseline[..],
+                            "seed {seed} rate {rate}: recovered run must be bit-identical"
+                        );
+                        clean_runs += 1;
+                    }
+                    Err(e) => {
+                        // Typed, displayable, and classified.
+                        use ironsafe_faults::Transient;
+                        let _ = e.is_transient();
+                        assert!(!e.to_string().is_empty());
+                        typed_errors += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(combos, 50, "acceptance floor: at least 50 seed x rate combos");
+    // Low rates must mostly be absorbed; high rates must actually bite —
+    // otherwise the storm is not exercising the recovery paths at all.
+    assert!(clean_runs > 0, "some runs must recover to identical rows");
+    assert!(typed_errors > 0, "some runs must surface typed errors");
+
+    // The system itself is undamaged: clear the plan and re-verify.
+    sys.set_fault_plan(FaultPlan::none());
+    for (q, baseline) in queries.iter().zip(&baselines) {
+        let report = sys.run_query(q).expect("post-storm fault-free run");
+        assert_eq!(report.result.rows(), &baseline[..]);
+    }
+}
+
+#[test]
+fn storms_are_reproducible_for_a_given_seed() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let q = query(6);
+
+    let mut outcomes = Vec::new();
+    for round in 0..2 {
+        let _ = round;
+        let plan = storm_plan(3, 0.05);
+        sys.set_fault_plan(plan.clone());
+        let outcome = match sys.run_query(&q) {
+            Ok(r) => Ok(r.result.rows().to_vec()),
+            Err(e) => Err(e.to_string()),
+        };
+        let m = plan.metrics();
+        outcomes.push((outcome, m.injected.get(), m.retried.get(), m.recovered.get()));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "same seed, same plan: same faults, same outcome");
+}
+
+#[test]
+fn device_read_fault_recovers_with_visible_metrics() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let baseline = sys.run_query(&query(6)).unwrap().result.rows().to_vec();
+
+    let plan = FaultPlan::seeded(1)
+        .with_nth(FaultSite::DeviceRead, 2)
+        .with_nth(FaultSite::DeviceRead, 9);
+    sys.set_fault_plan(plan.clone());
+    let report = sys.run_query(&query(6)).expect("both transient faults are absorbed");
+    assert_eq!(report.result.rows(), &baseline[..]);
+    assert_eq!(plan.metrics().injected.get(), 2);
+    assert!(plan.metrics().recovered.get() >= 1);
+    assert_eq!(plan.metrics().exhausted.get(), 0);
+}
+
+#[test]
+fn channel_drop_fault_recovers_with_visible_metrics() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let baseline = sys.run_query(&query(6)).unwrap().result.rows().to_vec();
+
+    // Q6 offloads its filtered rows through the secure channel; drop the
+    // first record in transit and let the retransmit carry it through.
+    let plan = FaultPlan::seeded(1).with_nth(FaultSite::ChannelDrop, 1);
+    sys.set_fault_plan(plan.clone());
+    let report = sys.run_query(&query(6)).expect("dropped record is retransmitted");
+    assert_eq!(report.result.rows(), &baseline[..]);
+    assert!(plan.metrics().injected.get() >= 1);
+    assert!(plan.metrics().recovered.get() >= 1);
+    assert_eq!(plan.metrics().exhausted.get(), 0);
+}
+
+#[test]
+fn enclave_crash_and_rpmb_failures_recover_end_to_end() {
+    // Whole-deployment plan: the second enclave entry crashes (restart +
+    // sealed-state reload) and the first RPMB write is refused busy
+    // (retried with a recomputed counter).
+    let plan = FaultPlan::seeded(23)
+        .with_nth(FaultSite::EnclaveCrash, 2)
+        .with_nth(FaultSite::RpmbWrite, 1);
+    let mut dep = Deployment::builder().fault_plan(plan.clone()).build().unwrap();
+    dep.create_database("db", "read :- sessionKeyIs(alice)\nwrite :- sessionKeyIs(alice)");
+    let alice = Client::new("alice");
+    dep.submit(&alice, "db", "CREATE TABLE t (a INT)", "").unwrap();
+    dep.submit(&alice, "db", "INSERT INTO t VALUES (7), (8), (9)", "").unwrap();
+    let resp = dep.submit(&alice, "db", "SELECT a FROM t ORDER BY a", "").unwrap();
+    assert_eq!(resp.result.rows().len(), 3);
+    assert!(resp.verify_proof(&dep));
+    assert!(dep.supervisor().restarts() >= 1, "crash forced an enclave restart");
+    assert!(plan.metrics().injected.get() >= 2, "both scheduled faults fired");
+    assert!(plan.metrics().recovered.get() >= 2, "both were recovered");
+    assert_eq!(plan.metrics().exhausted.get(), 0);
+}
+
+#[test]
+fn persistent_faults_exhaust_cleanly_into_typed_errors() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let plan = FaultPlan::seeded(9).with_rate(FaultSite::DeviceRead, 1.0);
+    sys.set_fault_plan(plan.clone());
+    let err = sys.run_query(&query(6)).expect_err("every attempt fails");
+    assert!(err.to_string().contains("device I/O"), "typed device error, got {err}");
+    assert!(plan.metrics().exhausted.get() >= 1, "the retry budget was spent and reported");
+}
