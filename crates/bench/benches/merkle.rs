@@ -37,6 +37,54 @@ fn bench_verify_arity_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_verify_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_verify_batch");
+    let leaves = macs(10_000);
+    // 64 contiguous pages — one morsel-sized secure read.
+    let ids: Vec<u64> = (1_024..1_088).collect();
+    let entry_macs: Vec<[u8; 32]> = ids.iter().map(|&i| leaves[i as usize]).collect();
+    for arity in [2usize, 4, 8, 16] {
+        let mut tree = MerkleTree::rebuild_from_macs([7; 32], arity, &leaves);
+        let root = tree.root().unwrap();
+        // Per-page baseline: the same 64 leaves, one full climb each.
+        g.bench_with_input(BenchmarkId::new("per_page", arity), &arity, |b, _| {
+            b.iter(|| {
+                for &i in &ids {
+                    assert!(tree.verify(i, &leaves[i as usize], std::hint::black_box(&root)));
+                }
+            })
+        });
+        // Shared-path batch: climb every touched sibling group once.
+        g.bench_with_input(BenchmarkId::new("batched", arity), &arity, |b, _| {
+            b.iter(|| {
+                assert!(tree.verify_batch(&ids, &entry_macs, std::hint::black_box(&root)))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify_cached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle_verify_cached");
+    let leaves = macs(10_000);
+    for arity in [2usize, 16] {
+        let mut tree = MerkleTree::rebuild_from_macs([7; 32], arity, &leaves);
+        tree.set_cache_enabled(true);
+        let root = tree.root().unwrap();
+        // Warm the verified-node cache over the whole tree.
+        let all: Vec<u64> = (0..10_000).collect();
+        assert!(tree.verify_batch(&all, &leaves, &root));
+        g.bench_with_input(BenchmarkId::from_parameter(arity), &arity, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 997) % 10_000;
+                assert!(tree.verify(i, &leaves[i as usize], std::hint::black_box(&root)));
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_update(c: &mut Criterion) {
     let leaves = macs(10_000);
     let mut tree = MerkleTree::rebuild_from_macs([7; 32], 2, &leaves);
@@ -49,5 +97,12 @@ fn bench_update(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build, bench_verify_arity_ablation, bench_update);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_verify_arity_ablation,
+    bench_verify_batch,
+    bench_verify_cached,
+    bench_update
+);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|all] [--sf <f>] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|all] [--sf <f>] [--json] [--metrics-out <path>]
 //! ```
 //!
 //! `parallel` (not part of `all`) sweeps morsel-driven execution across
@@ -12,6 +12,12 @@
 //! rates and demonstrates per-surface recovery; with `--metrics-out`
 //! the aggregated `faults.*` counters are written as JSON lines to
 //! `<path>.metrics.jsonl`.
+//!
+//! `freshness` (not part of `all`) sweeps the Merkle freshness fast
+//! path — per-page climbs vs shared-path batches vs the warm
+//! verified-node cache — across arities and access patterns, then
+//! measures the whole-query effect on Q1/Q6/Q18; `--json` additionally
+//! writes the snapshot to `BENCH_5.json`.
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
@@ -26,9 +32,11 @@ fn main() {
     let mut sf = DEFAULT_SF;
     let mut sf_given = false;
     let mut metrics_out: Option<String> = None;
+    let mut json_out = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--json" => json_out = true,
             "--sf" => {
                 i += 1;
                 sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SF);
@@ -292,6 +300,56 @@ fn main() {
             std::fs::write(&sidecar, &report.metrics_jsonl).expect("write chaos metrics sidecar");
             println!("chaos: wrote fault counters to {sidecar}");
         }
+        return;
+    }
+
+    if what == "freshness" {
+        println!("== Freshness fast path: Merkle node visits, three verification modes ==");
+        println!(
+            "{:>5} {:>11} {:>8} {:>10} {:>9} {:>8} {:>9}",
+            "arity", "pattern", "accesses", "per-page", "batched", "cached", "hit rate"
+        );
+        let sweep = freshness_sweep(4096);
+        for r in &sweep {
+            println!(
+                "{:>5} {:>11} {:>8} {:>10} {:>9} {:>8} {:>8.1}%",
+                r.arity,
+                r.pattern,
+                r.accesses,
+                r.per_page_visits,
+                r.batched_visits,
+                r.cached_visits,
+                r.cache_hit_rate * 100.0
+            );
+        }
+        println!("\n== Whole-query effect (scs, SF {sf}, cold start) ==");
+        println!(
+            "{:>5} {:>12} {:>11} {:>10} {:>9} {:>15}",
+            "query", "per-page", "fast path", "reduction", "hit rate", "fig8 freshness"
+        );
+        let queries = freshness_queries(sf, &[1, 6, 18]);
+        for r in &queries {
+            println!(
+                "{:>5} {:>12} {:>11} {:>9.2}x {:>8.1}% {:>14.1}%",
+                format!("#{}", r.query),
+                r.per_page_visits,
+                r.fast_path_visits,
+                r.reduction,
+                r.cache_hit_rate * 100.0,
+                r.freshness_share * 100.0
+            );
+        }
+        println!("(rows verified identical with the cache on and off at every point)");
+        if json_out {
+            let json = freshness_json(sf, &sweep, &queries);
+            assert!(
+                ironsafe_obs::export::looks_like_valid_json(&json),
+                "freshness snapshot failed JSON self-check"
+            );
+            std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+            println!("freshness: wrote perf snapshot to BENCH_5.json");
+        }
+        println!();
         return;
     }
 

@@ -861,6 +861,59 @@ mod tests {
     }
 
     #[test]
+    fn freshness_sweep_orders_the_three_modes() {
+        let rows = freshness_sweep(1024);
+        assert_eq!(rows.len(), 16, "4 arities x 4 patterns");
+        for r in &rows {
+            assert!(
+                r.per_page_visits as f64 >= 3.0 * r.batched_visits as f64,
+                "arity {} {}: batch saves <3x ({} vs {})",
+                r.arity,
+                r.pattern,
+                r.per_page_visits,
+                r.batched_visits
+            );
+            assert!(
+                r.cached_visits <= r.batched_visits,
+                "arity {} {}: warm cache must not hash more than a cold batch",
+                r.arity,
+                r.pattern
+            );
+            // A warm replay of an unchanged root is all hits, and each
+            // hit costs exactly the one leaf visit.
+            assert_eq!(r.cache_hit_rate, 1.0, "arity {} {}", r.arity, r.pattern);
+            assert_eq!(r.cached_visits, r.accesses as u64, "arity {} {}", r.arity, r.pattern);
+        }
+    }
+
+    #[test]
+    fn freshness_fast_path_cuts_query_node_visits_3x() {
+        for r in freshness_queries(TEST_SF, &[1, 6]) {
+            assert!(r.fast_path_visits > 0, "Q{} must verify pages", r.query);
+            assert!(
+                r.reduction >= 3.0,
+                "Q{}: fast path saves only {:.2}x ({} vs {})",
+                r.query,
+                r.reduction,
+                r.per_page_visits,
+                r.fast_path_visits
+            );
+            assert!((0.0..=1.0).contains(&r.cache_hit_rate), "Q{}", r.query);
+            assert!(r.freshness_share > 0.0, "Q{}: freshness is never free", r.query);
+        }
+    }
+
+    #[test]
+    fn freshness_json_is_wellformed() {
+        let sweep = freshness_sweep(64);
+        let queries = freshness_queries(TEST_SF, &[6]);
+        let json = freshness_json(TEST_SF, &sweep, &queries);
+        assert!(ironsafe_obs::export::looks_like_valid_json(&json));
+        assert!(json.contains("\"node_visits_fast_path\""));
+        assert!(json.contains("\"cache_hit_rate\""));
+    }
+
+    #[test]
     fn table4_phases_measured() {
         let t = table4();
         assert!(t.total_ms() > 0.0);
@@ -994,4 +1047,217 @@ pub fn parallel(sf: f64, dops: &[usize]) -> Vec<ParallelRow> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------
+// Freshness sweep: how much Merkle hashing the shared-path batch
+// verifier and the root-epoch verified-node cache remove, first on bare
+// trees (arity × access pattern) and then on whole queries.
+// ---------------------------------------------------------------------
+
+/// One access pattern verified three ways against the same Merkle tree.
+#[derive(Debug, Clone)]
+pub struct FreshnessSweepRow {
+    /// Tree fan-out.
+    pub arity: usize,
+    /// Access-pattern name.
+    pub pattern: &'static str,
+    /// Number of leaf verifications in the pattern.
+    pub accesses: usize,
+    /// Node visits with one full root climb per access — the
+    /// pre-fast-path cost.
+    pub per_page_visits: u64,
+    /// Node visits for one shared-path `verify_batch` over the whole
+    /// pattern, cache off.
+    pub batched_visits: u64,
+    /// Node visits replaying the pattern against a warm verified-node
+    /// cache.
+    pub cached_visits: u64,
+    /// Hit fraction of the warm replay.
+    pub cache_hit_rate: f64,
+}
+
+/// Sweep arity × access pattern over a `leaves`-leaf tree.
+///
+/// Visit counts depend only on tree shape and access order, so synthetic
+/// MACs measure exactly what real page MACs would.
+pub fn freshness_sweep(leaves: usize) -> Vec<FreshnessSweepRow> {
+    use ironsafe_storage::MerkleTree;
+    let macs: Vec<[u8; 32]> = (0..leaves)
+        .map(|i| {
+            let mut m = [0u8; 32];
+            m[0] = (i % 251) as u8;
+            m[1] = (i / 251 % 251) as u8;
+            m
+        })
+        .collect();
+    let n = leaves as u64;
+    let mut strided = Vec::with_capacity(leaves);
+    for start in 0..17u64.min(n) {
+        let mut i = start;
+        while i < n {
+            strided.push(i);
+            i += 17;
+        }
+    }
+    let hot = (n / 8).max(1);
+    let patterns: Vec<(&'static str, Vec<u64>)> = vec![
+        ("sequential", (0..n).collect()),
+        ("reverse", (0..n).rev().collect()),
+        ("strided-17", strided),
+        ("hot-eighth", (0..n).map(|i| i % hot).collect()),
+    ];
+
+    let mut out = Vec::new();
+    for arity in [2usize, 4, 8, 16] {
+        let base = MerkleTree::rebuild_from_macs([7; 32], arity, &macs);
+        let root = base.root().expect("non-empty tree");
+        for (pattern, ids) in &patterns {
+            let entry_macs: Vec<[u8; 32]> =
+                ids.iter().map(|&i| macs[i as usize]).collect();
+
+            // Pre-fast-path: one full climb per access, cache off.
+            let mut per_page = base.clone();
+            for &i in ids {
+                assert!(per_page.verify(i, &macs[i as usize], &root), "genuine leaf verifies");
+            }
+
+            // Shared-path batch, cache off.
+            let mut batched = base.clone();
+            assert!(batched.verify_batch(ids, &entry_macs, &root), "genuine batch verifies");
+
+            // Warm-cache steady state: warm once, then measure a replay.
+            let mut cached = base.clone();
+            cached.set_cache_enabled(true);
+            assert!(cached.verify_batch(ids, &entry_macs, &root), "warm-up batch verifies");
+            cached.reset_counters();
+            let s0 = cached.cache_stats();
+            assert!(cached.verify_batch(ids, &entry_macs, &root), "warm batch verifies");
+            let s1 = cached.cache_stats();
+            let hits = (s1.hits - s0.hits) as f64;
+            let classified = hits + (s1.misses - s0.misses) as f64;
+
+            out.push(FreshnessSweepRow {
+                arity,
+                pattern,
+                accesses: ids.len(),
+                per_page_visits: per_page.node_visits(),
+                batched_visits: batched.node_visits(),
+                cached_visits: cached.node_visits(),
+                cache_hit_rate: if classified > 0.0 { hits / classified } else { 0.0 },
+            });
+        }
+    }
+    out
+}
+
+/// Whole-query effect of the freshness fast path on the IronSafe config.
+#[derive(Debug, Clone)]
+pub struct FreshnessQueryRow {
+    /// TPC-H query number.
+    pub query: u8,
+    /// Merkle node visits with the verified-node cache disabled. Serial
+    /// scans read one page at a time, so every read pays a full root
+    /// climb — exactly the pre-fast-path cost.
+    pub per_page_visits: u64,
+    /// Merkle node visits with the cache enabled (the shipped default),
+    /// cold start included.
+    pub fast_path_visits: u64,
+    /// `per_page_visits / fast_path_visits`.
+    pub reduction: f64,
+    /// Verified-node-cache hit fraction over the run, from the live
+    /// `storage.merkle.cache.*` counters.
+    pub cache_hit_rate: f64,
+    /// Fig 8 freshness share (fraction of total simulated time) of the
+    /// fast-path run.
+    pub freshness_share: f64,
+}
+
+/// Measure the freshness fast path end to end for each query id.
+pub fn freshness_queries(sf: f64, query_ids: &[u8]) -> Vec<FreshnessQueryRow> {
+    use ironsafe_obs::Registry;
+    let data = generate(sf, SEED);
+    query_ids
+        .iter()
+        .map(|&id| {
+            let q = query(id).expect("known query");
+
+            // Baseline: cache off reproduces the old per-page full climbs.
+            let mut slow = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+                .expect("system builds");
+            slow.storage_db().pager().lock().set_merkle_cache_enabled(false);
+            let s0 = slow.storage_db().pager_stats().merkle_nodes;
+            let slow_report = slow.run_query(&q).expect("query runs");
+            let per_page_visits = slow.storage_db().pager_stats().merkle_nodes - s0;
+
+            // Fast path: the shipped default (cache on), from cold.
+            let mut fast = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+                .expect("system builds");
+            let registry = Registry::new();
+            fast.storage_db().register_metrics(&registry);
+            let f0 = fast.storage_db().pager_stats().merkle_nodes;
+            let c0 = registry.snapshot();
+            let report = fast.run_query(&q).expect("query runs");
+            let fast_path_visits = fast.storage_db().pager_stats().merkle_nodes - f0;
+            let c1 = registry.snapshot();
+            assert_eq!(report.result, slow_report.result, "Q{id}: rows must not depend on the cache");
+
+            let delta = |name: &str| {
+                c1.counter(name).unwrap_or(0) - c0.counter(name).unwrap_or(0)
+            };
+            let hits = delta("storage.merkle.cache.hit") as f64;
+            let classified = hits + delta("storage.merkle.cache.miss") as f64;
+            FreshnessQueryRow {
+                query: id,
+                per_page_visits,
+                fast_path_visits,
+                reduction: per_page_visits as f64 / fast_path_visits.max(1) as f64,
+                cache_hit_rate: if classified > 0.0 { hits / classified } else { 0.0 },
+                freshness_share: report.breakdown.freshness_ns
+                    / report.breakdown.total_ns().max(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Serialize the freshness sweep as the `BENCH_5.json` perf snapshot.
+pub fn freshness_json(
+    sf: f64,
+    sweep: &[FreshnessSweepRow],
+    queries: &[FreshnessQueryRow],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"sf\": {sf},\n  \"seed\": {SEED},\n"));
+    s.push_str("  \"merkle_sweep\": [\n");
+    for (i, r) in sweep.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"arity\": {}, \"pattern\": \"{}\", \"accesses\": {}, \
+             \"per_page_visits\": {}, \"batched_visits\": {}, \"cached_visits\": {}, \
+             \"cache_hit_rate\": {:.4}}}{}\n",
+            r.arity,
+            r.pattern,
+            r.accesses,
+            r.per_page_visits,
+            r.batched_visits,
+            r.cached_visits,
+            r.cache_hit_rate,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n  \"queries\": [\n");
+    for (i, r) in queries.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"query\": {}, \"node_visits_per_page\": {}, \"node_visits_fast_path\": {}, \
+             \"reduction\": {:.4}, \"cache_hit_rate\": {:.4}, \"fig8_freshness_share\": {:.4}}}{}\n",
+            r.query,
+            r.per_page_visits,
+            r.fast_path_visits,
+            r.reduction,
+            r.cache_hit_rate,
+            r.freshness_share,
+            if i + 1 == queries.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

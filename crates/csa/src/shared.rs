@@ -33,7 +33,16 @@ pub struct SharedCsaSystem {
 
 impl SharedCsaSystem {
     /// Wrap an already-built system for shared use.
+    ///
+    /// Disables the base pager's verified-node cache: the shared
+    /// decrypted-page cache records each page's first-read pager-stats
+    /// delta and replays it on later hits, so per-page deltas must be
+    /// independent of which session happened to read first — a warm
+    /// Merkle-node cache would make them interleaving-dependent. The
+    /// serving layer trades the freshness fast path for deterministic
+    /// per-session accounting (single-session systems keep it on).
     pub fn new(system: CsaSystem) -> Self {
+        system.storage_db().pager().lock().set_merkle_cache_enabled(false);
         SharedCsaSystem { inner: RwLock::new(system) }
     }
 

@@ -181,6 +181,12 @@ impl CsaSystem {
         };
         ironsafe_tpch::load_into(&mut storage_db, data)?;
         storage_db.reset_pager_stats();
+        // Bound the verified-node cache by the enclave memory budget the
+        // cost model assumes — the cache is TEE-resident, so it competes
+        // with the query working set for EPC.
+        storage_db.pager().lock().set_merkle_cache_capacity(
+            ironsafe_tee::sgx::epc::verified_node_cache_capacity(params.epc_limit_bytes as u64),
+        );
         Ok(CsaSystem {
             config,
             params,

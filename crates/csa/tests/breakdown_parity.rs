@@ -1,13 +1,17 @@
 //! Golden-parity regression: the span-derived [`CostBreakdown`] must
-//! reproduce the pre-telemetry inline accumulation **bit for bit**.
+//! reproduce a pinned accumulation **bit for bit**.
 //!
-//! The expected values below were captured by running the seed's inline
-//! `CostBreakdown` arithmetic (before the refactor onto
-//! `CostBreakdown::from_trace`) for q1/q6/q18 across all five system
-//! configurations at SF 0.002, seed 42, default cost parameters. The
-//! span attribution charges each cost term in the same order as the old
-//! left-to-right sums, so every f64 matches exactly — `assert_eq!`, no
-//! epsilon.
+//! The expected values below were originally captured from the
+//! pre-telemetry inline `CostBreakdown` arithmetic for q1/q6/q18 across
+//! all five system configurations at SF 0.002, seed 42, default cost
+//! parameters, and re-captured when the freshness fast path (shared-path
+//! `verify_batch` + the root-epoch verified-node cache) landed: every
+//! `freshness_ns` value shrank (7.6x for the q1/q6 scans; less for q18's
+//! multi-statement plans, whose temp-table writes bump the root epoch
+//! between stages), while every other term is unchanged from the
+//! pre-telemetry capture. The span attribution charges each cost term in
+//! the same order as the old left-to-right sums, so every f64 matches
+//! exactly — `assert_eq!`, no epsilon.
 
 use ironsafe_csa::cost::{CostBreakdown, CostParams};
 use ironsafe_csa::system::{CsaSystem, SystemConfig};
@@ -29,20 +33,20 @@ type GoldenRow = (u8, SystemConfig, f64, f64, f64, f64, f64, f64);
 
 const GOLDEN: [GoldenRow; 15] = [
     (1, SystemConfig::HostOnlyNonSecure, 10290499.44, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (1, SystemConfig::HostOnlySecure, 10290499.44, 11379550.0, 1719000.0, 9168000.0, 0.0, 0.0),
+    (1, SystemConfig::HostOnlySecure, 10290499.44, 1498250.0, 1719000.0, 9168000.0, 0.0, 0.0),
     (1, SystemConfig::VanillaCs, 12300295.12, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (1, SystemConfig::IronSafe, 12300295.12, 11379550.0, 1719000.0, 48000.0, 2800000.0, 287669.2),
-    (1, SystemConfig::StorageOnlySecure, 21364758.0, 11379550.0, 1719000.0, 0.0, 0.0, 0.0),
+    (1, SystemConfig::IronSafe, 12300295.12, 1498250.0, 1719000.0, 48000.0, 2800000.0, 287669.2),
+    (1, SystemConfig::StorageOnlySecure, 21364758.0, 1498250.0, 1719000.0, 0.0, 0.0, 0.0),
     (6, SystemConfig::HostOnlyNonSecure, 8138419.4399999995, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (6, SystemConfig::HostOnlySecure, 8138419.4399999995, 11379550.0, 1719000.0, 9168000.0, 0.0, 0.0),
+    (6, SystemConfig::HostOnlySecure, 8138419.4399999995, 1498250.0, 1719000.0, 9168000.0, 0.0, 0.0),
     (6, SystemConfig::VanillaCs, 2152483.92, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (6, SystemConfig::IronSafe, 2152483.92, 11379550.0, 1719000.0, 16000.0, 42000.0, 250477.2),
-    (6, SystemConfig::StorageOnlySecure, 14478102.0, 11379550.0, 1719000.0, 0.0, 0.0, 0.0),
+    (6, SystemConfig::IronSafe, 2152483.92, 1498250.0, 1719000.0, 16000.0, 42000.0, 250477.2),
+    (6, SystemConfig::StorageOnlySecure, 14478102.0, 1498250.0, 1719000.0, 0.0, 0.0, 0.0),
     (18, SystemConfig::HostOnlyNonSecure, 21097073.36, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (18, SystemConfig::HostOnlySecure, 21097073.36, 54751850.0, 12009000.0, 10992000.0, 0.0, 0.0),
+    (18, SystemConfig::HostOnlySecure, 21097073.36, 42912750.0, 12009000.0, 10992000.0, 0.0, 0.0),
     (18, SystemConfig::VanillaCs, 23894392.24, 0.0, 0.0, 0.0, 0.0, 0.0),
-    (18, SystemConfig::IronSafe, 23894392.24, 13656500.0, 2058000.0, 80000.0, 1456000.0, 267553.4),
-    (18, SystemConfig::StorageOnlySecure, 53618130.0, 54751850.0, 12009000.0, 0.0, 0.0, 0.0),
+    (18, SystemConfig::IronSafe, 23894392.24, 1799850.0, 2058000.0, 80000.0, 1456000.0, 267553.4),
+    (18, SystemConfig::StorageOnlySecure, 53618130.0, 42912750.0, 12009000.0, 0.0, 0.0, 0.0),
 ];
 
 #[test]

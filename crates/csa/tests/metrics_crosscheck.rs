@@ -100,6 +100,47 @@ fn injected_device_fault_is_recovered_and_counted_without_drifting_counters() {
     // with the cost model's committed page-read count.
     assert_eq!(delta("storage.page.read"), report.pages_read_storage);
     assert_eq!(delta("storage.page.read"), delta("storage.page.decrypt"));
+    // …and the verified-node-cache tallies account for every freshness
+    // check exactly once, retries notwithstanding.
+    assert_eq!(
+        delta("storage.merkle.cache.hit") + delta("storage.merkle.cache.miss"),
+        delta("storage.page.hmac_verify"),
+        "every verified read is classified as exactly one cache hit or miss"
+    );
+}
+
+/// Every freshness-verified read on the (cache-enabled, single-session)
+/// secure pager is classified as exactly one verified-node-cache hit or
+/// miss, and a repeated scan on an unchanged root is all hits.
+#[test]
+fn merkle_cache_counters_partition_verified_reads() {
+    let data = ironsafe_tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+
+    let registry = Registry::new();
+    sys.storage_db().register_metrics(&registry);
+    let before = registry.snapshot();
+    sys.run_query(&query(6).expect("q6 known")).expect("q6 runs");
+    let mid = registry.snapshot();
+    sys.run_query(&query(6).expect("q6 known")).expect("warm q6 runs");
+    let after = registry.snapshot();
+
+    let d = |a: &ironsafe_obs::MetricsSnapshot, b: &ironsafe_obs::MetricsSnapshot, n: &str| {
+        b.counter(n).unwrap() - a.counter(n).unwrap()
+    };
+    let cold_hits = d(&before, &mid, "storage.merkle.cache.hit");
+    let cold_misses = d(&before, &mid, "storage.merkle.cache.miss");
+    assert_eq!(
+        cold_hits + cold_misses,
+        d(&before, &mid, "storage.page.hmac_verify"),
+        "hit/miss partition the verified reads"
+    );
+    assert!(cold_misses > 0, "cold scan must authenticate paths");
+    let warm_hits = d(&mid, &after, "storage.merkle.cache.hit");
+    let warm_misses = d(&mid, &after, "storage.merkle.cache.miss");
+    assert_eq!(warm_misses, 0, "unchanged root: repeat scan is all hits");
+    assert_eq!(warm_hits, d(&mid, &after, "storage.page.hmac_verify"));
 }
 
 #[test]

@@ -194,8 +194,11 @@ where
     };
     let pred = pred.as_ref();
 
-    // Per-morsel kernel: one batched read under the pager lock, then
-    // decode + filter + fold outside it with a reused scratch row.
+    // Per-morsel kernel: one batched read under the pager lock — on a
+    // secure pager the whole morsel shares a single Merkle climb
+    // (`verify_batch`), so contiguous page ids also minimize freshness
+    // hashing — then decode + filter + fold outside it with a reused
+    // scratch row.
     let work = |m: &Morsel, scratch: &mut Row| -> Result<M> {
         let ids: Vec<PageId> = source.heap.pages[m.start..m.end].to_vec();
         let mut buf = vec![0u8; ids.len() * payload];

@@ -34,7 +34,7 @@ pub mod view;
 
 pub use blockdev::{BlockDevice, BLOCK_SIZE};
 pub use codec::{PageCodec, PAGE_PAYLOAD};
-pub use merkle::MerkleTree;
+pub use merkle::{MerkleTree, NodeCacheStats};
 pub use pager::{PageId, Pager, PagerStats, PlainPager};
 pub use secure_pager::SecurePager;
 pub use view::{PageCache, ViewPager};

@@ -48,6 +48,18 @@ pub trait Pager {
     /// faults. Pagers without fault hooks ignore it.
     fn set_retry_policy(&mut self, _policy: ironsafe_faults::RetryPolicy) {}
 
+    /// Enable/disable the TEE-resident verified-node cache that lets the
+    /// freshness check skip re-hashing already-authenticated Merkle
+    /// subpaths. Pagers without a Merkle tree ignore it. The serving
+    /// layer disables it on the shared base pager: the page cache there
+    /// replays per-page stats deltas captured on first read, and a warm
+    /// node cache would make those deltas depend on session interleaving.
+    fn set_merkle_cache_enabled(&mut self, _enabled: bool) {}
+
+    /// Bound the verified-node cache to `capacity` nodes (sized against
+    /// the enclave memory budget). Pagers without a Merkle tree ignore it.
+    fn set_merkle_cache_capacity(&mut self, _capacity: usize) {}
+
     /// Allocate a fresh zeroed page; returns its id.
     fn allocate_page(&mut self) -> Result<PageId>;
 
@@ -60,10 +72,12 @@ pub trait Pager {
     ///
     /// The default implementation loops [`Pager::read_page`]; secure
     /// implementations override it to pipeline device I/O, decryption
-    /// and Merkle verification across the whole batch. Implementations
-    /// must keep the per-page counter increments identical to an
-    /// equivalent sequence of single-page reads, so batched and looped
-    /// reads produce the same [`PagerStats`] delta.
+    /// and Merkle verification across the whole batch (sharing one
+    /// Merkle climb across the batch via shared-path verification).
+    /// `merkle_nodes` counts the hashing actually performed; with the
+    /// verified-node cache enabled, per-epoch totals are order- and
+    /// batching-independent, so batched and looped reads of the same
+    /// pages still produce the same [`PagerStats`] delta.
     fn read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
         let payload = self.payload_size();
         if out.len() != ids.len() * payload {

@@ -42,6 +42,13 @@ pub struct PagerMetrics {
     pub hmac_verifies: Counter,
     /// RPMB root commits (`storage.rpmb.write`).
     pub rpmb_writes: Counter,
+    /// Verified-node-cache hits (`storage.merkle.cache.hit`): reads whose
+    /// freshness check was served by an already-authenticated leaf.
+    pub cache_hits: Counter,
+    /// Verified-node-cache misses (`storage.merkle.cache.miss`).
+    pub cache_misses: Counter,
+    /// Verified-node-cache evictions (`storage.merkle.cache.evict`).
+    pub cache_evicts: Counter,
 }
 
 impl PagerMetrics {
@@ -53,6 +60,9 @@ impl PagerMetrics {
         registry.register_counter("storage.page.encrypt", &self.encrypts);
         registry.register_counter("storage.page.hmac_verify", &self.hmac_verifies);
         registry.register_counter("storage.rpmb.write", &self.rpmb_writes);
+        registry.register_counter("storage.merkle.cache.hit", &self.cache_hits);
+        registry.register_counter("storage.merkle.cache.miss", &self.cache_misses);
+        registry.register_counter("storage.merkle.cache.evict", &self.cache_evicts);
     }
 }
 
@@ -71,6 +81,11 @@ pub struct SecurePager {
     metrics: PagerMetrics,
     fault_plan: FaultPlan,
     retry: RetryPolicy,
+    /// Reusable batch-read scratch: block staging area and MAC collection,
+    /// hoisted onto the pager so fault-retried batches do not re-allocate
+    /// per attempt.
+    scratch_blocks: Vec<u8>,
+    scratch_macs: Vec<[u8; 32]>,
     /// When false, skip the per-read Merkle verification (ablation knob;
     /// the paper's system always verifies).
     pub verify_freshness_on_read: bool,
@@ -87,7 +102,10 @@ impl SecurePager {
         ta.store_db_key(&mut tz, &db_key, &mut rng)?;
         let codec = PageCodec::from_db_key(&db_key);
         let merkle_key = ironsafe_crypto::hkdf::derive_key_256(&db_key, b"merkle-key");
-        let merkle = MerkleTree::binary(merkle_key);
+        let mut merkle = MerkleTree::binary(merkle_key);
+        // The verified-node cache lives inside the TEE and is root-epoch
+        // keyed, so it is always safe to enable on the secure pager.
+        merkle.set_cache_enabled(true);
         let mut freshness = FreshnessManager::new(&ta);
         freshness.commit_root(&ta, &mut tz, &EMPTY_ROOT)?;
         Ok(SecurePager {
@@ -104,6 +122,8 @@ impl SecurePager {
             metrics: PagerMetrics::default(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            scratch_blocks: Vec::new(),
+            scratch_macs: Vec::new(),
             verify_freshness_on_read: true,
         })
     }
@@ -133,7 +153,8 @@ impl SecurePager {
             }
             macs.push(mac);
         }
-        let merkle = MerkleTree::rebuild_from_macs(merkle_key, 2, &macs);
+        let mut merkle = MerkleTree::rebuild_from_macs(merkle_key, 2, &macs);
+        merkle.set_cache_enabled(true);
         let root = merkle.root().unwrap_or(EMPTY_ROOT);
         let mut freshness = FreshnessManager::new(&ta);
         freshness.verify_root(&ta, &tz, &root, &mut rng)?;
@@ -151,6 +172,8 @@ impl SecurePager {
             metrics: PagerMetrics::default(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            scratch_blocks: Vec::new(),
+            scratch_macs: Vec::new(),
             verify_freshness_on_read: true,
         })
     }
@@ -190,12 +213,21 @@ impl SecurePager {
         let decrypts = self.codec.decrypt_count;
         let encrypts = self.codec.encrypt_count;
         let merkle_visits = self.merkle.node_visits();
+        // Verified-node-cache insertions are staged the same way: nodes are
+        // only ever cached by a *successful* verification (the last step of
+        // an attempt), but the journal makes that explicit — a failed
+        // attempt commits neither counters nor cache state.
+        let cache_cp = self.merkle.cache_checkpoint();
         match f(self) {
-            ok @ Ok(_) => ok,
+            ok @ Ok(_) => {
+                self.merkle.cache_commit();
+                ok
+            }
             Err(e) => {
                 self.codec.decrypt_count = decrypts;
                 self.codec.encrypt_count = encrypts;
                 self.merkle.restore_node_visits(merkle_visits);
+                self.merkle.cache_rollback(cache_cp);
                 Err(e)
             }
         }
@@ -231,9 +263,29 @@ impl SecurePager {
     }
 
     /// One attempt at the pipelined batch read (see [`Pager::read_pages`]).
+    /// The scratch buffers are taken off the pager for the duration of the
+    /// attempt and restored afterwards — retried batches reuse the same
+    /// allocations instead of churning the allocator.
     fn try_read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
+        let mut blocks = std::mem::take(&mut self.scratch_blocks);
+        let mut macs = std::mem::take(&mut self.scratch_macs);
+        blocks.clear();
+        blocks.resize(ids.len() * BLOCK_SIZE, 0);
+        macs.clear();
+        let result = self.try_read_pages_inner(ids, out, &mut blocks, &mut macs);
+        self.scratch_blocks = blocks;
+        self.scratch_macs = macs;
+        result
+    }
+
+    fn try_read_pages_inner(
+        &mut self,
+        ids: &[PageId],
+        out: &mut [u8],
+        blocks: &mut [u8],
+        macs: &mut Vec<[u8; 32]>,
+    ) -> Result<()> {
         // Pass 1: device I/O.
-        let mut blocks = vec![0u8; ids.len() * BLOCK_SIZE];
         for (id, block) in ids.iter().zip(blocks.chunks_exact_mut(BLOCK_SIZE)) {
             if self.fault_plan.should_fire(FaultSite::DeviceRead) {
                 return Err(StorageError::DeviceIo("injected device read error"));
@@ -247,26 +299,39 @@ impl SecurePager {
             }
         }
         // Pass 2: decryption (collect the page MACs for verification).
-        let mut macs = Vec::with_capacity(ids.len());
         for ((id, block), buf) in
             ids.iter().zip(blocks.chunks_exact(BLOCK_SIZE)).zip(out.chunks_exact_mut(PAGE_PAYLOAD))
         {
             macs.push(self.codec.decrypt_page(*id, block.try_into().expect("BLOCK_SIZE chunk"), buf)?);
         }
-        // Pass 3: freshness verification against the trusted root.
+        // Pass 3: shared-path freshness verification against the trusted
+        // root. The per-page stale-read faults are drawn up front (one per
+        // entry, exactly as the per-page loop drew them) so seeded fault
+        // plans stay bit-aligned with the pre-batched behavior, then the
+        // whole batch climbs the tree once via `verify_batch`.
         if self.verify_freshness_on_read {
-            for (id, mac) in ids.iter().zip(&macs) {
+            for _ in ids {
                 if self.fault_plan.should_fire(FaultSite::FreshnessStale) {
                     return Err(StorageError::FreshnessViolation(
                         "stale page observed (injected rollback)",
                     ));
                 }
-                if !self.merkle.verify(*id, mac, &self.trusted_root) {
-                    return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
-                }
+            }
+            if !self.merkle.verify_batch(ids, macs, &self.trusted_root) {
+                return Err(StorageError::FreshnessViolation("Merkle path mismatch on read"));
             }
         }
         Ok(())
+    }
+
+    /// Commit the cache tallies accumulated since `before` to the live
+    /// telemetry counters (called only after a fully successful read, so
+    /// rolled-back attempts never surface).
+    fn commit_cache_metrics(&mut self, before: crate::merkle::NodeCacheStats) {
+        let after = self.merkle.cache_stats();
+        self.metrics.cache_hits.add(after.hits - before.hits);
+        self.metrics.cache_misses.add(after.misses - before.misses);
+        self.metrics.cache_evicts.add(after.evicts - before.evicts);
     }
 }
 
@@ -292,6 +357,7 @@ impl Pager for SecurePager {
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         let plan = self.fault_plan.clone();
         let policy = self.retry;
+        let cache_before = self.merkle.cache_stats();
         retry_with(&plan, &policy, || {
             self.with_stats_rollback(|p| p.try_read_page(id, buf))
         })?;
@@ -303,6 +369,7 @@ impl Pager for SecurePager {
         if self.verify_freshness_on_read {
             self.metrics.hmac_verifies.inc();
         }
+        self.commit_cache_metrics(cache_before);
         Ok(())
     }
 
@@ -321,9 +388,17 @@ impl Pager for SecurePager {
                 got: out.len(),
             });
         }
+        // Reject out-of-range ids with a typed error before any device
+        // I/O, fault draws, or stats work — a malformed batch must not
+        // consume retry budget or perturb seeded fault plans.
+        let num_pages = self.device.num_blocks();
+        if let Some(&bad) = ids.iter().find(|&&id| id >= num_pages) {
+            return Err(StorageError::PageOutOfRange(bad));
+        }
         let n = ids.len() as u64;
         let plan = self.fault_plan.clone();
         let policy = self.retry;
+        let cache_before = self.merkle.cache_stats();
         retry_with(&plan, &policy, || {
             self.with_stats_rollback(|p| p.try_read_pages(ids, out))
         })?;
@@ -333,6 +408,7 @@ impl Pager for SecurePager {
         if self.verify_freshness_on_read {
             self.metrics.hmac_verifies.add(n);
         }
+        self.commit_cache_metrics(cache_before);
         Ok(())
     }
 
@@ -383,6 +459,14 @@ impl Pager for SecurePager {
 
     fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    fn set_merkle_cache_enabled(&mut self, enabled: bool) {
+        self.merkle.set_cache_enabled(enabled);
+    }
+
+    fn set_merkle_cache_capacity(&mut self, capacity: usize) {
+        self.merkle.set_cache_capacity(capacity);
     }
 
     fn stats(&self) -> PagerStats {
@@ -734,6 +818,172 @@ mod tests {
         // The committed root survives a reboot (freshness state intact).
         let (tz, medium) = pager.into_parts();
         assert!(SecurePager::open(tz, medium, 9).is_ok());
+    }
+
+    /// Satellite: duplicate `PageId`s in one batch are well-defined — each
+    /// duplicate is charged as its own logical read (counters identical to
+    /// the looped equivalent) and every output slot holds its page's bytes,
+    /// even though `verify_batch` dedups the shared climb.
+    #[test]
+    fn batched_read_with_duplicate_ids_is_well_defined() {
+        let mut a = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let mut b = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..4u64 {
+            let ida = a.allocate_page().unwrap();
+            let idb = b.allocate_page().unwrap();
+            a.write_page(ida, &payload(i as u8)).unwrap();
+            b.write_page(idb, &payload(i as u8)).unwrap();
+        }
+        a.reset_stats();
+        b.reset_stats();
+        let ids: Vec<PageId> = vec![2, 0, 2, 2, 3, 0];
+        let mut batched = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        a.read_pages(&ids, &mut batched).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                &batched[i * PAGE_PAYLOAD..(i + 1) * PAGE_PAYLOAD],
+                &payload(*id as u8)[..],
+                "slot {i} holds page {id}'s payload"
+            );
+        }
+        let mut looped = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        for (i, id) in ids.iter().enumerate() {
+            b.read_page(*id, &mut looped[i * PAGE_PAYLOAD..(i + 1) * PAGE_PAYLOAD]).unwrap();
+        }
+        assert_eq!(batched, looped);
+        assert_eq!(a.stats(), b.stats(), "duplicates charge like their looped equivalent");
+        assert_eq!(a.stats().page_reads, ids.len() as u64);
+    }
+
+    /// Satellite: an id beyond `num_pages` in a batch is a typed error
+    /// raised before any I/O — no stats, no retry budget, no fault draws.
+    #[test]
+    fn batched_read_with_out_of_range_id_is_typed_and_chargeless() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..3u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        pager.reset_stats();
+        // A fault plan that would fire on the very first device read: the
+        // malformed batch must be rejected before the plan is consulted.
+        let plan = FaultPlan::seeded(31).with_rate(FaultSite::DeviceRead, 1.0);
+        pager.set_fault_plan(plan.clone());
+        let ids: Vec<PageId> = vec![0, 1, 7];
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        assert_eq!(pager.read_pages(&ids, &mut out), Err(StorageError::PageOutOfRange(7)));
+        assert_eq!(pager.stats(), PagerStats::default(), "no work charged");
+        assert_eq!(plan.metrics().injected.get(), 0, "no fault draws consumed");
+    }
+
+    /// The verified-node cache is not a security hole: after a warm scan,
+    /// page tampering and MAC corruption are still detected (the per-read
+    /// leaf-hash compare never goes away).
+    #[test]
+    fn post_warm_corruption_still_detected() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..6u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        // Warm: full batched scan, then a repeat that hits the cache.
+        let ids: Vec<PageId> = (0..6).collect();
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        pager.read_pages(&ids, &mut out).unwrap();
+        let hits_before = pager.metrics().cache_hits.get();
+        pager.read_pages(&ids, &mut out).unwrap();
+        assert!(pager.metrics().cache_hits.get() > hits_before, "repeat scan hits the cache");
+        // Tamper a page body post-warm: detected (stored MAC mismatch).
+        pager.device_mut().raw_tamper(2, 100, 0xff);
+        assert!(pager.read_pages(&ids, &mut out).is_err(), "post-warm tamper detected");
+        let mut single = vec![0u8; PAGE_PAYLOAD];
+        assert!(pager.read_page(2, &mut single).is_err());
+        pager.device_mut().raw_tamper(2, 100, 0xff); // undo
+        // Corrupt the stored MAC trailer post-warm: detected.
+        pager.device_mut().raw_tamper(3, BLOCK_SIZE - 1, 0x01);
+        assert!(pager.read_pages(&ids, &mut out).is_err(), "post-warm MAC corruption detected");
+        pager.device_mut().raw_tamper(3, BLOCK_SIZE - 1, 0x01); // undo
+        pager.read_pages(&ids, &mut out).unwrap();
+    }
+
+    /// Post-warm stale-root rollback is still detected: warming the cache
+    /// against one root, then rolling the medium back across a reboot,
+    /// must fail exactly as it did without the cache.
+    #[test]
+    fn post_warm_rollback_across_reboot_detected() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.commit().unwrap();
+        let stale = pager.device().raw_snapshot();
+        pager.write_page(id, &payload(2)).unwrap();
+        pager.commit().unwrap();
+        // Warm the cache against the current (newer) root.
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        pager.read_page(id, &mut buf).unwrap();
+        let (tz, mut medium) = pager.into_parts();
+        medium.raw_restore(stale);
+        assert!(matches!(
+            SecurePager::open(tz, medium, 8),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+    }
+
+    /// A write between warm scans bumps the root epoch: the next read
+    /// re-verifies from scratch against the new root and repopulates.
+    #[test]
+    fn write_invalidates_warm_cache_and_reads_reverify() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..4u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        let ids: Vec<PageId> = (0..4).collect();
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        pager.read_pages(&ids, &mut out).unwrap();
+        pager.read_pages(&ids, &mut out).unwrap();
+        let misses_before = pager.metrics().cache_misses.get();
+        pager.write_page(1, &payload(0xaa)).unwrap();
+        pager.read_pages(&ids, &mut out).unwrap();
+        assert_eq!(
+            pager.metrics().cache_misses.get(),
+            misses_before + ids.len() as u64,
+            "every page re-verified after the epoch bump"
+        );
+        assert_eq!(&out[PAGE_PAYLOAD..2 * PAGE_PAYLOAD], &payload(0xaa)[..]);
+    }
+
+    /// A fault-failed batch attempt must not leave cache state or cache
+    /// telemetry behind (rollback covers the verified-node cache too).
+    #[test]
+    fn failed_attempt_rolls_back_cache_state_and_metrics() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..4u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        // Freshness faults are permanent (never retried): the failed batch
+        // must charge nothing, including cache counters.
+        let plan = FaultPlan::seeded(41).with_nth(FaultSite::FreshnessStale, 1);
+        pager.set_fault_plan(plan);
+        pager.reset_stats();
+        let ids: Vec<PageId> = (0..4).collect();
+        let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+        assert!(matches!(
+            pager.read_pages(&ids, &mut out),
+            Err(StorageError::FreshnessViolation(_))
+        ));
+        assert_eq!(pager.stats(), PagerStats::default());
+        assert_eq!(pager.metrics().cache_hits.get(), 0);
+        assert_eq!(pager.metrics().cache_misses.get(), 0);
+        // Clean run afterwards: all four are misses (nothing was cached by
+        // the failed attempt), then all four hit.
+        pager.set_fault_plan(FaultPlan::none());
+        pager.read_pages(&ids, &mut out).unwrap();
+        assert_eq!(pager.metrics().cache_misses.get(), 4);
+        pager.read_pages(&ids, &mut out).unwrap();
+        assert_eq!(pager.metrics().cache_hits.get(), 4);
     }
 
     #[test]

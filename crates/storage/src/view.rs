@@ -24,6 +24,13 @@
 //! matter which query happened to decrypt it first — simulated costs
 //! stay bit-identical run-to-run while the wall clock benefits from
 //! decrypt-once sharing.
+//!
+//! For the same reason, the serving layer disables the base pager's
+//! verified-node cache (see [`Pager::set_merkle_cache_enabled`]) and
+//! view batch reads fall through to per-page base reads on misses: the
+//! replayed first-read delta must not depend on which pages some *other*
+//! session's scan already authenticated or on how a batch happened to be
+//! composed. Single-session systems keep the freshness fast path.
 
 use crate::pager::{PageId, Pager, PagerStats};
 use crate::{Result, StorageError};

@@ -224,6 +224,26 @@ impl EpcSimulator {
     }
 }
 
+/// Enclave-memory budget of one verified-Merkle-node cache entry: a
+/// `(level, index)` coordinate plus hash-set overhead, rounded up to 16
+/// bytes. The cache stores coordinates, not hashes — the node hashes
+/// themselves stay in the (untrusted-resident, but integrity-chained)
+/// tree levels.
+pub const VERIFIED_NODE_ENTRY_BYTES: usize = 16;
+
+/// Size the secure pager's verified-node cache against the EPC budget:
+/// the cache may use at most the enclave memory the paper's generation
+/// exposes, one [`VERIFIED_NODE_ENTRY_BYTES`] per node, floored at 1024
+/// entries so pathological budgets still leave a working cache.
+///
+/// At the default 96 MiB EPC this yields ~6.3 M entries — far above the
+/// node count of any bench-scale tree, so eviction (which is wholesale
+/// and would make visit totals order-dependent) never triggers outside
+/// the dedicated eviction tests.
+pub fn verified_node_cache_capacity(epc_limit_bytes: u64) -> usize {
+    ((epc_limit_bytes as usize) / VERIFIED_NODE_ENTRY_BYTES).max(1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +311,23 @@ mod tests {
         epc.clear();
         assert_eq!(epc.resident_pages(), 0);
         assert_eq!(epc.access_range(0, 4), 4);
+    }
+
+    #[test]
+    fn verified_node_cache_capacity_tracks_epc_budget() {
+        // Default 96 MiB EPC: millions of entries — no eviction at bench
+        // scale (a SF 0.003 tree has a few thousand nodes).
+        let cap = verified_node_cache_capacity(96 * 1024 * 1024);
+        assert_eq!(cap, 96 * 1024 * 1024 / VERIFIED_NODE_ENTRY_BYTES);
+        assert!(cap > 1_000_000);
+        // Tiny budgets floor at a working minimum.
+        assert_eq!(verified_node_cache_capacity(0), 1024);
+        assert_eq!(verified_node_cache_capacity(1), 1024);
+        // Monotone in the budget.
+        assert!(
+            verified_node_cache_capacity(32 * 1024 * 1024)
+                <= verified_node_cache_capacity(96 * 1024 * 1024)
+        );
     }
 
     mod props {

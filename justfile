@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -20,6 +20,14 @@ par-smoke:
 serve-smoke:
     cargo run --release --offline --example multi_client
     cargo test -q --offline -p ironsafe-serve
+
+# Freshness fast-path smoke: Merkle batch/cache unit + property tests,
+# the bench crate's >=3x reduction assertions, and a reduced-SF
+# `paperbench freshness` sweep end to end.
+fresh-smoke:
+    cargo test -q --offline -p ironsafe-storage merkle
+    cargo test -q --offline -p ironsafe-bench freshness
+    cargo run --release --offline -p ironsafe-bench --bin paperbench freshness --sf 0.0015
 
 # Fault-injection smoke: the chaos harness (50 seed x rate storms,
 # identical-rows-or-typed-error invariant, per-surface recovery) plus

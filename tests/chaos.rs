@@ -113,6 +113,69 @@ fn storms_are_reproducible_for_a_given_seed() {
     assert_eq!(outcomes[0], outcomes[1], "same seed, same plan: same faults, same outcome");
 }
 
+/// The freshness fast path is not a chaos hole: storms hitting a system
+/// whose verified-node cache is already warm (and, in a second sweep, an
+/// undersized cache in constant eviction churn) still degrade exactly as
+/// the cold system does — identical rows or a typed error, and a clean
+/// fault-free run afterwards.
+#[test]
+fn warm_cache_storms_still_detect_and_recover() {
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let mut sys = CsaSystem::build(SystemConfig::IronSafe, &data, CostParams::default())
+        .expect("system builds");
+    let queries = [query(1), query(6)];
+    let baselines: Vec<Vec<Row>> = queries
+        .iter()
+        .map(|q| sys.run_query(q).expect("fault-free run").result.rows().to_vec())
+        .collect();
+    // Re-run clean: the second pass rides the warm cache bit-identically.
+    for (q, baseline) in queries.iter().zip(&baselines) {
+        let again = sys.run_query(q).expect("warm fault-free run");
+        assert_eq!(again.result.rows(), &baseline[..], "warm rerun is bit-identical");
+    }
+
+    let sweep = |sys: &mut CsaSystem, label: &str| {
+        let mut typed_errors = 0u32;
+        let mut clean_runs = 0u32;
+        for seed in SEEDS {
+            for rate in [0.0005, 0.05] {
+                sys.set_fault_plan(storm_plan(seed, rate));
+                for (q, baseline) in queries.iter().zip(&baselines) {
+                    match sys.run_query(q) {
+                        Ok(report) => {
+                            assert_eq!(
+                                report.result.rows(),
+                                &baseline[..],
+                                "{label}: seed {seed} rate {rate}: recovered run identical"
+                            );
+                            clean_runs += 1;
+                        }
+                        Err(e) => {
+                            use ironsafe_faults::Transient;
+                            let _ = e.is_transient();
+                            assert!(!e.to_string().is_empty());
+                            typed_errors += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(clean_runs > 0, "{label}: some storms must be absorbed");
+        assert!(typed_errors > 0, "{label}: corruption/staleness must still be detected");
+        // The system is undamaged: a clean run still matches.
+        sys.set_fault_plan(FaultPlan::none());
+        for (q, baseline) in queries.iter().zip(&baselines) {
+            let report = sys.run_query(q).expect("post-storm fault-free run");
+            assert_eq!(report.result.rows(), &baseline[..]);
+        }
+    };
+    sweep(&mut sys, "warm cache");
+
+    // Undersized cache: wholesale eviction fires constantly mid-scan.
+    sys.storage_db().pager().lock().set_merkle_cache_capacity(8);
+    sweep(&mut sys, "evicting cache");
+}
+
 #[test]
 fn device_read_fault_recovers_with_visible_metrics() {
     let data = ironsafe::tpch::generate(0.002, 42);
