@@ -19,6 +19,14 @@
 //! measures the whole-query effect on Q1/Q6/Q18; `--json` additionally
 //! writes the snapshot to `BENCH_5.json`.
 //!
+//! `profile` (not part of `all`) runs the end-to-end query profiler:
+//! `EXPLAIN ANALYZE` profiles for Q1/Q6 across every Table 2
+//! configuration, rendered for the IronSafe config and summarized for
+//! the rest. `--json` writes the deterministic snapshot to
+//! `BENCH_6.json`; `--check` regenerates it and byte-compares against
+//! the committed baseline, exiting nonzero on any drift (the profiler
+//! regression gate). Defaults to SF 0.002 unless `--sf` is given.
+//!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
 //! `<path>` (open in Perfetto / `chrome://tracing`), and the live
@@ -33,10 +41,12 @@ fn main() {
     let mut sf_given = false;
     let mut metrics_out: Option<String> = None;
     let mut json_out = false;
+    let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => json_out = true,
+            "--check" => check = true,
             "--sf" => {
                 i += 1;
                 sf = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_SF);
@@ -350,6 +360,58 @@ fn main() {
             println!("freshness: wrote perf snapshot to BENCH_5.json");
         }
         println!();
+        return;
+    }
+
+    if what == "profile" {
+        let psf = if sf_given { sf } else { PROFILE_SF };
+        let configs = ironsafe_csa::SystemConfig::all();
+        let ids = [1u8, 6];
+        println!("== End-to-end query profiler: EXPLAIN ANALYZE, Q1/Q6 x 5 configs (SF {psf}) ==\n");
+        let profiles = profile_matrix(psf, &configs, &ids);
+        for p in &profiles {
+            if p.config == ironsafe_csa::SystemConfig::IronSafe {
+                // Full annotated plan for the paper's headline config.
+                println!("{}", p.render());
+            } else {
+                println!(
+                    "Q{} {:<4} total={:>12.0}ns pages_read={:<5} macs={:<5} spans={}",
+                    p.query_id,
+                    p.config.abbrev(),
+                    p.breakdown.total_ns(),
+                    p.pager.page_reads,
+                    p.macs_verified,
+                    p.span_count
+                );
+            }
+        }
+        println!();
+        let json = profiles_json(psf, &profiles);
+        assert!(
+            ironsafe_obs::export::looks_like_valid_json(&json),
+            "profile snapshot failed JSON self-check"
+        );
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_6.json")
+                .expect("profile --check needs the committed BENCH_6.json baseline");
+            let diffs = ironsafe_bench::diff_snapshots(&baseline, &json);
+            if diffs.is_empty() {
+                println!("profile: snapshot matches BENCH_6.json byte for byte (gate passes)");
+            } else {
+                eprintln!("profile: snapshot DIVERGES from BENCH_6.json:");
+                for d in &diffs {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "(regenerate with `paperbench profile --json` if the change is intended)"
+                );
+                std::process::exit(1);
+            }
+        }
+        if json_out {
+            std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+            println!("profile: wrote profiler snapshot to BENCH_6.json");
+        }
         return;
     }
 

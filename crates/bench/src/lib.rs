@@ -18,6 +18,8 @@
 
 pub mod chaos;
 pub mod figures;
+pub mod profiles;
 pub mod telemetry;
 
 pub use figures::*;
+pub use profiles::{diff_snapshots, profile_matrix, profiles_json, PROFILE_SF};

@@ -25,11 +25,13 @@
 pub mod cost;
 pub mod net;
 pub mod partition;
+pub mod profile;
 pub mod shared;
 pub mod system;
 
 pub use cost::{CostBreakdown, CostParams, Interconnect};
 pub use net::SecureChannel;
+pub use profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
 pub use shared::SharedCsaSystem;
 pub use partition::{partition_select, Partition, StorageQuery};
 pub use system::{CsaSystem, QueryReport, SystemConfig};

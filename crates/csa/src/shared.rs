@@ -108,6 +108,16 @@ impl SharedCsaSystem {
         }
     }
 
+    /// Drain the base pager's TEE-resident flight recorder: the
+    /// deterministic forensic event lines recorded by faulted or
+    /// violating page accesses, including ones taken through read
+    /// views (views delegate their recorder to the shared base). The
+    /// serving layer appends these to the monitor audit trail when an
+    /// execution fails.
+    pub fn take_flight_dump(&self) -> Vec<String> {
+        self.inner.read().storage_db().pager().lock().take_flight_dump()
+    }
+
     /// Inspect the underlying system (catalog walks, config checks).
     pub fn with_system<R>(&self, f: impl FnOnce(&CsaSystem) -> R) -> R {
         f(&self.inner.read())

@@ -9,6 +9,7 @@
 
 use crate::cost::{CostBreakdown, CostParams};
 use crate::net::channel_pair;
+use crate::profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
 use crate::partition::{partition_select, partition_select_strategic, OffloadDecision, Partition, StorageQuery};
 use crate::Result;
 use ironsafe_crypto::group::Group;
@@ -18,7 +19,7 @@ use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_faults::{retry_with, FaultPlan, RetryPolicy};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
 use ironsafe_storage::{PageCache, SecurePager, ViewPager};
-use ironsafe_obs::{Span, Trace, TraceSnapshot};
+use ironsafe_obs::{Span, Trace, TraceCtx, TraceSnapshot};
 use ironsafe_tee::sgx::epc::EpcSimulator;
 use ironsafe_tee::trustzone::Manufacturer;
 use ironsafe_tpch::queries::PaperQuery;
@@ -130,6 +131,12 @@ pub struct CsaSystem {
     storage_db: Database,
     session_key: [u8; 32],
     last_trace: Option<TraceSnapshot>,
+    /// Per-plan operator profiles captured from every plan the most
+    /// recent run drained (stages, fragments, host joins).
+    last_plans: Vec<PlanProfile>,
+    /// Enclave-side observations of the most recent run (transitions,
+    /// EPC faults, occupancy samples).
+    last_extras: ProfileExtras,
     /// Shared decrypted-page cache, cloned into every [`read_view`]
     /// (see [`CsaSystem::read_view`]) so sibling views decrypt each base
     /// page once while still charging identical per-view costs.
@@ -187,6 +194,9 @@ impl CsaSystem {
         storage_db.pager().lock().set_merkle_cache_capacity(
             ironsafe_tee::sgx::epc::verified_node_cache_capacity(params.epc_limit_bytes as u64),
         );
+        // The flight recorder is TEE-resident too: its ring capacity is
+        // derived from the same enclave memory budget.
+        storage_db.pager().lock().set_flight_budget(params.epc_limit_bytes as u64);
         Ok(CsaSystem {
             config,
             params,
@@ -194,6 +204,8 @@ impl CsaSystem {
             storage_db,
             session_key: [0x5e; 32],
             last_trace: None,
+            last_plans: Vec::new(),
+            last_extras: ProfileExtras::default(),
             read_cache: Arc::new(PageCache::new()),
             exec: ExecOptions::serial(),
             fault_plan: FaultPlan::none(),
@@ -210,6 +222,8 @@ impl CsaSystem {
             storage_db,
             session_key: [0x5e; 32],
             last_trace: None,
+            last_plans: Vec::new(),
+            last_extras: ProfileExtras::default(),
             read_cache: Arc::new(PageCache::new()),
             exec: ExecOptions::serial(),
             fault_plan: FaultPlan::none(),
@@ -241,6 +255,8 @@ impl CsaSystem {
             storage_db,
             session_key: self.session_key,
             last_trace: None,
+            last_plans: Vec::new(),
+            last_extras: ProfileExtras::default(),
             read_cache: self.read_cache.clone(),
             exec: self.exec.clone(),
             fault_plan: self.fault_plan.clone(),
@@ -282,6 +298,77 @@ impl CsaSystem {
     /// layer to hand a per-query trace back without cloning).
     pub fn take_last_trace(&mut self) -> Option<TraceSnapshot> {
         self.last_trace.take()
+    }
+
+    /// Per-plan operator profiles captured by the most recent
+    /// `run_query`/`run_statement` call, in execution order.
+    pub fn last_plans(&self) -> &[PlanProfile] {
+        &self.last_plans
+    }
+
+    /// Enclave-side observations (transitions, EPC faults, occupancy
+    /// samples) of the most recent run.
+    pub fn last_extras(&self) -> &ProfileExtras {
+        &self.last_extras
+    }
+
+    /// Drain the storage pager's TEE-resident flight recorder:
+    /// deterministic forensic event lines describing faulted or
+    /// violating page accesses (empty for plaintext pagers and clean
+    /// runs). The serving layer appends these to the monitor audit
+    /// trail when a query fails.
+    pub fn take_flight_dump(&mut self) -> Vec<String> {
+        self.storage_db.pager().lock().take_flight_dump()
+    }
+
+    /// Run `q` and assemble its [`QueryProfile`] alongside the normal
+    /// report.
+    ///
+    /// Everything in the profile is measured, not copied from the
+    /// report: the breakdown is re-derived from the recorded trace, the
+    /// pager delta and secure counters are measured around the run, and
+    /// the operator rows come from the drained plans — so the parity
+    /// test can assert the profile agrees with the cost model
+    /// bit-for-bit.
+    pub fn profile_query(&mut self, q: &PaperQuery) -> Result<(QueryReport, QueryProfile)> {
+        let registry = ironsafe_obs::Registry::new();
+        self.storage_db.register_metrics(&registry);
+        let counters_before = registry.snapshot();
+        let stats_before = self.storage_db.pager_stats();
+        let report = self.run_query(q)?;
+        let pager = self.pager_delta(stats_before);
+        let counters_after = registry.snapshot();
+        let delta = |name: &str| -> u64 {
+            counters_after.counter(name).unwrap_or(0) - counters_before.counter(name).unwrap_or(0)
+        };
+        let trace = self.last_trace.as_ref().expect("run_query records a trace");
+        let profile = QueryProfile {
+            config: self.config,
+            query_id: q.id,
+            dop: self.exec.dop.get(),
+            breakdown: CostBreakdown::from_trace(trace),
+            pager,
+            pages_read_storage: report.pages_read_storage,
+            pages_shipped: report.pages_shipped,
+            rows_shipped: report.rows_shipped,
+            bytes_shipped: report.bytes_shipped,
+            macs_verified: delta("storage.page.hmac_verify"),
+            merkle_cache_hits: delta("storage.merkle.cache.hit"),
+            merkle_cache_misses: delta("storage.merkle.cache.miss"),
+            enclave_transitions: self.last_extras.enclave_transitions,
+            epc_faults: self.last_extras.epc_faults,
+            epc_occupancy_pages: self.last_extras.epc_occupancy_pages.clone(),
+            cost_terms: trace
+                .spans
+                .iter()
+                .filter(|s| s.sim_ns > 0.0)
+                .map(|s| CostTerm { name: s.name.clone(), sim_ns: s.sim_ns })
+                .collect(),
+            plans: self.last_plans.clone(),
+            span_count: trace.spans.len(),
+            error_span_count: trace.error_spans().len(),
+        };
+        Ok((report, profile))
     }
 
     /// The storage-resident database (e.g. to inspect the catalog).
@@ -349,9 +436,12 @@ impl CsaSystem {
                 self.run_query(&q)
             }
             other => {
+                self.last_plans.clear();
+                self.last_extras = ProfileExtras::default();
                 let trace = Trace::new();
                 let (result, delta) = {
                     let _active = trace.install();
+                    let _ctx = TraceCtx::query(0).install();
                     let _stmt_span = Span::enter("statement/dml");
                     let before = self.storage_db.pager_stats();
                     let result = {
@@ -410,9 +500,12 @@ impl CsaSystem {
     // ---------------------------------------------------------------
     fn run_storage_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let exec = self.exec.clone();
+        self.last_plans.clear();
+        self.last_extras = ProfileExtras::default();
         let trace = Trace::new();
         let (result, delta) = {
             let _active = trace.install();
+            let _ctx = TraceCtx::query(q.id as u64).install();
             let _query_span = Span::enter(&format!("query/q{}", q.id));
             let before = self.storage_db.pager_stats();
             let mut scanned_rows = 0u64;
@@ -440,7 +533,17 @@ impl CsaSystem {
                         probe_requests += stage_rows;
                     }
                 }
-                let r = self.storage_db.execute_statement_with(&stmt, &exec)?;
+                let r = match &stmt {
+                    Statement::Select(sel) => {
+                        let (r, ops) = self.storage_db.select_with_profile(sel, &exec)?;
+                        self.last_plans.push(PlanProfile {
+                            label: format!("stage{stage_no}/storage_exec"),
+                            operators: ops,
+                        });
+                        r
+                    }
+                    other => self.storage_db.execute_statement_with(other, &exec)?,
+                };
                 match &stage.into {
                     Some(name) => {
                         self.storage_db.create_table(name, r.schema())?;
@@ -510,9 +613,12 @@ impl CsaSystem {
     fn run_host_only(&mut self, q: &PaperQuery) -> Result<QueryReport> {
         let secure = self.config.secure();
         let exec = self.exec.clone();
+        self.last_plans.clear();
+        self.last_extras = ProfileExtras::default();
         let trace = Trace::new();
         let (result, delta, scanned_rows, bytes) = {
             let _active = trace.install();
+            let _ctx = TraceCtx::query(q.id as u64).install();
             let _query_span = Span::enter(&format!("query/q{}", q.id));
             let before = self.storage_db.pager_stats();
             let mut scanned_rows = 0u64;
@@ -547,7 +653,17 @@ impl CsaSystem {
                         probe_requests += stage_rows;
                     }
                 }
-                let r = self.storage_db.execute_statement_with(&stmt, &exec)?;
+                let r = match &stmt {
+                    Statement::Select(sel) => {
+                        let (r, ops) = self.storage_db.select_with_profile(sel, &exec)?;
+                        self.last_plans.push(PlanProfile {
+                            label: format!("stage{stage_no}/host_exec"),
+                            operators: ops,
+                        });
+                        r
+                    }
+                    other => self.storage_db.execute_statement_with(other, &exec)?,
+                };
                 match &stage.into {
                     Some(name) => {
                         self.storage_db.create_table(name, r.schema())?;
@@ -561,6 +677,11 @@ impl CsaSystem {
                 self.storage_db.execute(&format!("DROP TABLE {t}"))?;
             }
             let delta = self.pager_delta(before);
+            // One OCALL round per fetched page batch (mirrors the
+            // `tee/transitions` charge below).
+            if secure {
+                self.last_extras.enclave_transitions = delta.page_reads * 2;
+            }
             let p = &self.params;
             let bytes = delta.page_reads * 4096;
             // NFS-style page fetches batch ~64 pages per round trip.
@@ -631,9 +752,12 @@ impl CsaSystem {
         let secure = self.config == SystemConfig::IronSafe;
         let p = self.params.clone();
         let exec = self.exec.clone();
+        self.last_plans.clear();
+        self.last_extras = ProfileExtras::default();
         let trace = Trace::new();
         let (result, delta, bytes, rows_shipped) = {
             let _active = trace.install();
+            let _ctx = TraceCtx::query(q.id as u64).install();
             let _query_span = Span::enter(&format!("query/q{}", q.id));
             let before = self.storage_db.pager_stats();
             let mut host_db = Database::new(PlainPager::new());
@@ -683,7 +807,12 @@ impl CsaSystem {
                     let info = self.storage_db.catalog().table(table)?;
                     scanned_rows += info.heap.row_count;
                     let table_pages = info.heap.pages.len() as u64;
-                    let frag_result = self.storage_db.select_with(stmt, &exec)?;
+                    let (frag_result, frag_ops) =
+                        self.storage_db.select_with_profile(stmt, &exec)?;
+                    self.last_plans.push(PlanProfile {
+                        label: format!("stage{stage_no}/fragment/{table}"),
+                        operators: frag_ops,
+                    });
                     let schema = frag_result.schema();
                     let rows = frag_result.rows().to_vec();
                     rows_shipped += rows.len() as u64;
@@ -734,10 +863,18 @@ impl CsaSystem {
                             }
                         }
                     }
+                    // Sample EPC occupancy once per stage, after the
+                    // stage's working set landed.
+                    self.last_extras.epc_occupancy_pages.push(epc.resident_pages() as u64);
                 }
                 let r = {
                     let _host_span = Span::enter("host/join_aggregate");
-                    host_db.select_with(&host, &exec)?
+                    let (r, host_ops_profile) = host_db.select_with_profile(&host, &exec)?;
+                    self.last_plans.push(PlanProfile {
+                        label: format!("stage{stage_no}/host"),
+                        operators: host_ops_profile,
+                    });
+                    r
                 };
                 match &stage.into {
                     Some(name) => {
@@ -753,6 +890,12 @@ impl CsaSystem {
 
             let delta = self.pager_delta(before);
             let bytes = tx.bytes_sent + page_transfer_bytes;
+            self.last_extras.epc_faults = epc.faults();
+            if secure {
+                // Two transitions per shipped record batch (mirrors the
+                // `tee/transitions` charge below).
+                self.last_extras.enclave_transitions = tx.messages * 2;
+            }
             // The storage-side application buffers the intermediates it ships.
             let mem_penalty = p.storage_mem_penalty(bytes);
             charge(

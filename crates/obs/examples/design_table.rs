@@ -1,0 +1,6 @@
+//! Print the generated DESIGN.md metric table (paste into the
+//! Telemetry section when the manifest changes).
+
+fn main() {
+    print!("{}", ironsafe_obs::manifest::design_table());
+}

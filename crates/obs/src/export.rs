@@ -9,7 +9,7 @@ use crate::span::TraceSnapshot;
 use std::fmt::Write as _;
 
 /// Escape `s` as the contents of a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -62,6 +62,9 @@ pub fn render_span_tree(trace: &TraceSnapshot) -> String {
                 let _ = write!(out, "{cat}={}", fmt_ns(*ns));
             }
             out.push(']');
+        }
+        if let Some(err) = span.error {
+            let _ = write!(out, "  ERROR={err}");
         }
         let _ = writeln!(out, "  wall={}", fmt_ns(span.wall_ns as f64));
     }
@@ -129,6 +132,18 @@ pub fn spans_to_chrome_trace(trace: &TraceSnapshot, pid: u64, tid: u64) -> Strin
         );
         for (cat, ns) in &span.categories {
             let _ = write!(out, ",\"sim_{}_ns\":{ns:.0}", escape_json(cat));
+        }
+        if let Some(ctx) = span.ctx {
+            let _ = write!(out, ",\"query_id\":{}", ctx.query_id);
+            if let Some(m) = ctx.morsel_id {
+                let _ = write!(out, ",\"morsel_id\":{m}");
+            }
+            if let Some(b) = ctx.page_batch_id {
+                let _ = write!(out, ",\"page_batch_id\":{b}");
+            }
+        }
+        if let Some(err) = span.error {
+            let _ = write!(out, ",\"error\":\"{}\"", escape_json(err));
         }
         out.push_str("}}");
     }
@@ -231,6 +246,25 @@ mod tests {
         assert!(json.contains("\"dur\":2.750"), "{json}");
         // Child categories ride in args.
         assert!(json.contains("\"sim_ndp_ns\":2000"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_ctx_and_error() {
+        let trace = Trace::new();
+        {
+            let _g = trace.install();
+            let _c = crate::span::TraceCtx::query(6).with_morsel(2).with_page_batch(5).install();
+            let s = Span::enter("pager/read_batch");
+            s.fail("storage.device.read");
+        }
+        let snap = trace.snapshot();
+        let json = spans_to_chrome_trace(&snap, 6, 1);
+        assert!(looks_like_valid_json(&json), "{json}");
+        assert!(json.contains("\"query_id\":6"));
+        assert!(json.contains("\"morsel_id\":2"));
+        assert!(json.contains("\"page_batch_id\":5"));
+        assert!(json.contains("\"error\":\"storage.device.read\""));
+        assert!(render_span_tree(&snap).contains("ERROR=storage.device.read"));
     }
 
     #[test]

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod manifest;
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
-pub use span::{add_sim_ns, Span, Trace, TraceSnapshot};
+pub use manifest::{manifest_contains, MetricDef, METRIC_MANIFEST};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{add_sim_ns, Span, Trace, TraceCtx, TraceSnapshot};

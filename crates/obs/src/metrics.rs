@@ -143,7 +143,7 @@ impl Histogram {
 }
 
 /// Frozen view of a [`Histogram`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Total samples.
     pub count: u64,
@@ -161,6 +161,25 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fold `other` into `self` (bucket-wise and count/sum addition).
+    ///
+    /// Merging is plain `u64` addition per field, so it is commutative
+    /// and associative: per-worker histograms merged in any order — or
+    /// recorded into one shared histogram under any thread
+    /// interleaving — produce bit-identical snapshots. Shorter bucket
+    /// vectors are padded, so snapshots of differing lengths merge
+    /// losslessly.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
         }
     }
 

@@ -35,9 +35,78 @@
 //! perform no heap allocation (verified by `tests/zero_alloc.rs`).
 
 use parking_lot::Mutex;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Causal identity threaded through a request: which query a span
+/// belongs to, and — as execution descends — which morsel and which
+/// page batch. Layers refine the context (`serve`/`csa` set the query
+/// id, morsel workers add the morsel id, the secure pager adds the
+/// page-batch id), so every span in one request stitches into a single
+/// query-keyed tree in the Chrome trace export.
+///
+/// The context is a per-thread `Copy` value: installing and reading it
+/// never allocates, so the disarmed (no-trace) hot path stays free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// Identifier of the query this work belongs to.
+    pub query_id: u64,
+    /// Morsel being executed, when inside a morsel worker.
+    pub morsel_id: Option<u64>,
+    /// Page batch being read, when inside a pager batch read.
+    pub page_batch_id: Option<u64>,
+}
+
+impl TraceCtx {
+    /// A fresh context rooted at `query_id`.
+    pub fn query(query_id: u64) -> TraceCtx {
+        TraceCtx { query_id, morsel_id: None, page_batch_id: None }
+    }
+
+    /// Refine with the morsel being executed.
+    pub fn with_morsel(mut self, morsel_id: u64) -> TraceCtx {
+        self.morsel_id = Some(morsel_id);
+        self
+    }
+
+    /// Refine with the page batch being read.
+    pub fn with_page_batch(mut self, page_batch_id: u64) -> TraceCtx {
+        self.page_batch_id = Some(page_batch_id);
+        self
+    }
+
+    /// Make this context current for the thread until the guard drops;
+    /// the previous context (if any) is restored. Spans entered while
+    /// the guard lives record this context.
+    pub fn install(self) -> CtxGuard {
+        let previous = CURRENT_CTX.with(|c| c.replace(Some(self)));
+        CtxGuard { previous }
+    }
+
+    /// The context installed on the current thread, if any. Worker
+    /// threads propagate causality by reading the parent's context
+    /// before spawning and installing a refined copy on their own
+    /// thread (same pattern as [`Trace::current`]).
+    pub fn current() -> Option<TraceCtx> {
+        CURRENT_CTX.with(|c| c.get())
+    }
+}
+
+/// Guard restoring the previously installed [`TraceCtx`] on drop.
+pub struct CtxGuard {
+    previous: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT_CTX.with(|c| c.set(self.previous));
+    }
+}
+
+thread_local! {
+    static CURRENT_CTX: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
 
 /// One finished (or in-flight) span inside a [`TraceSnapshot`].
 #[derive(Debug, Clone)]
@@ -62,6 +131,12 @@ pub struct SpanRecord {
     pub categories: Vec<(&'static str, f64)>,
     /// True once the span guard has dropped.
     pub closed: bool,
+    /// Causal identity current when the span was entered.
+    pub ctx: Option<TraceCtx>,
+    /// Error tag set by [`Span::fail`] — e.g. when a faulted pager
+    /// attempt rolls back. A failed span still closes normally, so
+    /// chaos-run traces stay well-formed trees.
+    pub error: Option<&'static str>,
 }
 
 impl SpanRecord {
@@ -188,6 +263,7 @@ impl Span {
             let start_sim_ns = inner.sim_cursor_ns;
             let idx = inner.spans.len();
             let depth = parent.map_or(0, |p| inner.spans[p].depth + 1);
+            let ctx = CURRENT_CTX.with(|c| c.get());
             inner.spans.push(SpanRecord {
                 name: name.to_string(),
                 parent,
@@ -198,6 +274,8 @@ impl Span {
                 sim_ns: 0.0,
                 categories: Vec::new(),
                 closed: false,
+                ctx,
+                error: None,
             });
             drop(inner);
             active.stack.push(idx);
@@ -217,6 +295,23 @@ impl Span {
                 let mut inner = active.trace.inner.lock();
                 inner.sim_cursor_ns += ns;
                 inner.spans[self.idx].add_category(category, ns);
+            }
+        });
+    }
+
+    /// Tag this span with an error. The span still closes normally when
+    /// the guard drops — the tag records that the covered work failed
+    /// (e.g. a faulted pager attempt that rolled back), keeping the
+    /// trace a well-formed tree under fault storms.
+    pub fn fail(&self, error: &'static str) {
+        if self.idx == DISARMED {
+            return;
+        }
+        ACTIVE.with(|a| {
+            let borrow = a.borrow();
+            if let Some(active) = borrow.as_ref() {
+                let mut inner = active.trace.inner.lock();
+                inner.spans[self.idx].error = Some(error);
             }
         });
     }
@@ -307,6 +402,22 @@ impl TraceSnapshot {
             }
         }
         total
+    }
+
+    /// True when the snapshot is a well-formed forest: every span is
+    /// closed and every parent index precedes its child. This is the
+    /// invariant chaos tests assert — error-path spans must close (with
+    /// an error tag) rather than dangle.
+    pub fn is_well_formed(&self) -> bool {
+        self.spans
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.closed && s.parent.is_none_or(|p| p < i))
+    }
+
+    /// Spans tagged with an error via [`Span::fail`].
+    pub fn error_spans(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.error.is_some()).collect()
     }
 }
 
@@ -404,6 +515,55 @@ mod tests {
         });
         handle.join().unwrap();
         assert_eq!(trace.snapshot().spans.len(), 0);
+    }
+
+    #[test]
+    fn ctx_is_recorded_refined_and_restored() {
+        assert!(TraceCtx::current().is_none());
+        let trace = Trace::new();
+        let _g = trace.install();
+        {
+            let _q = TraceCtx::query(7).install();
+            let _s = Span::enter("query/q7");
+            {
+                let refined =
+                    TraceCtx::current().expect("installed").with_morsel(3).with_page_batch(9);
+                let _m = refined.install();
+                let _t = Span::enter("pager/batch");
+                assert_eq!(TraceCtx::current(), Some(refined));
+            }
+            // Inner guard dropped: the query-level context is restored.
+            assert_eq!(TraceCtx::current(), Some(TraceCtx::query(7)));
+        }
+        assert!(TraceCtx::current().is_none());
+        let snap = trace.snapshot();
+        assert_eq!(snap.spans[0].ctx, Some(TraceCtx::query(7)));
+        let batch = snap.spans[1].ctx.expect("batch span carries ctx");
+        assert_eq!((batch.query_id, batch.morsel_id, batch.page_batch_id), (7, Some(3), Some(9)));
+    }
+
+    #[test]
+    fn failed_spans_close_with_error_tag() {
+        let trace = Trace::new();
+        {
+            let _g = trace.install();
+            let s = Span::enter("pager/read_batch");
+            s.fail("storage.device.read");
+        }
+        let snap = trace.snapshot();
+        assert!(snap.is_well_formed(), "failed span must still close");
+        assert_eq!(snap.error_spans().len(), 1);
+        assert_eq!(snap.spans[0].error, Some("storage.device.read"));
+    }
+
+    #[test]
+    fn disarmed_ctx_and_fail_are_noops() {
+        let s = Span::enter("orphan");
+        s.fail("nope");
+        drop(s);
+        let ctx = TraceCtx::query(1).install();
+        drop(ctx);
+        assert!(TraceCtx::current().is_none());
     }
 
     #[test]

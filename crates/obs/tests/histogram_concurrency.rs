@@ -1,0 +1,117 @@
+//! Determinism of histograms under concurrency — the same bar as
+//! golden parity: whatever the thread interleaving, the numbers that
+//! come out must be bit-identical.
+//!
+//! Two properties:
+//! * one *shared* histogram recorded from many threads equals the same
+//!   multiset recorded serially (atomics commute), and
+//! * *per-worker* histograms merged via [`HistogramSnapshot::merge`]
+//!   are identical in any merge order (merge is `u64` addition
+//!   per field, hence commutative and associative).
+
+use ironsafe_obs::metrics::{Histogram, HistogramSnapshot};
+
+/// Deterministic per-worker sample stream (SplitMix64-style mixer, the
+/// same construction the fault plan uses — no global RNG).
+fn samples(worker: u64, n: u64) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            let mut z = worker
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i.wrapping_mul(0xd134_2543_de82_ef95));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) & 0xffff
+        })
+        .collect()
+}
+
+const WORKERS: u64 = 8;
+const PER_WORKER: u64 = 5_000;
+
+fn serial_expected() -> HistogramSnapshot {
+    let h = Histogram::new();
+    for w in 0..WORKERS {
+        for v in samples(w, PER_WORKER) {
+            h.record(v);
+        }
+    }
+    h.snapshot()
+}
+
+#[test]
+fn shared_histogram_is_interleaving_independent() {
+    let expected = serial_expected();
+    // Several rounds so distinct interleavings are actually exercised.
+    for _ in 0..5 {
+        let shared = Histogram::new();
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let shared = &shared;
+                s.spawn(move || {
+                    for v in samples(w, PER_WORKER) {
+                        shared.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot(), expected, "shared recording must be bit-identical");
+    }
+}
+
+#[test]
+fn per_worker_merge_is_order_independent() {
+    let expected = serial_expected();
+    let per_worker: Vec<HistogramSnapshot> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                s.spawn(move || {
+                    let h = Histogram::new();
+                    for v in samples(w, PER_WORKER) {
+                        h.record(v);
+                    }
+                    h.snapshot()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Merge in worker order, reverse order, and an arbitrary shuffle:
+    // all three must be bit-identical to the serial recording.
+    let merge_in = |order: &[usize]| {
+        let mut acc = HistogramSnapshot::default();
+        for &i in order {
+            acc.merge(&per_worker[i]);
+        }
+        acc
+    };
+    let forward: Vec<usize> = (0..WORKERS as usize).collect();
+    let backward: Vec<usize> = (0..WORKERS as usize).rev().collect();
+    let shuffled = vec![3usize, 7, 0, 5, 1, 6, 2, 4];
+
+    // An empty-default accumulator has no buckets until the first merge
+    // pads it, so normalize by comparing against the expected snapshot's
+    // bucket length.
+    let normalize = |mut s: HistogramSnapshot| {
+        s.buckets.resize(expected.buckets.len(), 0);
+        s
+    };
+    assert_eq!(normalize(merge_in(&forward)), expected);
+    assert_eq!(normalize(merge_in(&backward)), expected);
+    assert_eq!(normalize(merge_in(&shuffled)), expected);
+}
+
+#[test]
+fn merge_pads_shorter_bucket_vectors() {
+    let a = HistogramSnapshot { count: 1, sum: 0, buckets: vec![1] };
+    let b = HistogramSnapshot { count: 1, sum: 8, buckets: vec![0, 0, 0, 1] };
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+    assert_eq!(ab.count, 2);
+    assert_eq!(ab.sum, 8);
+    assert_eq!(ab.buckets, vec![1, 0, 0, 1]);
+}

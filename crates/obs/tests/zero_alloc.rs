@@ -5,7 +5,7 @@
 //! count.
 
 use ironsafe_obs::metrics::{Counter, Registry};
-use ironsafe_obs::span::{add_sim_ns, Span};
+use ironsafe_obs::span::{add_sim_ns, Span, TraceCtx};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -55,14 +55,17 @@ fn disabled_telemetry_hot_path_is_allocation_free() {
     // attribution. None of it may heap-allocate.
     let allocs = allocations_during(|| {
         for i in 0..10_000u64 {
+            let ctx = TraceCtx::query(i).with_morsel(i).with_page_batch(i).install();
             let span = Span::enter("storage/page_read");
             reads.inc();
             verifies.inc();
             owned.add(2);
             histogram.record(i & 0xff);
             span.add_sim_ns("crypto", 100.0);
+            span.fail("storage.device.read");
             add_sim_ns("ndp", 50.0);
             drop(span);
+            drop(ctx);
         }
     });
     assert_eq!(allocs, 0, "telemetry hot path allocated {allocs} times");

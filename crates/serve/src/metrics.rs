@@ -1,6 +1,6 @@
 //! Serving-layer telemetry handles.
 
-use ironsafe_obs::{Counter, Gauge, Registry};
+use ironsafe_obs::{Counter, Gauge, Histogram, Registry};
 
 /// The server's metric handles, registered under the `serve.*` names.
 #[derive(Clone, Default)]
@@ -21,6 +21,16 @@ pub struct ServeMetrics {
     /// detected during execution and recorded in the monitor's audit
     /// log before the per-request error was delivered.
     pub violations_audited: Counter,
+    /// `serve.flight.dumps` — flight-recorder dumps appended to the
+    /// audit trail after a failed execution.
+    pub flight_dumps: Counter,
+    /// `serve.slo.queue_wait_ns` — wall-clock nanoseconds each admitted
+    /// job waited in its session queue before a worker picked it up
+    /// (lock-free log2-bucketed SLO histogram).
+    pub queue_wait_ns: Histogram,
+    /// `serve.slo.service_ns` — wall-clock nanoseconds a worker spent
+    /// executing each job (monitor round trip included).
+    pub service_ns: Histogram,
 }
 
 impl ServeMetrics {
@@ -37,5 +47,8 @@ impl ServeMetrics {
         registry.register_counter("serve.query.rejected", &self.rejected);
         registry.register_counter("serve.query.completed", &self.completed);
         registry.register_counter("serve.violations.audited", &self.violations_audited);
+        registry.register_counter("serve.flight.dumps", &self.flight_dumps);
+        registry.register_histogram("serve.slo.queue_wait_ns", &self.queue_wait_ns);
+        registry.register_histogram("serve.slo.service_ns", &self.service_ns);
     }
 }

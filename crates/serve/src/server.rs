@@ -33,7 +33,7 @@ use crate::metrics::ServeMetrics;
 use crate::session::{SessionHandle, SessionManager};
 use ironsafe_csa::{QueryReport, SharedCsaSystem};
 use ironsafe_monitor::{MonitorError, TrustedMonitor};
-use ironsafe_obs::{Span, Trace, TraceSnapshot};
+use ironsafe_obs::{Span, Trace, TraceCtx, TraceSnapshot};
 use ironsafe_tpch::queries::PaperQuery;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -170,6 +170,8 @@ struct QueuedJob {
     seq: u64,
     job: Job,
     reply: Sender<QueryResponse>,
+    /// Admission time, for the `serve.slo.queue_wait_ns` histogram.
+    enqueued: std::time::Instant,
 }
 
 struct SessionEntry {
@@ -352,7 +354,12 @@ impl QueryServer {
         }
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel();
-        entry.queue.push_back(QueuedJob { seq, job, reply: tx });
+        entry.queue.push_back(QueuedJob {
+            seq,
+            job,
+            reply: tx,
+            enqueued: std::time::Instant::now(),
+        });
         st.pending += 1;
         self.shared.metrics.admitted.inc();
         self.shared.metrics.queue_depth.set(st.pending as i64);
@@ -427,7 +434,10 @@ fn worker_loop(shared: Arc<ServerShared>) {
             // Draining: queues are empty and no new work can arrive.
             return;
         };
+        shared.metrics.queue_wait_ns.record(queued.enqueued.elapsed().as_nanos() as u64);
+        let service_start = std::time::Instant::now();
         let outcome = execute(&shared, &handle, &database, &trace, dop, &queued);
+        shared.metrics.service_ns.record(service_start.elapsed().as_nanos() as u64);
         let (outcome, trace_snapshot) = outcome;
         let _ = queued.reply.send(QueryResponse {
             session_id: handle.id,
@@ -477,6 +487,22 @@ fn exec_error(
         );
         shared.metrics.violations_audited.inc();
     }
+    // Any storage-level failure (a detected violation or a transient
+    // fault that exhausted its retry budget) dumps the TEE-resident
+    // flight recorder into the audit trail: the deterministic forensic
+    // record of every faulted page access leading up to the failure.
+    if storage.is_some() {
+        let dump = shared.system.take_flight_dump();
+        if !dump.is_empty() {
+            let ts = shared.sessions.now();
+            let monitor = shared.sessions.monitor();
+            let guard = monitor.lock();
+            for line in &dump {
+                guard.audit().append(ts, "flight", &handle.client, line);
+            }
+            shared.metrics.flight_dumps.inc();
+        }
+    }
     ServeError::Exec(e.to_string())
 }
 
@@ -492,8 +518,11 @@ fn execute(
 ) -> (Result<QueryReport, ServeError>, Option<TraceSnapshot>) {
     // Root span in the session's own trace; the query's internal trace
     // (installed by the CSA layer) stacks on top and is returned in the
-    // response.
+    // response. The causal context is rooted here at the admission
+    // sequence number — the CSA layer re-roots its own trace at the
+    // paper query id, and the pager/morsel layers refine from there.
     let _session_scope = session_trace.install();
+    let _ctx = TraceCtx::query(queued.seq).install();
     let root = Span::enter(&format!("session-{}/query-{}", handle.id, queued.seq));
     if let Err(e) = shared.sessions.touch(handle.id) {
         drop(root);

@@ -292,6 +292,65 @@ fn revoking_with_jobs_queued_drains_them_with_typed_errors() {
 }
 
 #[test]
+fn slo_histograms_record_every_completed_job() {
+    let srv = server(ServeConfig::default(), SystemConfig::HostOnlyNonSecure);
+    let s = srv.open_session("client-0", "db");
+    let tickets: Vec<_> =
+        (0..4).map(|_| srv.submit(s.id, Job::Query(query(6))).unwrap()).collect();
+    for t in tickets {
+        t.wait().outcome.unwrap();
+    }
+    let metrics = srv.shutdown();
+    let wait = metrics.queue_wait_ns.snapshot();
+    let service = metrics.service_ns.snapshot();
+    assert_eq!(wait.count, 4, "one queue-wait sample per executed job");
+    assert_eq!(service.count, 4, "one service-time sample per executed job");
+    assert!(service.sum > 0, "executing a query takes nonzero wall time");
+}
+
+#[test]
+fn failed_request_dumps_flight_recorder_into_audit_trail() {
+    use ironsafe_faults::{FaultPlan, FaultSite};
+
+    let monitor = Arc::new(Mutex::new(attested_monitor()));
+    let system = shared_system(SystemConfig::IronSafe, 0.002);
+    let srv = QueryServer::start(Arc::clone(&system), Arc::clone(&monitor), ServeConfig::default());
+    let a = srv.open_session("client-a", "db");
+
+    // Exhaust the retry budget on every page read: the request fails and
+    // the worker drains the TEE-resident flight recorder into the audit
+    // trail, attributed to the failing client.
+    system.with_system_mut(|s| {
+        s.set_fault_plan(FaultPlan::seeded(5).with_rate(FaultSite::PageMacCorrupt, 1.0));
+    });
+    let failed = srv.submit(a.id, Job::Query(query(6))).unwrap().wait();
+    assert!(failed.outcome.is_err(), "storm must fail the request");
+
+    assert!(srv.metrics().flight_dumps.get() >= 1, "dump counted");
+    {
+        let m = monitor.lock();
+        assert!(m.audit().verify(), "audit chain stays valid after the dump");
+        let flight: Vec<_> =
+            m.audit().entries().iter().filter(|e| e.stream == "flight").cloned().collect();
+        assert!(!flight.is_empty(), "flight-recorder lines land in the audit trail");
+        assert!(flight.iter().all(|e| e.client_key == "client-a"));
+        assert!(
+            flight.iter().any(|e| e.message.contains("integrity violation")),
+            "events name the integrity fault: {flight:?}"
+        );
+    }
+
+    // The recorder was drained: a healthy follow-up failure-free run
+    // leaves nothing new to dump.
+    system.with_system_mut(|s| s.set_fault_plan(FaultPlan::none()));
+    let ok = srv.submit(a.id, Job::Query(query(6))).unwrap().wait();
+    ok.outcome.expect("cleared plan runs clean");
+    assert!(system.take_flight_dump().is_empty(), "recorder drained by the audit dump");
+
+    srv.shutdown();
+}
+
+#[test]
 fn injected_integrity_fault_degrades_one_request_and_is_audited() {
     use ironsafe_faults::{FaultPlan, FaultSite};
 

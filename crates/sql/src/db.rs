@@ -205,6 +205,26 @@ impl Database {
         Ok(QueryResult::Rows { schema, rows })
     }
 
+    /// [`Database::select_with`] that additionally captures per-operator
+    /// [`crate::exec::OperatorProfile`]s from the drained plan (rows
+    /// in/out per operator, preorder). The rows, stats deltas, and plan
+    /// are identical to `select_with` — profiling observes the same
+    /// execution, it never changes it.
+    pub fn select_with_profile(
+        &mut self,
+        stmt: &SelectStmt,
+        opts: &ExecOptions,
+    ) -> Result<(QueryResult, Vec<crate::exec::OperatorProfile>)> {
+        let mut op = plan_select_with(&self.catalog, &self.pager, stmt, opts)?;
+        let schema = op.schema().clone();
+        let mut rows = Vec::new();
+        while let Some(r) = op.next()? {
+            rows.push(r);
+        }
+        let profiles = crate::exec::operator_profiles(&op);
+        Ok((QueryResult::Rows { schema, rows }, profiles))
+    }
+
     /// [`Database::execute_statement`] under explicit execution options.
     /// Only `SELECT` is affected; DML/DDL always run serially.
     pub fn execute_statement_with(

@@ -59,29 +59,72 @@ pub fn explain(op: &BoxOp) -> String {
     out
 }
 
+/// One operator's observed execution facts, captured from a drained plan
+/// (fuels `EXPLAIN ANALYZE` and the CSA-level `QueryProfile`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorProfile {
+    /// Depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// The operator's `describe()` line.
+    pub describe: String,
+    /// Rows pulled from children (sum of the children's `rows_out`;
+    /// 0 for leaves, whose input is pages, not rows).
+    pub rows_in: u64,
+    /// Rows this operator emitted.
+    pub rows_out: u64,
+    /// True for leaf operators (scans/values) — renderers print only
+    /// `rows out` for these.
+    pub leaf: bool,
+}
+
+impl OperatorProfile {
+    /// Observed selectivity `rows_out / rows_in` (`None` for leaves and
+    /// operators that pulled no rows).
+    pub fn selectivity(&self) -> Option<f64> {
+        (!self.leaf && self.rows_in > 0).then(|| self.rows_out as f64 / self.rows_in as f64)
+    }
+}
+
+/// Capture per-operator profiles from a drained plan, preorder (the same
+/// order `EXPLAIN` prints). Counts reflect rows pulled so far, so drain
+/// the tree first.
+pub fn operator_profiles(op: &BoxOp) -> Vec<OperatorProfile> {
+    fn walk(op: &BoxOp, depth: usize, out: &mut Vec<OperatorProfile>) {
+        let children = op.children();
+        out.push(OperatorProfile {
+            depth,
+            describe: op.describe(),
+            rows_in: children.iter().map(|c| c.rows_out()).sum(),
+            rows_out: op.rows_out(),
+            leaf: children.is_empty(),
+        });
+        for c in children {
+            walk(c, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(op, 0, &mut out);
+    out
+}
+
 /// Render an *executed* operator tree with per-operator row counts:
 /// each line is `describe() (rows in=I out=O)`, where `in` is the sum of
 /// the children's emitted rows. Drain the tree first — counts reflect
 /// rows pulled so far.
 pub fn explain_analyze(op: &BoxOp) -> String {
-    fn walk(op: &BoxOp, depth: usize, out: &mut String) {
-        for _ in 0..depth {
+    let mut out = String::new();
+    for p in operator_profiles(op) {
+        for _ in 0..p.depth {
             out.push_str("  ");
         }
-        let rows_in: u64 = op.children().iter().map(|c| c.rows_out()).sum();
-        out.push_str(&op.describe());
-        if op.children().is_empty() {
-            out.push_str(&format!(" (rows out={})", op.rows_out()));
+        out.push_str(&p.describe);
+        if p.leaf {
+            out.push_str(&format!(" (rows out={})", p.rows_out));
         } else {
-            out.push_str(&format!(" (rows in={rows_in} out={})", op.rows_out()));
+            out.push_str(&format!(" (rows in={} out={})", p.rows_in, p.rows_out));
         }
         out.push('\n');
-        for c in op.children() {
-            walk(c, depth + 1, out);
-        }
     }
-    let mut out = String::new();
-    walk(op, 0, &mut out);
     out
 }
 

@@ -31,7 +31,7 @@ use crate::heap::{scan_page_rows, HeapFile, SharedPager};
 use crate::schema::{Row, Schema};
 use crate::value::Value;
 use crate::{Result, SqlError};
-use ironsafe_obs::{Counter, Registry, Span, Trace};
+use ironsafe_obs::{Counter, Registry, Span, Trace, TraceCtx};
 use ironsafe_storage::pager::PageId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -198,27 +198,39 @@ where
     // secure pager the whole morsel shares a single Merkle climb
     // (`verify_batch`), so contiguous page ids also minimize freshness
     // hashing — then decode + filter + fold outside it with a reused
-    // scratch row.
-    let work = |m: &Morsel, scratch: &mut Row| -> Result<M> {
-        let ids: Vec<PageId> = source.heap.pages[m.start..m.end].to_vec();
-        let mut buf = vec![0u8; ids.len() * payload];
-        source.pager.lock().read_pages(&ids, &mut buf).map_err(SqlError::from)?;
-        opts.metrics.morsels.inc();
-        let mut acc = M::default();
-        let mut rows_seen = 0u64;
-        for page in buf.chunks_exact(payload) {
-            scan_page_rows(page, ncols, scratch, |row| {
-                rows_seen += 1;
-                if let Some(pred) = pred {
-                    if !eval_bound(pred, row)?.is_truthy() {
-                        return Ok(());
+    // scratch row. Each morsel refines the ambient [`TraceCtx`] with its
+    // index and runs inside its own span; a failed morsel (fault
+    // exhaustion, violation) tags the span before it closes, so chaos
+    // traces stay well-formed trees.
+    let work = |i: usize, m: &Morsel, scratch: &mut Row| -> Result<M> {
+        let _ctx = TraceCtx::current().map(|c| c.with_morsel(i as u64).install());
+        let span = Span::enter("exec/morsel");
+        let body = |scratch: &mut Row| -> Result<M> {
+            let ids: Vec<PageId> = source.heap.pages[m.start..m.end].to_vec();
+            let mut buf = vec![0u8; ids.len() * payload];
+            source.pager.lock().read_pages(&ids, &mut buf).map_err(SqlError::from)?;
+            opts.metrics.morsels.inc();
+            let mut acc = M::default();
+            let mut rows_seen = 0u64;
+            for page in buf.chunks_exact(payload) {
+                scan_page_rows(page, ncols, scratch, |row| {
+                    rows_seen += 1;
+                    if let Some(pred) = pred {
+                        if !eval_bound(pred, row)?.is_truthy() {
+                            return Ok(());
+                        }
                     }
-                }
-                per_row(row, &mut acc)
-            })?;
+                    per_row(row, &mut acc)
+                })?;
+            }
+            opts.metrics.rows.add(rows_seen);
+            Ok(acc)
+        };
+        let result = body(scratch);
+        if result.is_err() {
+            span.fail("exec.morsel.failed");
         }
-        opts.metrics.rows.add(rows_seen);
-        Ok(acc)
+        result
     };
 
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -227,8 +239,8 @@ where
     if nworkers <= 1 {
         let mut scratch: Row = Vec::with_capacity(ncols);
         let mut out = Vec::with_capacity(morsels.len());
-        for m in &morsels {
-            out.push(work(m, &mut scratch)?);
+        for (i, m) in morsels.iter().enumerate() {
+            out.push(work(i, m, &mut scratch)?);
         }
         return Ok(out);
     }
@@ -237,6 +249,10 @@ where
         morsels.iter().map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     let trace = Trace::current();
+    // The trace ctx is thread-local: capture the query's ctx here and
+    // re-install it inside each worker so morsel spans stitch into the
+    // same query id across threads.
+    let ctx = TraceCtx::current();
     crossbeam::thread::scope(|s| {
         for w in 0..nworkers {
             let trace = trace.clone();
@@ -246,6 +262,7 @@ where
                 // the same timeline; they attribute no simulated time
                 // (parallelism buys wall-clock, not simulated time).
                 let _guard = trace.as_ref().map(|t| t.install());
+                let _ctx_guard = ctx.map(|c| c.install());
                 let name = format!("exec/morsel_worker{w}");
                 let _span = Span::enter(&name);
                 let mut scratch: Row = Vec::with_capacity(ncols);
@@ -254,7 +271,7 @@ where
                     if i >= morsels.len() {
                         break;
                     }
-                    *slots[i].lock() = Some(work(&morsels[i], &mut scratch));
+                    *slots[i].lock() = Some(work(i, &morsels[i], &mut scratch));
                 }
             });
         }

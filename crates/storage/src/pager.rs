@@ -60,6 +60,20 @@ pub trait Pager {
     /// the enclave memory budget). Pagers without a Merkle tree ignore it.
     fn set_merkle_cache_capacity(&mut self, _capacity: usize) {}
 
+    /// Size the TEE-resident flight recorder against `budget_bytes` of
+    /// enclave memory (see `ironsafe_tee::flight_recorder_capacity`).
+    /// Pagers without a flight recorder ignore it.
+    fn set_flight_budget(&mut self, _budget_bytes: u64) {}
+
+    /// Drain the flight recorder into its deterministic dump lines
+    /// (oldest first). Called by the serving layer on fault exhaustion
+    /// or an integrity/freshness violation, so the forensic window lands
+    /// in the monitor audit trail. Pagers without a recorder return
+    /// nothing.
+    fn take_flight_dump(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+
     /// Allocate a fresh zeroed page; returns its id.
     fn allocate_page(&mut self) -> Result<PageId>;
 

@@ -14,13 +14,29 @@ use crate::freshness::FreshnessManager;
 use crate::merkle::{MerkleTree, NodeHash};
 use crate::pager::{PageId, Pager, PagerStats};
 use crate::{Result, StorageError};
-use ironsafe_faults::{retry_with, FaultPlan, FaultSite, RetryPolicy};
+use ironsafe_faults::{retry_with, FaultPlan, FaultSite, RetryPolicy, Transient};
+use ironsafe_obs::span::{Span, TraceCtx};
 use ironsafe_obs::{Counter, Registry};
 use ironsafe_tee::trustzone::{SecureStorageTa, TrustZoneDevice};
+use ironsafe_tee::FlightRecorder;
 use rand::SeedableRng;
 
 /// Root value committed while the database is still empty.
 const EMPTY_ROOT: NodeHash = [0u8; 32];
+
+/// Static error tag a failed read attempt stamps onto its span (the
+/// span still closes normally, so fault-storm traces stay well-formed
+/// trees; the tag rides into the Chrome trace as an `error` arg).
+fn error_site(e: &StorageError) -> &'static str {
+    match e {
+        StorageError::DeviceIo(_) => "storage.device.read",
+        StorageError::IntegrityViolation(_) => "storage.page.integrity",
+        StorageError::FreshnessViolation(_) => "storage.freshness.stale",
+        StorageError::Tee(_) => "tee.rpmb",
+        StorageError::PageOutOfRange(_) => "storage.page.out_of_range",
+        StorageError::BadBufferSize { .. } => "storage.bad_buffer",
+    }
+}
 
 /// Live telemetry counters for the secure-pager hot path.
 ///
@@ -86,6 +102,14 @@ pub struct SecurePager {
     /// per attempt.
     scratch_blocks: Vec<u8>,
     scratch_macs: Vec<[u8; 32]>,
+    /// Monotone id assigned to every logical read (single or batch);
+    /// refines the ambient [`TraceCtx`] so the spans of one page batch
+    /// stitch into the query's trace tree.
+    batch_seq: u64,
+    /// TEE-resident post-mortem ring (see [`ironsafe_tee::FlightRecorder`]):
+    /// every failed read attempt — injected fault or real violation —
+    /// is recorded; the serving layer drains it into the audit trail.
+    flight: FlightRecorder,
     /// When false, skip the per-read Merkle verification (ablation knob;
     /// the paper's system always verifies).
     pub verify_freshness_on_read: bool,
@@ -124,6 +148,8 @@ impl SecurePager {
             retry: RetryPolicy::default(),
             scratch_blocks: Vec::new(),
             scratch_macs: Vec::new(),
+            batch_seq: 0,
+            flight: FlightRecorder::with_budget(0),
             verify_freshness_on_read: true,
         })
     }
@@ -174,6 +200,8 @@ impl SecurePager {
             retry: RetryPolicy::default(),
             scratch_blocks: Vec::new(),
             scratch_macs: Vec::new(),
+            batch_seq: 0,
+            flight: FlightRecorder::with_budget(0),
             verify_freshness_on_read: true,
         })
     }
@@ -236,7 +264,25 @@ impl SecurePager {
     /// One read attempt for a single page, with fault hooks. Injected
     /// corruption flips bytes in the *local* block copy — the medium
     /// keeps the pristine block, so a retry genuinely recovers.
+    ///
+    /// Each attempt runs inside its own span; a failed attempt tags the
+    /// span with its error site *before* the stats rollback, so chaos
+    /// traces keep one closed, error-tagged span per rolled-back attempt
+    /// instead of a dangling open node. The failure is also recorded in
+    /// the flight ring (which, unlike the stats, deliberately survives
+    /// the rollback — it exists to remember failed attempts).
     fn try_read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        let span = Span::enter("pager/read_page");
+        let result = self.try_read_page_inner(id, buf);
+        if let Err(e) = &result {
+            span.fail(error_site(e));
+            let kind = if e.is_transient() { "fault" } else { "violation" };
+            self.flight.record(kind, format!("read page={id}: {e}"));
+        }
+        result
+    }
+
+    fn try_read_page_inner(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
         if self.fault_plan.should_fire(FaultSite::DeviceRead) {
             return Err(StorageError::DeviceIo("injected device read error"));
         }
@@ -267,6 +313,7 @@ impl SecurePager {
     /// attempt and restored afterwards — retried batches reuse the same
     /// allocations instead of churning the allocator.
     fn try_read_pages(&mut self, ids: &[PageId], out: &mut [u8]) -> Result<()> {
+        let span = Span::enter("pager/read_batch");
         let mut blocks = std::mem::take(&mut self.scratch_blocks);
         let mut macs = std::mem::take(&mut self.scratch_macs);
         blocks.clear();
@@ -275,6 +322,14 @@ impl SecurePager {
         let result = self.try_read_pages_inner(ids, out, &mut blocks, &mut macs);
         self.scratch_blocks = blocks;
         self.scratch_macs = macs;
+        if let Err(e) = &result {
+            // Tag-then-close (via drop): a faulted, rolled-back attempt
+            // still leaves a well-formed trace tree behind.
+            span.fail(error_site(e));
+            let kind = if e.is_transient() { "fault" } else { "violation" };
+            self.flight
+                .record(kind, format!("read batch={} pages={}: {e}", self.batch_seq, ids.len()));
+        }
         result
     }
 
@@ -355,6 +410,10 @@ impl Pager for SecurePager {
     }
 
     fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<()> {
+        // A single read is its own (one-page) batch for trace purposes:
+        // refine the ambient ctx so every attempt span carries the id.
+        self.batch_seq += 1;
+        let _ctx = TraceCtx::current().map(|c| c.with_page_batch(self.batch_seq).install());
         let plan = self.fault_plan.clone();
         let policy = self.retry;
         let cache_before = self.merkle.cache_stats();
@@ -396,6 +455,11 @@ impl Pager for SecurePager {
             return Err(StorageError::PageOutOfRange(bad));
         }
         let n = ids.len() as u64;
+        // One batch id per logical batch (not per attempt): a retried
+        // batch's attempt spans all carry the same id, so a chaos trace
+        // shows the retries of one batch grouped together.
+        self.batch_seq += 1;
+        let _ctx = TraceCtx::current().map(|c| c.with_page_batch(self.batch_seq).install());
         let plan = self.fault_plan.clone();
         let policy = self.retry;
         let cache_before = self.merkle.cache_stats();
@@ -467,6 +531,14 @@ impl Pager for SecurePager {
 
     fn set_merkle_cache_capacity(&mut self, capacity: usize) {
         self.merkle.set_cache_capacity(capacity);
+    }
+
+    fn set_flight_budget(&mut self, budget_bytes: u64) {
+        self.flight = FlightRecorder::with_budget(budget_bytes);
+    }
+
+    fn take_flight_dump(&mut self) -> Vec<String> {
+        self.flight.dump()
     }
 
     fn stats(&self) -> PagerStats {
@@ -984,6 +1056,95 @@ mod tests {
         assert_eq!(pager.metrics().cache_misses.get(), 4);
         pager.read_pages(&ids, &mut out).unwrap();
         assert_eq!(pager.metrics().cache_hits.get(), 4);
+    }
+
+    /// Satellite regression: under a fault storm, every span opened by a
+    /// read attempt — including attempts that faulted and rolled back —
+    /// must close, tagged with its error site, so the trace is a
+    /// well-formed tree a Chrome-trace viewer can render.
+    #[test]
+    fn fault_storm_traces_are_well_formed_trees() {
+        use ironsafe_obs::span::Trace;
+
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        for i in 0..6u8 {
+            let id = pager.allocate_page().unwrap();
+            pager.write_page(id, &payload(i)).unwrap();
+        }
+        let plan = FaultPlan::seeded(97)
+            .with_rate(FaultSite::DeviceRead, 0.25)
+            .with_rate(FaultSite::PageBitFlip, 0.15)
+            .with_rate(FaultSite::FreshnessStale, 0.05);
+        pager.set_fault_plan(plan);
+
+        let trace = Trace::new();
+        {
+            let _g = trace.install();
+            let _ctx = TraceCtx::query(1).install();
+            let ids: Vec<PageId> = (0..6).collect();
+            let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+            let mut single = vec![0u8; PAGE_PAYLOAD];
+            for _ in 0..20 {
+                // Both outcomes are fine — exhausted batches included;
+                // the tree must be well-formed either way.
+                let _ = pager.read_pages(&ids, &mut out);
+                let _ = pager.read_page(3, &mut single);
+            }
+        }
+        let snap = trace.snapshot();
+        assert!(snap.is_well_formed(), "every span closed, parents before children");
+        let errors = snap.error_spans();
+        assert!(!errors.is_empty(), "the storm produced error-tagged spans");
+        for span in &errors {
+            let ctx = span.ctx.expect("attempt spans carry the refined ctx");
+            assert_eq!(ctx.query_id, 1);
+            assert!(ctx.page_batch_id.is_some(), "batch id refined onto {}", span.name);
+        }
+    }
+
+    /// Tentpole regression: the flight-recorder dump for a given chaos
+    /// seed is byte-identical run to run, and failed attempts survive
+    /// the stats rollback (that forensic window is the recorder's job).
+    #[test]
+    fn flight_dump_is_byte_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+            for i in 0..6u8 {
+                let id = pager.allocate_page().unwrap();
+                pager.write_page(id, &payload(i)).unwrap();
+            }
+            pager.set_flight_budget(4096);
+            let plan = FaultPlan::seeded(seed)
+                .with_rate(FaultSite::DeviceRead, 0.3)
+                .with_rate(FaultSite::FreshnessStale, 0.1);
+            pager.set_fault_plan(plan);
+            let ids: Vec<PageId> = (0..6).collect();
+            let mut out = vec![0u8; ids.len() * PAGE_PAYLOAD];
+            for _ in 0..15 {
+                let _ = pager.read_pages(&ids, &mut out);
+            }
+            pager.take_flight_dump()
+        };
+        let a = run(9);
+        assert!(!a.is_empty(), "the storm recorded events");
+        assert_eq!(a, run(9), "same seed, byte-identical dump");
+        assert_ne!(a, run(10), "different seed, different forensic window");
+        assert!(
+            a.iter().any(|l| l.contains("fault") || l.contains("violation")),
+            "dump names the event kinds: {a:?}"
+        );
+    }
+
+    /// Clean reads record nothing; the budget knob resizes the ring the
+    /// same way the verified-node cache is sized from the EPC budget.
+    #[test]
+    fn flight_recorder_stays_quiet_on_clean_reads() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert!(pager.take_flight_dump().is_empty(), "no failures, no events");
     }
 
     #[test]

@@ -309,6 +309,18 @@ impl Pager for ViewPager {
     fn reset_stats(&mut self) {
         self.stats = PagerStats::default();
     }
+
+    /// The flight recorder lives in the shared base pager (it is a TEE
+    /// resource, not per-view state); views pass the budget through.
+    fn set_flight_budget(&mut self, budget_bytes: u64) {
+        self.base.lock().set_flight_budget(budget_bytes);
+    }
+
+    /// Drain the *base* pager's recorder: a view that hits a violation
+    /// surfaces the shared enclave's forensic window.
+    fn take_flight_dump(&mut self) -> Vec<String> {
+        self.base.lock().take_flight_dump()
+    }
 }
 
 #[cfg(test)]

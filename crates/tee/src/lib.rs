@@ -21,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod image;
 pub mod sgx;
 pub mod trustzone;
 
+pub use flight::{flight_recorder_capacity, FlightEvent, FlightRecorder};
 pub use image::{Measurement, SoftwareImage};
 
 /// Errors raised by the TEE models.

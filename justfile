@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke fresh-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -28,6 +28,14 @@ fresh-smoke:
     cargo test -q --offline -p ironsafe-storage merkle
     cargo test -q --offline -p ironsafe-bench freshness
     cargo run --release --offline -p ironsafe-bench --bin paperbench freshness --sf 0.0015
+
+# Query-profiler smoke: golden parity (EXPLAIN ANALYZE counters
+# bit-identical to the cost model across configs and DOPs), the
+# workspace metric-name manifest, and the BENCH_6.json regression gate.
+profile-smoke:
+    cargo test -q --offline -p ironsafe-csa --test profile_parity
+    cargo test -q --offline -p ironsafe --test metrics_manifest
+    cargo run --release --offline -p ironsafe-bench --bin paperbench profile --check
 
 # Fault-injection smoke: the chaos harness (50 seed x rate storms,
 # identical-rows-or-typed-error invariant, per-surface recovery) plus
