@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|all] [--sf <f>] [--json] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|profile|shards|all] [--sf <f>] [--json] [--check] [--metrics-out <path>]
 //! ```
 //!
 //! `parallel` (not part of `all`) sweeps morsel-driven execution across
@@ -26,6 +26,16 @@
 //! `BENCH_6.json`; `--check` regenerates it and byte-compares against
 //! the committed baseline, exiting nonzero on any drift (the profiler
 //! regression gate). Defaults to SF 0.002 unless `--sf` is given.
+//!
+//! `shards` (not part of `all`) sweeps the sharded federation
+//! (`ironsafe-scale`) across N ∈ {1, 2, 4, 8} storage nodes: per-cell
+//! shard-count invariants (simulated total, shipped rows/bytes, pages
+//! read, result digest — all bit-identical at any N) plus measured
+//! wall-clock throughput and p95 latency. `--json` writes the snapshot
+//! to `BENCH_7.json`; `--check` regenerates the deterministic
+//! invariants block and compares it byte for byte against the committed
+//! baseline, exiting nonzero on drift (the federation regression gate).
+//! Defaults to SF 0.002 unless `--sf` is given.
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
@@ -360,6 +370,71 @@ fn main() {
             println!("freshness: wrote perf snapshot to BENCH_5.json");
         }
         println!();
+        return;
+    }
+
+    if what == "shards" {
+        let ssf = if sf_given { sf } else { SHARDS_SF };
+        let ids = [1u8, 6];
+        println!(
+            "== Sharded federation: Q1/Q6 on scs across N storage nodes (SF {ssf}) ==\n"
+        );
+        let (invariants, wallclock) = shards_sweep(ssf, &SHARD_COUNTS, &ids);
+        println!(
+            "{:>5} {:>3} {:>14} {:>12} {:>9} {:>10} {:>10} {:>18}",
+            "query", "N", "total (sim)", "fanout ovh", "rows", "bytes", "pages", "result digest"
+        );
+        for inv in &invariants {
+            println!(
+                "{:>5} {:>3} {:>12.0}ns {:>10.0}ns {:>9} {:>10} {:>10} {:>18}",
+                format!("#{}", inv.query_id),
+                inv.shards,
+                inv.total_ns,
+                inv.fanout_overhead_ns,
+                inv.rows_shipped,
+                inv.bytes_shipped,
+                inv.pages_read,
+                inv.result_digest
+            );
+        }
+        println!("(total/rows/bytes/pages/digest bit-identical at every N — asserted above)\n");
+        println!("{:>3} {:>6} {:>10} {:>10}   (wall-clock, Q6 serving loop)", "N", "runs", "qps", "p95");
+        for w in &wallclock {
+            println!("{:>3} {:>6} {:>10.1} {:>8.2}ms", w.shards, w.runs, w.qps, w.p95_ms);
+        }
+        println!();
+        let inv_block = shards_invariants_json(ssf, &invariants);
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_7.json")
+                .expect("shards --check needs the committed BENCH_7.json baseline");
+            if baseline.contains(&inv_block) {
+                println!("shards: invariants match BENCH_7.json byte for byte (gate passes)");
+            } else {
+                eprintln!("shards: invariants DIVERGE from BENCH_7.json:");
+                let committed_block = baseline
+                    .find("  \"invariants\"")
+                    .and_then(|start| {
+                        baseline[start..].find("\n  }").map(|end| &baseline[start..start + end + 4])
+                    })
+                    .unwrap_or("(no invariants block found)");
+                for d in ironsafe_bench::diff_snapshots(committed_block, &inv_block) {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "(regenerate with `paperbench shards --json` if the change is intended)"
+                );
+                std::process::exit(1);
+            }
+        }
+        if json_out {
+            let json = shards_json(ssf, &invariants, &wallclock);
+            assert!(
+                ironsafe_obs::export::looks_like_valid_json(&json),
+                "shards snapshot failed JSON self-check"
+            );
+            std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+            println!("shards: wrote federation snapshot to BENCH_7.json");
+        }
         return;
     }
 

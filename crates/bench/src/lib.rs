@@ -19,7 +19,11 @@
 pub mod chaos;
 pub mod figures;
 pub mod profiles;
+pub mod shards;
 pub mod telemetry;
 
 pub use figures::*;
 pub use profiles::{diff_snapshots, profile_matrix, profiles_json, PROFILE_SF};
+pub use shards::{
+    shards_invariants_json, shards_json, shards_sweep, SHARDS_SF, SHARD_COUNTS,
+};

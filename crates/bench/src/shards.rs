@@ -1,0 +1,202 @@
+//! The `paperbench shards` harness: federation scaling sweep across
+//! shard counts, exported as the `BENCH_7.json` snapshot.
+//!
+//! The snapshot has two sections. `"invariants"` holds only quantities
+//! the federation pins bit-identical at any shard count — simulated
+//! total, shipped rows/bytes, summed pages read, a result digest — plus
+//! the N-dependent `fanout_overhead_ns` reported per shard count. It is
+//! byte-deterministic, so `--check` regenerates it and compares it
+//! byte for byte against the committed file (the federation regression
+//! gate). `"wallclock"` holds measured throughput and p95 latency per
+//! shard count; wall-clock numbers vary run to run and are exempt from
+//! the gate.
+
+use crate::figures::SEED;
+use ironsafe_csa::SystemConfig;
+use ironsafe_scale::{FederatedCsaSystem, FederationConfig};
+use ironsafe_tpch::generate;
+use ironsafe_tpch::queries::PaperQuery;
+use std::time::Instant;
+
+/// Default scale factor for the shards gate.
+pub const SHARDS_SF: f64 = 0.002;
+
+/// Shard counts the sweep covers.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+const KEY: [u8; 32] = [0x5Cu8; 32];
+
+/// Shard-count-invariant facts for one (query, N) cell, plus the one
+/// honestly N-dependent number (`fanout_overhead_ns`).
+#[derive(Debug, Clone)]
+pub struct ShardInvariant {
+    /// TPC-H query id.
+    pub query_id: u8,
+    /// Shard count the cell ran at.
+    pub shards: usize,
+    /// Simulated total (bit-identical across shard counts).
+    pub total_ns: f64,
+    /// N-dependent coordination cost, kept out of `total_ns`.
+    pub fanout_overhead_ns: f64,
+    /// Rows shipped shard→coordinator.
+    pub rows_shipped: u64,
+    /// Bytes through the canonical channel.
+    pub bytes_shipped: u64,
+    /// Summed pages read across serving nodes (conserved under range
+    /// partitioning).
+    pub pages_read: u64,
+    /// SHA-256 (truncated) over the rendered result rows.
+    pub result_digest: String,
+}
+
+/// Measured serving rate for one shard count.
+#[derive(Debug, Clone)]
+pub struct ShardWallclock {
+    /// Shard count.
+    pub shards: usize,
+    /// Timed runs.
+    pub runs: usize,
+    /// Queries per wall-clock second across the timed runs.
+    pub qps: f64,
+    /// 95th-percentile per-query latency, milliseconds.
+    pub p95_ms: f64,
+}
+
+fn digest(report: &ironsafe_scale::FederatedReport) -> String {
+    let rendered = format!("{:?}", report.result);
+    let hash = ironsafe_crypto::sha256::sha256(rendered.as_bytes());
+    hash[..8].iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn paper_query(id: u8) -> PaperQuery {
+    ironsafe_tpch::queries::query(id).expect("known query")
+}
+
+/// Run the sweep: every query id at every shard count on IronSafe
+/// (scs) federations, asserting the determinism contract as it goes,
+/// then time a wall-clock serving loop per shard count.
+pub fn shards_sweep(
+    sf: f64,
+    counts: &[usize],
+    ids: &[u8],
+) -> (Vec<ShardInvariant>, Vec<ShardWallclock>) {
+    let data = generate(sf, SEED);
+    let mut invariants = Vec::new();
+    let mut wallclock = Vec::new();
+    for &n in counts {
+        let fed = FederatedCsaSystem::build(
+            FederationConfig::new(n, SystemConfig::IronSafe),
+            &data,
+        )
+        .expect("federation builds");
+        for &id in ids {
+            let q = paper_query(id);
+            let (report, _) = fed
+                .run_query_federated(&q, KEY, 1)
+                .unwrap_or_else(|e| panic!("shards={n} Q{id}: {e}"));
+            invariants.push(ShardInvariant {
+                query_id: id,
+                shards: n,
+                total_ns: report.breakdown.total_ns(),
+                fanout_overhead_ns: report.fanout_overhead_ns,
+                rows_shipped: report.rows_shipped,
+                bytes_shipped: report.bytes_shipped,
+                pages_read: report.pages_read_storage,
+                result_digest: digest(&report),
+            });
+        }
+        // Wall-clock serving rate: repeated Q6 at this shard count.
+        let q = paper_query(6);
+        let runs = 8usize;
+        let mut latencies_ms = Vec::with_capacity(runs);
+        let sweep_start = Instant::now();
+        for _ in 0..runs {
+            let t = Instant::now();
+            fed.run_query_federated(&q, KEY, 1).expect("timed run");
+            latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let elapsed = sweep_start.elapsed().as_secs_f64();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p95 = latencies_ms[((runs as f64 * 0.95).ceil() as usize - 1).min(runs - 1)];
+        wallclock.push(ShardWallclock { shards: n, runs, qps: runs as f64 / elapsed, p95_ms: p95 });
+    }
+
+    // Enforce the contract inside the harness too: every invariant cell
+    // must match its 1-shard row except fanout overhead.
+    for inv in &invariants {
+        let base = invariants
+            .iter()
+            .find(|b| b.query_id == inv.query_id && b.shards == counts[0])
+            .expect("baseline cell");
+        assert_eq!(inv.total_ns, base.total_ns, "Q{} total drifted", inv.query_id);
+        assert_eq!(inv.result_digest, base.result_digest, "Q{} rows drifted", inv.query_id);
+        assert_eq!(inv.pages_read, base.pages_read, "Q{} page reads drifted", inv.query_id);
+    }
+    (invariants, wallclock)
+}
+
+/// The byte-deterministic `"invariants"` JSON block (also embedded
+/// verbatim in [`shards_json`]) — what the `--check` gate compares.
+pub fn shards_invariants_json(sf: f64, invariants: &[ShardInvariant]) -> String {
+    let mut s = String::from("  \"invariants\": {\n");
+    s.push_str(&format!("    \"sf\": {sf},\n    \"seed\": {SEED},\n    \"cells\": [\n"));
+    for (i, inv) in invariants.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"query_id\":{},\"shards\":{},\"total_ns\":{},\"fanout_overhead_ns\":{},\
+             \"rows_shipped\":{},\"bytes_shipped\":{},\"pages_read\":{},\"result_digest\":\"{}\"}}{}\n",
+            inv.query_id,
+            inv.shards,
+            inv.total_ns,
+            inv.fanout_overhead_ns,
+            inv.rows_shipped,
+            inv.bytes_shipped,
+            inv.pages_read,
+            inv.result_digest,
+            if i + 1 == invariants.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("    ]\n  }");
+    s
+}
+
+/// The full `BENCH_7.json` snapshot: the deterministic invariants block
+/// plus the (run-dependent) wall-clock section.
+pub fn shards_json(
+    sf: f64,
+    invariants: &[ShardInvariant],
+    wallclock: &[ShardWallclock],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&shards_invariants_json(sf, invariants));
+    s.push_str(",\n  \"wallclock\": [\n");
+    for (i, w) in wallclock.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"shards\":{},\"runs\":{},\"qps\":{:.1},\"p95_ms\":{:.3}}}{}\n",
+            w.shards,
+            w.runs,
+            w.qps,
+            w.p95_ms,
+            if i + 1 == wallclock.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ironsafe_obs::export::looks_like_valid_json;
+
+    #[test]
+    fn invariants_block_is_deterministic_and_gate_compatible() {
+        let (inv_a, wall) = shards_sweep(SHARDS_SF, &[1, 2], &[6]);
+        let (inv_b, _) = shards_sweep(SHARDS_SF, &[1, 2], &[6]);
+        let a = shards_invariants_json(SHARDS_SF, &inv_a);
+        let b = shards_invariants_json(SHARDS_SF, &inv_b);
+        assert_eq!(a, b, "invariants block must be byte-deterministic");
+        let full = shards_json(SHARDS_SF, &inv_a, &wall);
+        assert!(looks_like_valid_json(&full), "{full}");
+        assert!(full.contains(&a), "snapshot must embed the invariants block verbatim");
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod federation;
 pub mod net;
 pub mod partition;
 pub mod profile;
@@ -30,6 +31,7 @@ pub mod shared;
 pub mod system;
 
 pub use cost::{CostBreakdown, CostParams, Interconnect};
+pub use federation::QueryBackend;
 pub use net::SecureChannel;
 pub use profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
 pub use shared::SharedCsaSystem;
@@ -47,6 +49,10 @@ pub enum CsaError {
     Channel(&'static str),
     /// Storage-level failure.
     Storage(ironsafe_storage::StorageError),
+    /// Federation-level failure (shard exhaustion, degenerate sharding
+    /// config, unsupported federated operation). Carried as a rendered
+    /// string so the CSA layer does not depend on `ironsafe-scale`.
+    Federation(String),
 }
 
 impl std::fmt::Display for CsaError {
@@ -56,6 +62,7 @@ impl std::fmt::Display for CsaError {
             CsaError::Monitor(e) => write!(f, "monitor: {e}"),
             CsaError::Channel(m) => write!(f, "channel: {m}"),
             CsaError::Storage(e) => write!(f, "storage: {e}"),
+            CsaError::Federation(m) => write!(f, "federation: {m}"),
         }
     }
 }
@@ -72,7 +79,7 @@ impl ironsafe_faults::Transient for CsaError {
             CsaError::Channel(_) => true,
             CsaError::Storage(e) => e.is_transient(),
             CsaError::Sql(ironsafe_sql::SqlError::Storage(e)) => e.is_transient(),
-            CsaError::Sql(_) | CsaError::Monitor(_) => false,
+            CsaError::Sql(_) | CsaError::Monitor(_) | CsaError::Federation(_) => false,
         }
     }
 }

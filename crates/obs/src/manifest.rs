@@ -50,6 +50,12 @@ pub const METRIC_MANIFEST: &[MetricDef] = &[
     m("faults.surface.rpmb.recovered", "counter", "Chaos demo: RPMB faults recovered"),
     m("monitor.query.deny", "counter", "Statements the trusted monitor refused"),
     m("monitor.query.grant", "counter", "Statements the trusted monitor authorized"),
+    m("scale.failover.promoted", "counter", "Replica promotions completed after a quarantine"),
+    m("scale.failover.reverified_pages", "counter", "Pages re-read verifying a promoted replica's partition"),
+    m("scale.merge.rows", "counter", "Rows fed through the deterministic gid merge"),
+    m("scale.partial.tuples", "counter", "Partial-aggregation tuples shipped by shards"),
+    m("scale.shard.fragments", "counter", "Physical fragment executions (logical fragments × shards)"),
+    m("scale.shard.quarantined", "counter", "Shard nodes quarantined after attestation/crash/freshness failures"),
     m("serve.flight.dumps", "counter", "Flight-recorder dumps appended to the audit trail"),
     m("serve.query.admitted", "counter", "Requests accepted into a session queue"),
     m("serve.query.completed", "counter", "Requests executed and replied to"),

@@ -1,0 +1,385 @@
+//! Row-to-shard partitioning layered under the `csa` partitioner.
+//!
+//! Every sharded table stores a hidden trailing `__gid` column: the
+//! row's global index in canonical (generation) order, assigned once at
+//! partition time. Fragments project `__gid`, the coordinator k-way
+//! merges shard streams by ascending gid, and the canonical row order —
+//! the order a single node would have produced — is recovered exactly at
+//! any shard count. That merge order is what makes result rows, group
+//! first-seen order and non-associative float accumulation bit-identical
+//! between one shard and N.
+//!
+//! Range mode additionally snaps shard boundaries to *canonical heap
+//! page starts*: the heap packs greedily and statelessly, so a shard
+//! whose rows are a contiguous canonical run starting at a page boundary
+//! packs into byte-identical pages. Summed per-shard page reads, writes,
+//! decrypts and encrypts are then conserved versus a single node. A
+//! boundary page is only usable when its first key is strictly greater
+//! than the previous page's last key (duplicate keys must not straddle a
+//! cut); the chooser walks forward until that holds.
+
+use crate::{Result, ScaleError};
+use ironsafe_sql::db::Database;
+use ironsafe_sql::schema::{Column, Row, Schema};
+use ironsafe_sql::value::{DataType, Value};
+use ironsafe_storage::pager::PlainPager;
+use std::cmp::Ordering;
+
+/// Name of the hidden global-row-index column on every shard table.
+pub const GID_COLUMN: &str = "__gid";
+
+/// `base` with the trailing hidden gid column appended.
+pub fn gid_schema(base: &Schema) -> Schema {
+    let mut columns = base.columns.clone();
+    columns.push(Column::new(GID_COLUMN, DataType::Int));
+    Schema::new(columns)
+}
+
+/// FNV-1a over the value's order-preserving key encoding, finalized
+/// with a splitmix64 avalanche so low-entropy integer keys spread over
+/// small shard counts.
+fn hash_key(key: &Value) -> u64 {
+    let mut bytes = Vec::new();
+    key.key_bytes(&mut bytes);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in &bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One upper range boundary: the first key owned by the *next* shard.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RangeBound {
+    /// Keys `>= this` belong to a later shard.
+    Key(Value),
+    /// Unreachable boundary (the next shard is empty).
+    Top,
+}
+
+impl RangeBound {
+    fn le(&self, key: &Value) -> bool {
+        match self {
+            RangeBound::Top => false,
+            RangeBound::Key(v) => {
+                matches!(v.compare(key), Some(Ordering::Less | Ordering::Equal))
+            }
+        }
+    }
+}
+
+/// The row-routing function for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardSpec {
+    /// `hash(key) % shards`.
+    Hash {
+        /// Shard count.
+        shards: usize,
+    },
+    /// Binary search over `shards - 1` ascending boundaries;
+    /// `boundaries[i]` is the lowest key shard `i + 1` owns.
+    Range {
+        /// Ascending shard boundaries.
+        boundaries: Vec<RangeBound>,
+    },
+}
+
+impl ShardSpec {
+    /// The shard that owns `key`.
+    pub fn shard_of(&self, key: &Value) -> usize {
+        match self {
+            ShardSpec::Hash { shards } => (hash_key(key) % *shards as u64) as usize,
+            ShardSpec::Range { boundaries } => {
+                boundaries.partition_point(|b| b.le(key))
+            }
+        }
+    }
+
+    /// Linear-scan reference implementation of [`ShardSpec::shard_of`]
+    /// (the proptest oracle the binary search is checked against).
+    pub fn shard_of_oracle(&self, key: &Value) -> usize {
+        match self {
+            ShardSpec::Hash { shards } => (hash_key(key) % *shards as u64) as usize,
+            ShardSpec::Range { boundaries } => {
+                let mut shard = 0;
+                for b in boundaries {
+                    if b.le(key) {
+                        shard += 1;
+                    }
+                }
+                shard
+            }
+        }
+    }
+
+    /// Shard count this spec routes into.
+    pub fn shards(&self) -> usize {
+        match self {
+            ShardSpec::Hash { shards } => *shards,
+            ShardSpec::Range { boundaries } => boundaries.len() + 1,
+        }
+    }
+}
+
+/// One table split across the federation.
+#[derive(Debug)]
+pub struct TablePartition {
+    /// Table name.
+    pub table: String,
+    /// Base (gid-less) schema.
+    pub schema: Schema,
+    /// Partition-key column index in the base schema.
+    pub key_index: usize,
+    /// The routing function.
+    pub spec: ShardSpec,
+    /// Gid-augmented rows per shard, canonical order within each shard.
+    pub shard_rows: Vec<Vec<Row>>,
+    /// Total row count across shards.
+    pub total_rows: u64,
+    /// Heap pages the gid-augmented table occupies when packed on one
+    /// node — the N-invariant page count the canonical cost model uses.
+    pub canonical_pages: u64,
+}
+
+/// Canonical packing facts for one heap page.
+struct PageFacts {
+    start_row: u64,
+    first_key: Value,
+    last_key: Value,
+}
+
+impl TablePartition {
+    /// Split `rows` (base-schema order = canonical order) into `shards`
+    /// partitions on `key` under `mode`.
+    pub fn build(
+        table: &str,
+        schema: &Schema,
+        rows: &[Row],
+        key: &str,
+        mode: crate::PartitionMode,
+        shards: usize,
+    ) -> Result<TablePartition> {
+        let key_index = schema.resolve(key).map_err(|_| ScaleError::MissingPartitionKey {
+            table: table.to_string(),
+            key: key.to_string(),
+        })?;
+        let with_gid = gid_schema(schema);
+        let gid_rows: Vec<Row> = rows
+            .iter()
+            .enumerate()
+            .map(|(gid, r)| {
+                let mut row = r.clone();
+                row.push(Value::Int(gid as i64));
+                row
+            })
+            .collect();
+
+        let (pages, canonical_pages) = canonical_packing(table, &with_gid, &gid_rows)?;
+        let sorted = rows
+            .windows(2)
+            .all(|w| !matches!(w[0][key_index].compare(&w[1][key_index]), Some(Ordering::Greater)));
+        let spec = match mode {
+            crate::PartitionMode::Hash => ShardSpec::Hash { shards },
+            crate::PartitionMode::Range => {
+                if sorted {
+                    ShardSpec::Range {
+                        boundaries: page_aligned_boundaries(
+                            &pages,
+                            key_index,
+                            rows.len() as u64,
+                            shards,
+                        ),
+                    }
+                } else {
+                    // Without key-sorted canonical order a page-aligned
+                    // cut cannot be a key boundary; fall back to even
+                    // cuts over the sorted key set (rows still route
+                    // correctly, page conservation is forfeited).
+                    ShardSpec::Range {
+                        boundaries: sorted_key_boundaries(rows, key_index, shards),
+                    }
+                }
+            }
+        };
+
+        let mut shard_rows: Vec<Vec<Row>> = vec![Vec::new(); shards];
+        for row in gid_rows {
+            let shard = spec.shard_of(&row[key_index]);
+            shard_rows[shard].push(row);
+        }
+        Ok(TablePartition {
+            table: table.to_string(),
+            schema: schema.clone(),
+            key_index,
+            spec,
+            shard_rows,
+            total_rows: rows.len() as u64,
+            canonical_pages,
+        })
+    }
+}
+
+/// One packed heap page: starting canonical row index plus the page's
+/// first and last row (the boundary chooser extracts partition keys).
+type PackedPage = (u64, Row, Row);
+
+/// Pack the gid-augmented table once on a scratch in-memory pager and
+/// record, per heap page, its starting canonical row index and its
+/// first/last row (the boundary chooser extracts the partition keys).
+fn canonical_packing(
+    table: &str,
+    with_gid: &Schema,
+    gid_rows: &[Row],
+) -> Result<(Vec<PackedPage>, u64)> {
+    let mut db = Database::new(PlainPager::new());
+    db.create_table(table, with_gid.clone())?;
+    db.insert_rows(table, gid_rows.to_vec())?;
+    let info = db.catalog().table(table)?;
+    let npages = info.heap.pages.len();
+    let mut pages = Vec::with_capacity(npages);
+    let mut start = 0u64;
+    for p in 0..npages {
+        let rows = info.heap.read_page_rows(db.pager(), p, with_gid.len())?;
+        let first = rows.first().expect("heap pages are never empty").clone();
+        let last = rows.last().expect("heap pages are never empty").clone();
+        pages.push((start, first, last));
+        start += rows.len() as u64;
+    }
+    Ok((pages, npages as u64))
+}
+
+/// Choose `shards - 1` ascending boundaries snapped to canonical page
+/// starts, each a *clean* cut (the boundary page's first key strictly
+/// exceeds the previous page's last key, so duplicate keys never
+/// straddle it).
+fn page_aligned_boundaries(
+    pages: &[(u64, Row, Row)],
+    key_index: usize,
+    total: u64,
+    shards: usize,
+) -> Vec<RangeBound> {
+    let facts: Vec<PageFacts> = pages
+        .iter()
+        .map(|(start, first, last)| PageFacts {
+            start_row: *start,
+            first_key: first[key_index].clone(),
+            last_key: last[key_index].clone(),
+        })
+        .collect();
+    let npages = facts.len();
+    let mut boundaries = Vec::with_capacity(shards.saturating_sub(1));
+    let mut last_p = 0usize;
+    for i in 1..shards {
+        let ideal = total * i as u64 / shards as u64;
+        let mut p = facts.partition_point(|f| f.start_row < ideal).max(last_p.max(1));
+        while p < npages
+            && !matches!(
+                facts[p - 1].last_key.compare(&facts[p].first_key),
+                Some(Ordering::Less)
+            )
+        {
+            p += 1;
+        }
+        if p >= npages {
+            boundaries.push(RangeBound::Top);
+        } else {
+            boundaries.push(RangeBound::Key(facts[p].first_key.clone()));
+            last_p = p;
+        }
+    }
+    boundaries
+}
+
+/// Even cuts over the sorted key multiset (the unsorted-data fallback).
+fn sorted_key_boundaries(rows: &[Row], key_index: usize, shards: usize) -> Vec<RangeBound> {
+    let mut keys: Vec<&Value> = rows.iter().map(|r| &r[key_index]).collect();
+    keys.sort_by(|a, b| a.compare(b).unwrap_or(Ordering::Equal));
+    let total = keys.len();
+    (1..shards)
+        .map(|i| {
+            let ideal = total * i / shards;
+            if ideal >= total {
+                RangeBound::Top
+            } else {
+                RangeBound::Key(keys[ideal].clone())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionMode;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Column::new("k", DataType::Int), Column::new("v", DataType::Text)])
+    }
+
+    fn rows(n: i64) -> Vec<Row> {
+        (0..n).map(|i| vec![Value::Int(i), Value::Text(format!("payload {i}"))]).collect()
+    }
+
+    #[test]
+    fn missing_key_is_a_typed_error() {
+        let err = TablePartition::build("t", &schema(), &rows(10), "nope", PartitionMode::Hash, 2)
+            .unwrap_err();
+        assert!(matches!(err, ScaleError::MissingPartitionKey { .. }));
+    }
+
+    #[test]
+    fn every_row_lands_on_exactly_one_shard() {
+        for mode in [PartitionMode::Hash, PartitionMode::Range] {
+            for shards in [1usize, 2, 3, 4, 8] {
+                let part =
+                    TablePartition::build("t", &schema(), &rows(500), "k", mode, shards).unwrap();
+                assert_eq!(part.shard_rows.len(), shards);
+                let total: usize = part.shard_rows.iter().map(Vec::len).sum();
+                assert_eq!(total, 500);
+                // gids across all shards form exactly 0..500
+                let mut gids: Vec<i64> = part
+                    .shard_rows
+                    .iter()
+                    .flatten()
+                    .map(|r| match r.last() {
+                        Some(Value::Int(g)) => *g,
+                        other => panic!("gid must be Int, got {other:?}"),
+                    })
+                    .collect();
+                gids.sort_unstable();
+                assert_eq!(gids, (0..500).collect::<Vec<i64>>());
+            }
+        }
+    }
+
+    #[test]
+    fn range_shards_hold_contiguous_runs_on_sorted_data() {
+        let part =
+            TablePartition::build("t", &schema(), &rows(500), "k", PartitionMode::Range, 4)
+                .unwrap();
+        let mut expected_next = 0i64;
+        for shard in &part.shard_rows {
+            for row in shard {
+                let Some(Value::Int(g)) = row.last() else { panic!("gid") };
+                assert_eq!(*g, expected_next, "range shards must be contiguous canonical runs");
+                expected_next += 1;
+            }
+        }
+        assert_eq!(expected_next, 500);
+    }
+
+    #[test]
+    fn binary_search_matches_linear_oracle() {
+        let part =
+            TablePartition::build("t", &schema(), &rows(500), "k", PartitionMode::Range, 4)
+                .unwrap();
+        for k in -5..505 {
+            let key = Value::Int(k);
+            assert_eq!(part.spec.shard_of(&key), part.spec.shard_of_oracle(&key));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! [`QueryBackend`] binding: serve a federation through the same seam
+//! the single-node shared system uses.
+
+use crate::federation::FederatedCsaSystem;
+use ironsafe_csa::{CsaError, QueryBackend, QueryReport};
+use ironsafe_obs::TraceSnapshot;
+use ironsafe_sql::ast::Statement;
+use ironsafe_tpch::queries::PaperQuery;
+
+impl QueryBackend for FederatedCsaSystem {
+    fn run_query_with_dop(
+        &self,
+        q: &PaperQuery,
+        session_key: [u8; 32],
+        dop: usize,
+    ) -> ironsafe_csa::Result<(QueryReport, Option<TraceSnapshot>)> {
+        let (report, snapshot) = self
+            .run_query_federated(q, session_key, dop)
+            .map_err(CsaError::from)?;
+        Ok((report.to_query_report(), Some(snapshot)))
+    }
+
+    fn run_statement_with_dop(
+        &self,
+        stmt: &Statement,
+        session_key: [u8; 32],
+        dop: usize,
+    ) -> ironsafe_csa::Result<(QueryReport, Option<TraceSnapshot>)> {
+        let (report, snapshot) = self
+            .run_statement_federated(stmt, session_key, dop)
+            .map_err(CsaError::from)?;
+        Ok((report.to_query_report(), Some(snapshot)))
+    }
+
+    fn take_flight_dump(&self) -> Vec<String> {
+        FederatedCsaSystem::take_flight_dump(self)
+    }
+}

@@ -1,0 +1,151 @@
+//! Shard failover under injected faults: a node killed mid-query is
+//! quarantined and audited, a replica is promoted after re-verification,
+//! and the in-flight query either completes bit-identically or returns
+//! one typed error — never a panic.
+
+use ironsafe_faults::{FaultPlan, FaultSite};
+use ironsafe_monitor::TrustedMonitor;
+use ironsafe_scale::{FederatedCsaSystem, FederationConfig, ScaleError};
+use ironsafe_csa::SystemConfig;
+use ironsafe_tpch::queries::{paper_queries, PaperQuery};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const SF: f64 = 0.001;
+const KEY: [u8; 32] = [9u8; 32];
+
+fn q6() -> PaperQuery {
+    paper_queries().into_iter().find(|q| q.id == 6).unwrap()
+}
+
+fn test_monitor() -> TrustedMonitor {
+    use ironsafe_crypto::group::Group;
+    use ironsafe_crypto::schnorr::KeyPair;
+    use ironsafe_monitor::MonitorConfig;
+    use ironsafe_tee::image::SoftwareImage;
+    use ironsafe_tee::sgx::AttestationService;
+
+    let group = Group::modp_1024();
+    let ias = AttestationService::new(&group);
+    let root = KeyPair::derive(&group, b"scale-test", b"tz-root").public;
+    let config = MonitorConfig {
+        expected_host_measurement: SoftwareImage::new("host", 1, b"host".to_vec()).measure(),
+        expected_nw_measurement: SoftwareImage::new("nw", 1, b"nw".to_vec()).measure(),
+        latest_fw: 1,
+    };
+    TrustedMonitor::new(&group, 7, ias, root, config)
+}
+
+fn build(shards: usize, replicas: usize) -> FederatedCsaSystem {
+    let data = ironsafe_tpch::generate(SF, 42);
+    let cfg = FederationConfig::new(shards, SystemConfig::IronSafe).with_replicas(replicas);
+    FederatedCsaSystem::build(cfg, &data).unwrap()
+}
+
+/// Kill shard 1's primary mid-query: the query still completes with a
+/// bit-identical report, the quarantine and promotion are audited (and
+/// mirrored to an attached monitor), and the counters move.
+#[test]
+fn test_federation_failover() {
+    let clean = build(4, 1);
+    let (expected, _) = clean.run_query_federated(&q6(), KEY, 1).unwrap();
+
+    let fed = build(4, 1);
+    let monitor = Arc::new(Mutex::new(test_monitor()));
+    fed.attach_monitor(Arc::clone(&monitor));
+    fed.set_shard_fault_plan(1, FaultPlan::seeded(7).with_nth(FaultSite::EnclaveCrash, 1));
+
+    let (report, _) = fed.run_query_federated(&q6(), KEY, 1).unwrap();
+    assert_eq!(report.result, expected.result, "failover changed the result");
+    assert_eq!(report.breakdown, expected.breakdown, "failover changed the breakdown");
+    assert!(report.fanout_overhead_ns > expected.fanout_overhead_ns, "re-verification is free?");
+
+    assert_eq!(fed.metrics().shard_quarantined.get(), 1);
+    assert_eq!(fed.metrics().failover_promoted.get(), 1);
+    assert!(fed.metrics().failover_reverified_pages.get() > 0);
+    assert_eq!(fed.active_replica(1), 1, "shard 1 should be served by its replica");
+
+    let events = fed.audit().stream("federation");
+    assert!(
+        events.iter().any(|e| e.message.contains("quarantined shard1-node0")),
+        "no quarantine audit entry: {events:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.message.contains("promoted shard1-node1")),
+        "no promotion audit entry: {events:?}"
+    );
+    assert!(fed.audit().verify(), "audit chain broken");
+    let mirrored = monitor.lock().audit().stream("federation");
+    assert_eq!(mirrored.len(), events.len(), "monitor chain missed federation events");
+}
+
+/// A replica that fails attestation is itself quarantined; with the
+/// chain exhausted the query returns a typed error, not a panic.
+#[test]
+fn exhausted_chain_is_a_typed_error() {
+    let fed = build(2, 1);
+    fed.set_shard_fault_plan(0, FaultPlan::seeded(3).with_nth(FaultSite::EnclaveCrash, 1));
+    fed.node(0, 1).poison_attestation();
+
+    let err = fed.run_query_federated(&q6(), KEY, 1).unwrap_err();
+    match err {
+        ScaleError::ShardUnavailable { shard: 0, ref reason } => {
+            assert!(reason.contains("attestation"), "unexpected reason: {reason}");
+        }
+        other => panic!("expected ShardUnavailable, got {other}"),
+    }
+    // Both the crashed primary and the unattested replica were audited.
+    assert_eq!(fed.metrics().shard_quarantined.get(), 2);
+    assert!(fed.audit().verify());
+}
+
+/// 50 seeded fault storms against every site at once: each run either
+/// reproduces the clean result bit-identically or returns one typed
+/// error. Nothing panics, the audit chain always verifies.
+#[test]
+fn seeded_storms_never_panic() {
+    let clean = build(2, 1);
+    let (expected, _) = clean.run_query_federated(&q6(), KEY, 1).unwrap();
+    let queries = [q6()];
+
+    let mut completed = 0u32;
+    let mut failed_over = 0u32;
+    let mut typed_errors = 0u32;
+    for seed in 0..50u64 {
+        let fed = build(2, 1);
+        let mut plan = FaultPlan::seeded(seed);
+        for site in ironsafe_faults::ALL_SITES {
+            plan = plan.with_rate(site, 0.02 + (seed % 5) as f64 * 0.01);
+        }
+        if seed % 7 == 0 {
+            // A determined adversary: the crash fires on the primary AND
+            // re-fires on the promoted replica, exhausting the chain.
+            plan = plan
+                .with_nth(FaultSite::EnclaveCrash, 1)
+                .with_nth(FaultSite::EnclaveCrash, 2);
+        }
+        fed.set_shard_fault_plan((seed % 2) as usize, plan);
+        for q in &queries {
+            match fed.run_query_federated(q, KEY, 1) {
+                Ok((report, _)) => {
+                    completed += 1;
+                    assert_eq!(report.result, expected.result, "seed {seed}: result diverged");
+                    assert_eq!(
+                        report.breakdown, expected.breakdown,
+                        "seed {seed}: breakdown diverged"
+                    );
+                }
+                Err(e) => {
+                    typed_errors += 1;
+                    let _ = e.to_string(); // every error renders
+                }
+            }
+        }
+        failed_over += fed.metrics().failover_promoted.get() as u32;
+        assert!(fed.audit().verify(), "seed {seed}: audit chain broken");
+    }
+    // The storm rates are high enough that all three outcomes occur.
+    assert!(completed > 0, "no storm run ever completed");
+    assert!(failed_over > 0, "no storm ever triggered a failover");
+    assert!(typed_errors > 0, "no storm ever exhausted a chain");
+}

@@ -31,7 +31,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::session::{SessionHandle, SessionManager};
-use ironsafe_csa::{QueryReport, SharedCsaSystem};
+use ironsafe_csa::{QueryBackend, QueryReport, SharedCsaSystem};
 use ironsafe_monitor::{MonitorError, TrustedMonitor};
 use ironsafe_obs::{Span, Trace, TraceCtx, TraceSnapshot};
 use ironsafe_tpch::queries::PaperQuery;
@@ -203,7 +203,7 @@ struct DispatchState {
 }
 
 struct ServerShared {
-    system: Arc<SharedCsaSystem>,
+    system: Arc<dyn QueryBackend>,
     sessions: SessionManager,
     state: Mutex<DispatchState>,
     work: Condvar,
@@ -223,6 +223,17 @@ impl QueryServer {
     /// the worker pool.
     pub fn start(
         system: Arc<SharedCsaSystem>,
+        monitor: Arc<parking_lot::Mutex<TrustedMonitor>>,
+        config: ServeConfig,
+    ) -> Self {
+        Self::start_with_backend(system as Arc<dyn QueryBackend>, monitor, config)
+    }
+
+    /// [`QueryServer::start`] over any execution backend — one shared
+    /// system or a sharded federation (`ironsafe-scale`). The session,
+    /// admission and audit machinery is identical either way.
+    pub fn start_with_backend(
+        system: Arc<dyn QueryBackend>,
         monitor: Arc<parking_lot::Mutex<TrustedMonitor>>,
         config: ServeConfig,
     ) -> Self {

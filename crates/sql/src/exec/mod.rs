@@ -7,6 +7,7 @@
 pub mod aggregate;
 pub mod join;
 pub mod morsel;
+pub mod partial;
 pub mod scan;
 pub mod sort;
 
@@ -16,6 +17,7 @@ pub use morsel::{
     Dop, ExecMetrics, ExecOptions, Morsel, MorselScan, MorselSource, ParallelHashAggregate,
     partition_pages,
 };
+pub use partial::AggPlan;
 pub use scan::SeqScan;
 pub use sort::Sort;
 

@@ -358,7 +358,7 @@ fn plan_projection_only(stmt: &SelectStmt) -> Result<BoxOp> {
 }
 
 /// Expand `*` and derive output names.
-fn expand_projections(stmt: &SelectStmt, input: &Schema) -> Result<Vec<(Expr, String)>> {
+pub(crate) fn expand_projections(stmt: &SelectStmt, input: &Schema) -> Result<Vec<(Expr, String)>> {
     let mut out = Vec::new();
     for (i, item) in stmt.projections.iter().enumerate() {
         match item {
@@ -386,7 +386,7 @@ fn expand_projections(stmt: &SelectStmt, input: &Schema) -> Result<Vec<(Expr, St
 }
 
 /// Collect distinct aggregate nodes (structural equality).
-fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
+pub(crate) fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
         Expr::Agg { .. } => {
             if !out.contains(expr) {
@@ -431,7 +431,7 @@ fn collect_aggs(expr: &Expr, out: &mut Vec<Expr>) {
 
 /// Rewrite a post-grouping expression against the aggregate's output:
 /// group-by expressions become `__grpN`, aggregate nodes become `__aggN`.
-fn rewrite_post_agg(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr {
+pub(crate) fn rewrite_post_agg(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr {
     if let Some(i) = group_by.iter().position(|g| g == expr) {
         return Expr::Column(format!("__grp{i}"));
     }
@@ -482,7 +482,7 @@ fn rewrite_post_agg(expr: &Expr, group_by: &[Expr], aggs: &[Expr]) -> Expr {
 }
 
 /// Derive the projected output schema (types are best-effort metadata).
-fn output_schema(exprs: &[Expr], names: &[String], input: &Schema) -> Schema {
+pub(crate) fn output_schema(exprs: &[Expr], names: &[String], input: &Schema) -> Schema {
     let columns = exprs
         .iter()
         .zip(names.iter())

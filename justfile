@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -36,6 +36,13 @@ profile-smoke:
     cargo test -q --offline -p ironsafe-csa --test profile_parity
     cargo test -q --offline -p ironsafe --test metrics_manifest
     cargo run --release --offline -p ironsafe-bench --bin paperbench profile --check
+
+# Federation smoke: golden parity across shard counts and configs,
+# failover + storm chaos, partitioner property tests, serving over a
+# federation, and the BENCH_7.json invariant gate.
+shard-smoke:
+    cargo test -q --offline -p ironsafe-scale
+    cargo run --release --offline -p ironsafe-bench --bin paperbench shards --check
 
 # Fault-injection smoke: the chaos harness (50 seed x rate storms,
 # identical-rows-or-typed-error invariant, per-surface recovery) plus

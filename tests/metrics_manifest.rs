@@ -34,6 +34,9 @@ fn register_workspace(registry: &Registry) {
     // Serving layer.
     ServeMetrics::new().register(registry);
 
+    // Federation coordinator counters (`scale.*`).
+    ironsafe_scale::ScaleMetrics::new().register(registry);
+
     // Trusted monitor decision counters.
     let group = Group::modp_1024();
     let mut rng = StdRng::seed_from_u64(7);
