@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|profile|shards|all] [--sf <f>] [--json] [--check] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|profile|shards|vectors|all] [--sf <f>] [--json] [--check] [--metrics-out <path>]
 //! ```
 //!
 //! `parallel` (not part of `all`) sweeps morsel-driven execution across
@@ -36,6 +36,17 @@
 //! invariants block and compares it byte for byte against the committed
 //! baseline, exiting nonzero on drift (the federation regression gate).
 //! Defaults to SF 0.002 unless `--sf` is given.
+//!
+//! `vectors` (not part of `all`) sweeps vectorized (column-batch)
+//! execution against the scalar baseline and compress-before-encrypt
+//! pages against the raw store, Q1/Q6 on IronSafe: result digests and
+//! physical counters per mode, the per-query encrypted-byte/MAC
+//! dividend of compression, and measured scalar-vs-vector wall-clock
+//! speedup at DOP 1. `--json` writes the snapshot to `BENCH_8.json`;
+//! `--check` regenerates the deterministic invariants block and
+//! compares it byte for byte against the committed baseline, exiting
+//! nonzero on drift (the vectorization regression gate). Defaults to
+//! SF 0.002 unless `--sf` is given.
 //!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
@@ -434,6 +445,98 @@ fn main() {
             );
             std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
             println!("shards: wrote federation snapshot to BENCH_7.json");
+        }
+        return;
+    }
+
+    if what == "vectors" {
+        let vsf = if sf_given { sf } else { VECTORS_SF };
+        let ids = [1u8, 6];
+        println!(
+            "== Vectorized execution x page compression: Q1/Q6 on scs (SF {vsf}) ==\n"
+        );
+        let (cells, dividends) = vectors_sweep(vsf, &ids);
+        println!(
+            "{:>5} {:>7} {:>6} {:>14} {:>8} {:>9} {:>8} {:>6} {:>18}",
+            "query", "mode", "pages", "total (sim)", "reads", "decrypts", "merkle", "rows", "result digest"
+        );
+        for c in &cells {
+            println!(
+                "{:>5} {:>7} {:>6} {:>12.0}ns {:>8} {:>9} {:>8} {:>6} {:>18}",
+                format!("#{}", c.query_id),
+                if c.vectorized { "vector" } else { "scalar" },
+                if c.compressed { "comp" } else { "raw" },
+                c.total_ns,
+                c.pages_read,
+                c.decrypts,
+                c.merkle_nodes,
+                c.rows,
+                c.result_digest
+            );
+        }
+        println!("(digests identical across all four modes; scalar/vector twins share counters)\n");
+        println!(
+            "{:>5} {:>16} {:>16} {:>12}   (compress-before-encrypt dividend)",
+            "query", "enc bytes raw", "enc bytes comp", "MACs saved"
+        );
+        for d in &dividends {
+            println!(
+                "{:>5} {:>16} {:>16} {:>11.1}%",
+                format!("#{}", d.query_id),
+                d.encrypted_bytes_raw,
+                d.encrypted_bytes_compressed,
+                d.mac_reduction_pct
+            );
+        }
+        println!();
+        let wsf = if sf_given { sf } else { VECTORS_WALL_SF };
+        let wallclock = vectors_wallclock(wsf, &ids);
+        println!(
+            "{:>5} {:>6} {:>11} {:>11} {:>9}   (wall-clock, hons DOP 1, SF {wsf})",
+            "query", "runs", "scalar", "vector", "speedup"
+        );
+        for w in &wallclock {
+            println!(
+                "{:>5} {:>6} {:>9.2}ms {:>9.2}ms {:>8.2}x",
+                format!("#{}", w.query_id),
+                w.runs,
+                w.scalar_ms,
+                w.vector_ms,
+                w.speedup
+            );
+        }
+        println!();
+        let inv_block = vectors_invariants_json(vsf, &cells, &dividends);
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_8.json")
+                .expect("vectors --check needs the committed BENCH_8.json baseline");
+            if baseline.contains(&inv_block) {
+                println!("vectors: invariants match BENCH_8.json byte for byte (gate passes)");
+            } else {
+                eprintln!("vectors: invariants DIVERGE from BENCH_8.json:");
+                let committed_block = baseline
+                    .find("  \"invariants\"")
+                    .and_then(|start| {
+                        baseline[start..].find("\n  }").map(|end| &baseline[start..start + end + 4])
+                    })
+                    .unwrap_or("(no invariants block found)");
+                for d in ironsafe_bench::diff_snapshots(committed_block, &inv_block) {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "(regenerate with `paperbench vectors --json` if the change is intended)"
+                );
+                std::process::exit(1);
+            }
+        }
+        if json_out {
+            let json = vectors_json(vsf, &cells, &dividends, &wallclock);
+            assert!(
+                ironsafe_obs::export::looks_like_valid_json(&json),
+                "vectors snapshot failed JSON self-check"
+            );
+            std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+            println!("vectors: wrote vectorization snapshot to BENCH_8.json");
         }
         return;
     }

@@ -751,7 +751,10 @@ pub fn table4() -> Table4 {
     // secure-world work on the real device.
     let start = std::time::Instant::now();
     let booted = SecureBoot::boot(&device, &mfr.root_public(), &images, &mut rng).expect("boot");
-    let mut storage_tee_ms = start.elapsed().as_secs_f64() * 1000.0 - storage_ree_ms;
+    // Clamp here, not after phase 2: under scheduler noise the re-hash
+    // inside boot can run faster than the measured REE phase, and a
+    // negative part-1 must not swallow phase 2's real work.
+    let mut storage_tee_ms = (start.elapsed().as_secs_f64() * 1000.0 - storage_ree_ms).max(0.0);
 
     let config = MonitorConfig {
         expected_host_measurement: host_image.measure(),

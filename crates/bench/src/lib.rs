@@ -21,9 +21,14 @@ pub mod figures;
 pub mod profiles;
 pub mod shards;
 pub mod telemetry;
+pub mod vectors;
 
 pub use figures::*;
 pub use profiles::{diff_snapshots, profile_matrix, profiles_json, PROFILE_SF};
 pub use shards::{
     shards_invariants_json, shards_json, shards_sweep, SHARDS_SF, SHARD_COUNTS,
+};
+pub use vectors::{
+    vectors_invariants_json, vectors_json, vectors_sweep, vectors_wallclock, VECTORS_SF,
+    VECTORS_WALL_SF,
 };

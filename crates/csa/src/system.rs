@@ -177,12 +177,35 @@ fn complexity(stmt: &SelectStmt) -> u64 {
 impl CsaSystem {
     /// Build a system in `config`, loading `data` into its storage node.
     pub fn build(config: SystemConfig, data: &TpchData, params: CostParams) -> Result<CsaSystem> {
+        Self::build_with_compression(config, data, params, false)
+    }
+
+    /// [`CsaSystem::build`] with per-page compression optionally layered
+    /// under the page crypto: pages are compressed *before* encrypt+MAC
+    /// (and decompressed after decrypt+verify), so compressible data
+    /// spends fewer physical blocks — and therefore fewer encryptions,
+    /// MACs and Merkle leaves. The reduction is honest: `PagerStats`
+    /// report physical-block work, and the cost model charges exactly
+    /// those counters.
+    pub fn build_with_compression(
+        config: SystemConfig,
+        data: &TpchData,
+        params: CostParams,
+        compressed: bool,
+    ) -> Result<CsaSystem> {
         let mut storage_db = if config.secure() {
             let group = Group::modp_1024();
             let mfr = Manufacturer::from_seed(&group, b"ironsafe-storage-vendor");
             let mut rng = rand::rngs::StdRng::seed_from_u64(0xC5A);
             let device = mfr.make_device("storage-0", 8, &mut rng);
-            Database::new(SecurePager::create(device, 0xC5A).map_err(crate::CsaError::Storage)?)
+            let pager = SecurePager::create(device, 0xC5A).map_err(crate::CsaError::Storage)?;
+            if compressed {
+                Database::new(ironsafe_storage::CompressedPager::new(pager))
+            } else {
+                Database::new(pager)
+            }
+        } else if compressed {
+            Database::new(ironsafe_storage::CompressedPager::new(PlainPager::new()))
         } else {
             Database::new(PlainPager::new())
         };
@@ -393,6 +416,15 @@ impl CsaSystem {
     /// bit-identical to DOP 1 (parallelism buys wall-clock only).
     pub fn set_dop(&mut self, dop: usize) {
         self.exec.dop = ironsafe_sql::exec::Dop::new(dop);
+    }
+
+    /// Switch vectorized (column-batch) execution on or off for
+    /// read-only query fragments.
+    ///
+    /// Like DOP, vectorization buys wall-clock only: rows, breakdowns
+    /// and pager-stats deltas stay bit-identical to scalar execution.
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.exec.vectorized = on;
     }
 
     /// Current morsel-execution options.

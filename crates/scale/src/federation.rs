@@ -223,7 +223,14 @@ impl FederatedCsaSystem {
                 .collect();
             let mut chain = Vec::with_capacity(config.replicas + 1);
             for replica in 0..=config.replicas {
-                chain.push(ShardNode::build(shard, replica, secure, &config.params, &tables)?);
+                chain.push(ShardNode::build(
+                    shard,
+                    replica,
+                    secure,
+                    config.compressed,
+                    &config.params,
+                    &tables,
+                )?);
             }
             nodes.push(chain);
         }
@@ -345,6 +352,7 @@ impl FederatedCsaSystem {
         let shards = self.config.shards;
         let mut exec = ExecOptions::serial();
         exec.dop = Dop::new(dop);
+        exec.vectorized = self.config.vectorized;
 
         let trace = Trace::new();
         let facts = {
@@ -727,15 +735,25 @@ impl FederatedCsaSystem {
         match agg {
             None => Ok(result.rows().to_vec()),
             Some(plan) => {
-                let mut out = Vec::with_capacity(result.rows().len());
-                for row in result.rows() {
+                let rows = result.rows();
+                let mut out = Vec::with_capacity(rows.len());
+                // Both halves produce identical tuples (the sql crate's
+                // `batch_partial_matches_row_partial` pins that); the
+                // batch half evaluates each expression once per fragment
+                // instead of re-binding per row.
+                let partials: Vec<Option<Row>> = if exec.vectorized {
+                    plan.eval_partial_batch(&schema, rows).map_err(|e| e.to_string())?
+                } else {
+                    rows.iter()
+                        .map(|row| plan.eval_partial(&schema, row).map_err(|e| e.to_string()))
+                        .collect::<std::result::Result<_, _>>()?
+                };
+                for (row, partial) in rows.iter().zip(partials) {
                     let gid = row
                         .last()
                         .cloned()
                         .ok_or_else(|| "fragment row missing gid".to_string())?;
-                    if let Some(mut tuple) =
-                        plan.eval_partial(&schema, row).map_err(|e| e.to_string())?
-                    {
+                    if let Some(mut tuple) = partial {
                         tuple.push(gid);
                         out.push(tuple);
                     }

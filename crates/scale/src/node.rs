@@ -51,11 +51,15 @@ pub struct ShardNode {
 
 impl ShardNode {
     /// Build and load a node. `tables` holds the shard's gid-augmented
-    /// partition of every table, in load order.
+    /// partition of every table, in load order. With `compressed` set,
+    /// pages are compressed before encrypt+MAC (see
+    /// [`ironsafe_storage::CompressedPager`]) — result rows are
+    /// unchanged, physical page/crypto counters shrink honestly.
     pub fn build(
         shard: usize,
         replica: usize,
         secure: bool,
+        compressed: bool,
         params: &CostParams,
         tables: &[(String, Schema, Vec<Row>)],
     ) -> Result<ShardNode> {
@@ -70,12 +74,20 @@ impl ShardNode {
             let record = AttestationRecord { device_id: device.device_id.clone(), verified };
             let pager = SecurePager::create(device, seed)
                 .map_err(|e| ScaleError::Csa(ironsafe_csa::CsaError::Storage(e)))?;
-            (Database::new(pager), record)
+            let db = if compressed {
+                Database::new(ironsafe_storage::CompressedPager::new(pager))
+            } else {
+                Database::new(pager)
+            };
+            (db, record)
         } else {
-            (
-                Database::new(PlainPager::new()),
-                AttestationRecord { device_id: id.clone(), verified: true },
-            )
+            let record = AttestationRecord { device_id: id.clone(), verified: true };
+            let db = if compressed {
+                Database::new(ironsafe_storage::CompressedPager::new(PlainPager::new()))
+            } else {
+                Database::new(PlainPager::new())
+            };
+            (db, record)
         };
         let mut row_counts = Vec::with_capacity(tables.len());
         for (name, schema, rows) in tables {

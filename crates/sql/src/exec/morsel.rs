@@ -11,7 +11,12 @@
 //! the morsel's pages through [`Pager::read_pages`] (one pager lock per
 //! morsel, pipelined decrypt + verify for secure pagers), then decodes,
 //! filters, and pre-evaluates expressions outside the lock with a reused
-//! scratch row.
+//! scratch row. With [`ExecOptions::vectorized`] set, each morsel is
+//! instead decoded **once** into a column-major
+//! [`ColumnBatch`](crate::batch::ColumnBatch) and predicates/aggregate
+//! inputs run vector-at-a-time over a selection bitmap
+//! ([`crate::expr::filter_vec`] / [`crate::expr::eval_vec`]) — same
+//! rows, same stats, fewer per-row allocations and dispatches.
 //!
 //! **Determinism invariant**: parallel execution buys wall-clock time
 //! only — `QueryResult` rows, `CostBreakdown`s and `PagerStats` deltas
@@ -24,10 +29,11 @@
 //! leave every stats delta unchanged.
 
 use crate::ast::Expr;
+use crate::batch::ColumnBatch;
 use crate::exec::aggregate::{agg_output_schema, AggSpec, GroupAcc};
 use crate::exec::{BoxOp, Operator};
-use crate::expr::{bind, eval_bound, BoundExpr};
-use crate::heap::{scan_page_rows, HeapFile, SharedPager};
+use crate::expr::{bind, eval_bound, eval_vec, filter_vec, BoundExpr};
+use crate::heap::{scan_page_columns, scan_page_rows, HeapFile, SharedPager};
 use crate::schema::{Row, Schema};
 use crate::value::Value;
 use crate::{Result, SqlError};
@@ -97,6 +103,12 @@ pub struct ExecOptions {
     /// wall-clock time. Tests force it on to exercise cross-thread
     /// determinism regardless of the host's core count.
     pub oversubscribe: bool,
+    /// Decode morsels into column batches and evaluate predicates and
+    /// aggregate inputs vector-at-a-time ([`crate::expr::eval_vec`])
+    /// instead of row-at-a-time. Output rows, `CostBreakdown`s and
+    /// `PagerStats` deltas stay bit-identical to the scalar operators —
+    /// vectorization, like parallelism, buys wall-clock only.
+    pub vectorized: bool,
     /// Live counters shared by every scan run under these options.
     pub metrics: ExecMetrics,
 }
@@ -107,6 +119,7 @@ impl Default for ExecOptions {
             dop: Dop::default(),
             morsel_pages: DEFAULT_MORSEL_PAGES,
             oversubscribe: false,
+            vectorized: false,
             metrics: ExecMetrics::default(),
         }
     }
@@ -121,6 +134,12 @@ impl ExecOptions {
     /// Parallel execution with `dop` workers.
     pub fn with_dop(dop: usize) -> Self {
         ExecOptions { dop: Dop::new(dop), ..Self::default() }
+    }
+
+    /// Same options with vectorized execution switched `on`.
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
     }
 
     /// True when plans should use the morsel operators.
@@ -288,6 +307,109 @@ where
     Ok(out)
 }
 
+/// Vectorized twin of [`run_morsels`]: each morsel's pages are decoded
+/// **once** into a column-major [`ColumnBatch`], the pushed-down
+/// predicate runs vector-at-a-time over a selection bitmap
+/// ([`filter_vec`]), and `per_batch` folds the surviving lanes into a
+/// fresh `M`. Lane order within a batch is page order, and batches are
+/// returned in morsel order, so callers see serial row order exactly as
+/// with the scalar driver. Spans, trace contexts and `exec.morsel.*`
+/// counters are bumped identically to [`run_morsels`] (rows counts all
+/// decoded lanes, pre-filter).
+fn run_morsels_vec<M, F>(source: &MorselSource, opts: &ExecOptions, per_batch: F) -> Result<Vec<M>>
+where
+    M: Default + Send,
+    F: Fn(&ColumnBatch, &[bool], &mut M) -> Result<()> + Sync,
+{
+    let payload = source.pager.lock().payload_size();
+    let ncols = source.schema.len();
+    let morsels = partition_pages(source.heap.pages.len(), opts.morsel_pages);
+    opts.metrics.scans.inc();
+
+    let pred: Option<BoundExpr> = match &source.pred {
+        Some(p) => Some(bind(p, &source.schema)?),
+        None => None,
+    };
+    let pred = pred.as_ref();
+
+    // Per-morsel kernel: one batched read under the pager lock (same
+    // shared Merkle climb as the scalar driver), then a single columnar
+    // decode and one vectorized predicate pass outside it.
+    let work = |i: usize, m: &Morsel| -> Result<M> {
+        let _ctx = TraceCtx::current().map(|c| c.with_morsel(i as u64).install());
+        let span = Span::enter("exec/morsel");
+        let body = || -> Result<M> {
+            let ids: Vec<PageId> = source.heap.pages[m.start..m.end].to_vec();
+            let mut buf = vec![0u8; ids.len() * payload];
+            source.pager.lock().read_pages(&ids, &mut buf).map_err(SqlError::from)?;
+            opts.metrics.morsels.inc();
+            let mut batch = ColumnBatch::new(ncols);
+            for page in buf.chunks_exact(payload) {
+                scan_page_columns(page, ncols, &mut batch)?;
+            }
+            opts.metrics.rows.add(batch.len() as u64);
+            let mut sel = vec![true; batch.len()];
+            if let Some(pred) = pred {
+                filter_vec(pred, &batch, &mut sel)?;
+            }
+            let mut acc = M::default();
+            per_batch(&batch, &sel, &mut acc)?;
+            Ok(acc)
+        };
+        let result = body();
+        if result.is_err() {
+            span.fail("exec.morsel.failed");
+        }
+        result
+    };
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cap = if opts.oversubscribe { usize::MAX } else { hw };
+    let nworkers = opts.dop.get().min(morsels.len()).min(cap).max(1);
+    if nworkers <= 1 {
+        let mut out = Vec::with_capacity(morsels.len());
+        for (i, m) in morsels.iter().enumerate() {
+            out.push(work(i, m)?);
+        }
+        return Ok(out);
+    }
+
+    let slots: Vec<Mutex<Option<Result<M>>>> =
+        morsels.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let trace = Trace::current();
+    let ctx = TraceCtx::current();
+    crossbeam::thread::scope(|s| {
+        for w in 0..nworkers {
+            let trace = trace.clone();
+            let (slots, cursor, morsels, work) = (&slots, &cursor, &morsels, &work);
+            s.spawn(move |_| {
+                let _guard = trace.as_ref().map(|t| t.install());
+                let _ctx_guard = ctx.map(|c| c.install());
+                let name = format!("exec/morsel_worker{w}");
+                let _span = Span::enter(&name);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= morsels.len() {
+                        break;
+                    }
+                    *slots[i].lock() = Some(work(i, &morsels[i]));
+                }
+            });
+        }
+    })
+    .expect("morsel workers do not panic");
+
+    let mut out = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot.into_inner().expect("every morsel was claimed") {
+            Ok(m) => out.push(m),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
 /// Parallel sequential scan: emits exactly the rows (in exactly the
 /// order) of `SeqScan` + an optional `Filter`, using the morsel pool.
 /// Materializes on first pull.
@@ -316,8 +438,9 @@ impl Operator for MorselScan {
             Some(p) => format!(", filter {}", crate::ast::expr_to_sql(p)),
             None => String::new(),
         };
+        let vect = if self.opts.vectorized { ", vectorized" } else { "" };
         format!(
-            "MorselScan ({} pages, {} rows, dop {}{pred})",
+            "MorselScan ({} pages, {} rows, dop {}{vect}{pred})",
             self.source.heap.page_count(),
             self.source.heap.row_count,
             self.opts.dop.get()
@@ -331,10 +454,21 @@ impl Operator for MorselScan {
     fn next(&mut self) -> Result<Option<Row>> {
         if !self.started {
             self.started = true;
-            let chunks = run_morsels(&self.source, &self.opts, |row, out: &mut Vec<Row>| {
-                out.push(row.clone());
-                Ok(())
-            })?;
+            let chunks = if self.opts.vectorized {
+                run_morsels_vec(&self.source, &self.opts, |batch, sel, out: &mut Vec<Row>| {
+                    for (lane, live) in sel.iter().enumerate() {
+                        if *live {
+                            out.push(batch.owned_row(lane));
+                        }
+                    }
+                    Ok(())
+                })?
+            } else {
+                run_morsels(&self.source, &self.opts, |row, out: &mut Vec<Row>| {
+                    out.push(row.clone());
+                    Ok(())
+                })?
+            };
             let mut rows = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
             for mut c in chunks {
                 rows.append(&mut c);
@@ -412,24 +546,81 @@ impl ParallelHashAggregate {
             .iter()
             .map(|spec| spec.arg.as_ref().map(|e| bind(e, schema)).transpose())
             .collect::<Result<_>>()?;
-        // Workers: evaluate group keys and aggregate inputs per row into
-        // flat per-morsel arenas — no per-row allocations, just three
-        // amortized Vec growths per morsel.
-        let arenas = run_morsels(&self.source, &self.opts, |row, arena: &mut TupleArena| {
-            for e in &groups {
-                let v = eval_bound(e, row)?;
-                v.key_bytes(&mut arena.keys);
-                arena.vals.push(v);
+        // Workers: evaluate group keys and aggregate inputs into flat
+        // per-morsel arenas — scalar row-at-a-time, or vectorized with
+        // one `eval_vec` pass per expression per batch. Both fill the
+        // arena in lane order with bit-identical values, so the merge
+        // below cannot tell them apart.
+        let arenas = if self.opts.vectorized {
+            // Column refs read batch lanes directly (no intermediate
+            // vector, no text copy until the arena needs the value);
+            // computed expressions evaluate once per batch over the
+            // surviving selection.
+            enum Slot<'e> {
+                Col(usize),
+                One,
+                Expr(&'e BoundExpr),
             }
-            for arg in &args {
-                arena.vals.push(match arg {
-                    None => Value::Int(1), // COUNT(*) counts rows
-                    Some(e) => eval_bound(e, row)?,
-                });
-            }
-            arena.key_ends.push(arena.keys.len());
-            Ok(())
-        })?;
+            let slots: Vec<Slot> = groups
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Col(i) => Slot::Col(*i),
+                    e => Slot::Expr(e),
+                })
+                .chain(args.iter().map(|a| match a {
+                    None => Slot::One, // COUNT(*) counts rows
+                    Some(BoundExpr::Col(i)) => Slot::Col(*i),
+                    Some(e) => Slot::Expr(e),
+                }))
+                .collect();
+            let ngroups = groups.len();
+            run_morsels_vec(&self.source, &self.opts, |batch, sel, arena: &mut TupleArena| {
+                let mut vecs: Vec<Option<Vec<Value>>> = Vec::with_capacity(slots.len());
+                for s in &slots {
+                    vecs.push(match s {
+                        Slot::Expr(e) => Some(eval_vec(e, batch, sel)?),
+                        _ => None,
+                    });
+                }
+                for (lane, live) in sel.iter().enumerate() {
+                    if !*live {
+                        continue;
+                    }
+                    for (k, s) in slots.iter().enumerate() {
+                        let v = match s {
+                            Slot::Col(i) => batch.value_at(*i, lane),
+                            Slot::One => Value::Int(1),
+                            Slot::Expr(_) => std::mem::replace(
+                                &mut vecs[k].as_mut().expect("expr slot")[lane],
+                                Value::Null,
+                            ),
+                        };
+                        if k < ngroups {
+                            v.key_bytes(&mut arena.keys);
+                        }
+                        arena.vals.push(v);
+                    }
+                    arena.key_ends.push(arena.keys.len());
+                }
+                Ok(())
+            })?
+        } else {
+            run_morsels(&self.source, &self.opts, |row, arena: &mut TupleArena| {
+                for e in &groups {
+                    let v = eval_bound(e, row)?;
+                    v.key_bytes(&mut arena.keys);
+                    arena.vals.push(v);
+                }
+                for arg in &args {
+                    arena.vals.push(match arg {
+                        None => Value::Int(1), // COUNT(*) counts rows
+                        Some(e) => eval_bound(e, row)?,
+                    });
+                }
+                arena.key_ends.push(arena.keys.len());
+                Ok(())
+            })?
+        };
         // Merge: replay the serial accumulator in row order.
         let ngroups = self.group_exprs.len();
         let width = ngroups + self.aggs.len();
@@ -455,8 +646,9 @@ impl Operator for ParallelHashAggregate {
     fn describe(&self) -> String {
         let groups: Vec<String> = self.group_exprs.iter().map(crate::ast::expr_to_sql).collect();
         let aggs: Vec<String> = self.aggs.iter().map(|a| a.name.clone()).collect();
+        let vect = if self.opts.vectorized { ", vectorized" } else { "" };
         format!(
-            "ParallelHashAggregate: group by [{}], compute [{}] (dop {})",
+            "ParallelHashAggregate: group by [{}], compute [{}] (dop {}{vect})",
             groups.join(", "),
             aggs.join(", "),
             self.opts.dop.get()
@@ -597,6 +789,86 @@ mod tests {
                 par.0.columns.iter().map(|c| &c.name).collect::<Vec<_>>(),
                 serial.0.columns.iter().map(|c| &c.name).collect::<Vec<_>>()
             );
+        }
+    }
+
+    #[test]
+    fn vectorized_scan_matches_serial_rows_and_stats() {
+        let (mut source, pager) = fixture(2000);
+        source.pred = Some(parse_expression("a % 3 = 0 AND x < 300.0").unwrap());
+        pager.lock().reset_stats();
+        let serial = {
+            let scan = Box::new(SeqScan::new(
+                source.schema.clone(),
+                source.heap.clone(),
+                pager.clone(),
+            ));
+            let filtered = Box::new(Filter::new(scan, source.pred.clone().unwrap()));
+            collect(filtered).unwrap().1
+        };
+        let serial_stats = pager.lock().stats();
+        for dop in [1, 4] {
+            pager.lock().reset_stats();
+            let opts = ExecOptions { morsel_pages: 3, oversubscribe: true, ..ExecOptions::with_dop(dop) }
+                .with_vectorized(true);
+            let vectorized =
+                collect(Box::new(MorselScan::new(source.clone(), opts.clone()))).unwrap().1;
+            let vec_stats = pager.lock().stats();
+            assert_eq!(vectorized, serial, "dop {dop}: row stream must be order-identical");
+            assert_eq!(vec_stats, serial_stats, "dop {dop}: stats delta must be identical");
+            assert_eq!(opts.metrics.rows.get(), 2000, "rows counter counts pre-filter lanes");
+        }
+    }
+
+    #[test]
+    fn vectorized_aggregate_matches_serial_bit_for_bit() {
+        let (mut source, pager) = fixture(3000);
+        source.pred = Some(parse_expression("x BETWEEN 10.0 AND 600.0").unwrap());
+        let group_exprs = vec![parse_expression("g").unwrap()];
+        let aggs = vec![
+            AggSpec { func: AggFunc::Count, arg: None, distinct: false, name: "cnt".into() },
+            AggSpec {
+                func: AggFunc::Sum,
+                arg: Some(parse_expression("x * 1.1").unwrap()),
+                distinct: false,
+                name: "s".into(),
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                arg: Some(parse_expression("x").unwrap()),
+                distinct: false,
+                name: "m".into(),
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                arg: Some(parse_expression("a").unwrap()),
+                distinct: false,
+                name: "lo".into(),
+            },
+        ];
+        let serial = {
+            let scan = Box::new(SeqScan::new(
+                source.schema.clone(),
+                source.heap.clone(),
+                pager.clone(),
+            ));
+            let filtered = Box::new(Filter::new(scan, source.pred.clone().unwrap()));
+            let agg =
+                HashAggregate::new(filtered, group_exprs.clone(), vec!["g".into()], aggs.clone());
+            collect(Box::new(agg)).unwrap()
+        };
+        for dop in [1, 4] {
+            let opts = ExecOptions { morsel_pages: 2, oversubscribe: true, ..ExecOptions::with_dop(dop) }
+                .with_vectorized(true);
+            let vectorized = collect(Box::new(ParallelHashAggregate::new(
+                source.clone(),
+                opts,
+                group_exprs.clone(),
+                vec!["g".into()],
+                aggs.clone(),
+            )))
+            .unwrap();
+            assert_eq!(vectorized.1, serial.1, "dop {dop} vectorized drifted from serial");
         }
     }
 

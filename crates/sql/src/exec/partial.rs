@@ -183,6 +183,65 @@ impl AggPlan {
         Ok(Some(tuple))
     }
 
+    /// Vectorized shard-side half: [`AggPlan::eval_partial`] for a whole
+    /// slice of fragment rows at once. Rows are pivoted into a
+    /// [`ColumnBatch`](crate::batch::ColumnBatch), the residual filter
+    /// runs vector-at-a-time over a selection bitmap, and group keys /
+    /// aggregate inputs evaluate once per expression per batch with
+    /// pre-bound column indexes (the row half re-resolves column names
+    /// on every row). Slot `i` of the output is bit-identical to
+    /// `eval_partial(schema, &rows[i])` — `None` where the residual
+    /// filter rejects the row.
+    pub fn eval_partial_batch(&self, schema: &Schema, rows: &[Row]) -> Result<Vec<Option<Row>>> {
+        use crate::batch::ColumnBatch;
+        use crate::expr::{bind, eval_vec, filter_vec, BoundExpr};
+        use crate::value::RawValue;
+
+        let residual = self.residual.as_ref().map(|p| bind(p, schema)).transpose()?;
+        let groups: Vec<BoundExpr> =
+            self.group_by.iter().map(|e| bind(e, schema)).collect::<Result<_>>()?;
+        let args: Vec<Option<BoundExpr>> = self
+            .specs
+            .iter()
+            .map(|spec| spec.arg.as_ref().map(|e| bind(e, schema)).transpose())
+            .collect::<Result<_>>()?;
+
+        let mut batch = ColumnBatch::new(schema.len());
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                batch.push_cell(c, RawValue::of(v));
+            }
+            batch.finish_row()?;
+        }
+        let mut sel = vec![true; batch.len()];
+        if let Some(p) = &residual {
+            filter_vec(p, &batch, &mut sel)?;
+        }
+        let mut vecs: Vec<Vec<Value>> = Vec::with_capacity(groups.len() + args.len());
+        for e in &groups {
+            vecs.push(eval_vec(e, &batch, &sel)?);
+        }
+        for arg in &args {
+            vecs.push(match arg {
+                None => vec![Value::Int(1); batch.len()], // COUNT(*) counts rows
+                Some(e) => eval_vec(e, &batch, &sel)?,
+            });
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for (lane, live) in sel.iter().enumerate() {
+            if !*live {
+                out.push(None);
+                continue;
+            }
+            out.push(Some(
+                vecs.iter_mut()
+                    .map(|v| std::mem::replace(&mut v[lane], Value::Null))
+                    .collect(),
+            ));
+        }
+        Ok(out)
+    }
+
     /// Coordinator-side half: replay partial tuples *in canonical row
     /// order* through the serial accumulator, then apply HAVING, ORDER
     /// BY, projection and LIMIT. Returns the final output schema and
@@ -316,6 +375,24 @@ mod tests {
         // must still count each distinct value once.
         let (_, rows) = replayed(sql, 1);
         assert_eq!(rows, orows);
+    }
+
+    #[test]
+    fn batch_partial_matches_row_partial() {
+        let schema = fragment_schema();
+        let rows = fragment_rows();
+        for sql in [
+            "SELECT g, COUNT(*) AS c, SUM(y * 1.1) AS s FROM t GROUP BY g",
+            "SELECT SUM(x * 2) AS s, COUNT(*) AS n FROM t WHERE x < 15",
+            "SELECT g, AVG(x) AS m FROM t WHERE y IS NOT NULL GROUP BY g",
+        ] {
+            let plan =
+                AggPlan::from_select(&select(sql), &schema).unwrap().expect("aggregation shape");
+            let row_tuples: Vec<Option<Row>> =
+                rows.iter().map(|r| plan.eval_partial(&schema, r).unwrap()).collect();
+            let batch_tuples = plan.eval_partial_batch(&schema, &rows).unwrap();
+            assert_eq!(batch_tuples, row_tuples, "`{sql}` diverged");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! tail page, like SQLite's append path.
 
 use crate::schema::Row;
-use crate::value::{decode_value, encode_value};
+use crate::value::encode_value;
 use crate::{Result, SqlError};
 use ironsafe_storage::pager::{PageId, Pager};
 use parking_lot::Mutex;
@@ -40,24 +40,19 @@ fn encode_row(row: &Row) -> Vec<u8> {
     buf
 }
 
-/// Walk every row of an encoded heap-page payload, reusing `scratch`
-/// for the decoded values so a full-page scan performs no per-row `Vec`
-/// allocation. The visitor borrows each row only until it returns;
-/// callers keep survivors by cloning (the morsel scanner's filter path
-/// clones only rows that pass the predicate).
-pub fn scan_page_rows(
-    payload: &[u8],
-    ncols: usize,
-    scratch: &mut Row,
-    mut visit: impl FnMut(&Row) -> Result<()>,
-) -> Result<()> {
+/// Walk the encoded records of a heap-page payload, handing each
+/// record's encoded bytes to `visit`. This is the **one** page codec:
+/// every decode view — scratch-row scan ([`scan_page_rows`]), owned-row
+/// decode ([`decode_page_rows`]), columnar decode
+/// ([`scan_page_columns`]) — shares these bounds checks. The header is
+/// attacker-controlled on a tampered medium, so every field is bounded
+/// before any slicing; corruption is an error, never a panic.
+pub fn for_each_record(payload: &[u8], mut visit: impl FnMut(&[u8]) -> Result<()>) -> Result<()> {
     if payload.len() < HEADER {
         return Err(SqlError::Eval("corrupt heap page: shorter than header".into()));
     }
     let used = u32::from_be_bytes(payload[0..4].try_into().expect("4")) as usize;
     let nrows = u16::from_be_bytes(payload[4..6].try_into().expect("2")) as usize;
-    // The header is attacker-controlled on a tampered medium: bound it
-    // before any slicing, or a corrupt `used` panics instead of erroring.
     if used < HEADER || used > payload.len() {
         return Err(SqlError::Eval("corrupt heap page: used bytes out of bounds".into()));
     }
@@ -72,18 +67,48 @@ pub fn scan_page_rows(
         if end > used {
             return Err(SqlError::Eval("corrupt heap page: record overruns page".into()));
         }
-        let mut vpos = pos;
-        scratch.clear();
-        for _ in 0..ncols {
-            scratch.push(decode_value(&payload[..end], &mut vpos)?);
-        }
-        if vpos != end {
-            return Err(SqlError::Eval("corrupt heap page: record length mismatch".into()));
-        }
-        visit(&*scratch)?;
+        visit(&payload[pos..end])?;
         pos = end;
     }
     Ok(())
+}
+
+/// Decode one encoded record into `ncols` values via `push`, rejecting
+/// trailing bytes (a record that decodes short or long is corrupt).
+fn decode_record(
+    record: &[u8],
+    ncols: usize,
+    mut push: impl FnMut(crate::value::RawValue<'_>) -> Result<()>,
+) -> Result<()> {
+    let mut vpos = 0;
+    for _ in 0..ncols {
+        push(crate::value::decode_value_raw(record, &mut vpos)?)?;
+    }
+    if vpos != record.len() {
+        return Err(SqlError::Eval("corrupt heap page: record length mismatch".into()));
+    }
+    Ok(())
+}
+
+/// Walk every row of an encoded heap-page payload, reusing `scratch`
+/// for the decoded values so a full-page scan performs no per-row `Vec`
+/// allocation. The visitor borrows each row only until it returns;
+/// callers keep survivors by cloning (the morsel scanner's filter path
+/// clones only rows that pass the predicate).
+pub fn scan_page_rows(
+    payload: &[u8],
+    ncols: usize,
+    scratch: &mut Row,
+    mut visit: impl FnMut(&Row) -> Result<()>,
+) -> Result<()> {
+    for_each_record(payload, |record| {
+        scratch.clear();
+        decode_record(record, ncols, |raw| {
+            scratch.push(raw.to_value());
+            Ok(())
+        })?;
+        visit(&*scratch)
+    })
 }
 
 /// Decode every row of an encoded heap-page payload into freshly
@@ -97,6 +122,28 @@ pub fn decode_page_rows(payload: &[u8], ncols: usize) -> Result<Vec<Row>> {
         Ok(())
     })?;
     Ok(rows)
+}
+
+/// Columnar decode view: append every row of an encoded heap-page
+/// payload to `batch`, cell by cell into typed column vectors. Same
+/// codec and bounds checks as [`scan_page_rows`] (both ride
+/// [`for_each_record`]); text cells go straight into the batch's byte
+/// arena without a per-cell `String`.
+pub fn scan_page_columns(
+    payload: &[u8],
+    ncols: usize,
+    batch: &mut crate::batch::ColumnBatch,
+) -> Result<()> {
+    debug_assert_eq!(batch.width(), ncols);
+    for_each_record(payload, |record| {
+        let mut col = 0;
+        decode_record(record, ncols, |raw| {
+            batch.push_cell(col, raw);
+            col += 1;
+            Ok(())
+        })?;
+        batch.finish_row()
+    })
 }
 
 impl HeapFile {

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod batch;
 pub mod catalog;
 pub mod db;
 pub mod exec;

@@ -123,8 +123,10 @@ pub fn plan_select_with(
     }
     // LIMIT lets the serial pipeline stop pulling mid-scan (fewer page
     // reads); a morsel scan materializes everything, so its stats would
-    // diverge. Conservatively keep any LIMIT plan serial.
-    let par = opts.parallel() && stmt.limit.is_none();
+    // diverge. Conservatively keep any LIMIT plan serial. Vectorized
+    // execution rides the morsel operators, so it routes here too even
+    // at DOP 1.
+    let par = (opts.parallel() || opts.vectorized) && stmt.limit.is_none();
 
     // 1. Table metadata (scan operators are built after predicate
     // classification so pushed filters can live inside morsel workers).

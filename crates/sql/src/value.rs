@@ -180,20 +180,66 @@ pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
 
 /// Deserialize one value from `buf` at `pos`, advancing `pos`.
 pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    Ok(decode_value_raw(buf, pos)?.to_value())
+}
+
+/// A decoded value borrowing its text from the page buffer. The
+/// columnar decode path appends these straight into typed column
+/// vectors without allocating a `String` per text cell; [`decode_value`]
+/// wraps this with an owned conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RawValue<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float (bit-exact roundtrip).
+    Float(f64),
+    /// UTF-8 text, borrowed from the encoded buffer.
+    Text(&'a str),
+}
+
+impl<'a> RawValue<'a> {
+    /// Borrowing view of an owned [`Value`] — lets already-materialized
+    /// rows feed the columnar decode path without re-encoding.
+    pub fn of(v: &'a Value) -> Self {
+        match v {
+            Value::Null => RawValue::Null,
+            Value::Int(i) => RawValue::Int(*i),
+            Value::Float(f) => RawValue::Float(*f),
+            Value::Text(s) => RawValue::Text(s),
+        }
+    }
+
+    /// Convert to an owned [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            RawValue::Null => Value::Null,
+            RawValue::Int(i) => Value::Int(i),
+            RawValue::Float(f) => Value::Float(f),
+            RawValue::Text(s) => Value::Text(s.to_string()),
+        }
+    }
+}
+
+/// Decode one value from `buf` at `pos`, borrowing text in place. The
+/// single codec both row decode ([`decode_value`]) and columnar decode
+/// (`crate::batch::ColumnBatch`) are built on.
+pub fn decode_value_raw<'a>(buf: &'a [u8], pos: &mut usize) -> Result<RawValue<'a>> {
     let err = || SqlError::Eval("corrupt value encoding".into());
     let tag = *buf.get(*pos).ok_or_else(err)?;
     *pos += 1;
     match tag {
-        0 => Ok(Value::Null),
+        0 => Ok(RawValue::Null),
         1 => {
             let bytes: [u8; 8] = buf.get(*pos..*pos + 8).ok_or_else(err)?.try_into().expect("8");
             *pos += 8;
-            Ok(Value::Int(i64::from_be_bytes(bytes)))
+            Ok(RawValue::Int(i64::from_be_bytes(bytes)))
         }
         2 => {
             let bytes: [u8; 8] = buf.get(*pos..*pos + 8).ok_or_else(err)?.try_into().expect("8");
             *pos += 8;
-            Ok(Value::Float(f64::from_bits(u64::from_be_bytes(bytes))))
+            Ok(RawValue::Float(f64::from_bits(u64::from_be_bytes(bytes))))
         }
         3 => {
             let len_bytes: [u8; 4] = buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().expect("4");
@@ -201,7 +247,7 @@ pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
             *pos += 4;
             let s = buf.get(*pos..*pos + len).ok_or_else(err)?;
             *pos += len;
-            Ok(Value::Text(String::from_utf8(s.to_vec()).map_err(|_| err())?))
+            Ok(RawValue::Text(std::str::from_utf8(s).map_err(|_| err())?))
         }
         _ => Err(err()),
     }

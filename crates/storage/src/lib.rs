@@ -26,6 +26,7 @@
 
 pub mod blockdev;
 pub mod codec;
+pub mod compress;
 pub mod freshness;
 pub mod merkle;
 pub mod pager;
@@ -34,6 +35,7 @@ pub mod view;
 
 pub use blockdev::{BlockDevice, BLOCK_SIZE};
 pub use codec::{PageCodec, PAGE_PAYLOAD};
+pub use compress::{CompressMetrics, CompressedPager, COMPRESSED_PAGE_FACTOR};
 pub use merkle::{MerkleTree, NodeCacheStats};
 pub use pager::{PageId, Pager, PagerStats, PlainPager};
 pub use secure_pager::SecurePager;

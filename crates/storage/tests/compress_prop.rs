@@ -1,0 +1,83 @@
+//! Property tests for the page-compression codecs: every codec must
+//! round-trip every input it is handed, and the framed page format must
+//! reproduce the payload byte for byte regardless of which codec the
+//! chooser picked.
+
+use ironsafe_storage::codec::{
+    compress_page, decompress_page, dict_compress, dict_decompress, rle_compress, rle_decompress,
+};
+use ironsafe_storage::pager::{Pager, PlainPager};
+use ironsafe_storage::CompressedPager;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Payloads with structure the codecs exploit: literal noise, long
+/// runs, repeated phrases, and splices of all three.
+fn payload_strategy() -> impl Strategy<Value = Vec<u8>> {
+    let noise = vec(any::<u8>(), 0..1500);
+    let runs = vec((any::<u8>(), 1usize..400), 0..12).prop_map(|segments| {
+        let mut out = Vec::new();
+        for (byte, len) in segments {
+            out.extend(std::iter::repeat_n(byte, len));
+        }
+        out
+    });
+    let phrases = || {
+        vec(0usize..6, 0..60).prop_map(|picks| {
+            let dict: [&[u8]; 6] =
+                [b"1995-06-17", b"lineitem", b"N", b"ironsafe!", b"\x00\x00\x00\x00", b"R|A|N"];
+            let mut out = Vec::new();
+            for p in picks {
+                out.extend_from_slice(dict[p]);
+            }
+            out
+        })
+    };
+    prop_oneof![noise, runs, phrases(), (phrases(), vec(any::<u8>(), 0..200)).prop_map(
+        |(mut a, b)| {
+            a.extend_from_slice(&b);
+            a
+        }
+    )]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rle_roundtrips(payload in payload_strategy()) {
+        let body = rle_compress(&payload);
+        let back = rle_decompress(&body, payload.len()).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn dict_roundtrips(payload in payload_strategy()) {
+        let body = dict_compress(&payload);
+        let back = dict_decompress(&body, payload.len()).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn framed_page_roundtrips_whatever_codec_wins(payload in payload_strategy()) {
+        let (_codec, framed) = compress_page(&payload);
+        let back = decompress_page(&framed, payload.len()).unwrap();
+        prop_assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn compressed_pager_roundtrips_full_pages(seed_bytes in vec(any::<u8>(), 1..64)) {
+        // Tile a short random seed across a full logical page: repetition
+        // varies per case, so all three codecs get exercised end to end
+        // through the pager (allocate, store, stripe, read back).
+        let mut pager = CompressedPager::new(PlainPager::new());
+        let payload_len = pager.payload_size();
+        let data: Vec<u8> =
+            (0..payload_len).map(|i| seed_bytes[i % seed_bytes.len()]).collect();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &data).unwrap();
+        let mut back = vec![0u8; payload_len];
+        pager.read_page(id, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

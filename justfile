@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke vec-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -43,6 +43,16 @@ profile-smoke:
 shard-smoke:
     cargo test -q --offline -p ironsafe-scale
     cargo run --release --offline -p ironsafe-bench --bin paperbench shards --check
+
+# Vectorization + compression smoke: eval_vec/scalar and partial-batch
+# equivalence properties, column-batch units, compression codec
+# round-trip properties, cross-shard/DOP parity of the vectorized +
+# compressed paths, and the BENCH_8.json invariant gate.
+vec-smoke:
+    cargo test -q --offline -p ironsafe-sql -- batch vec
+    cargo test -q --offline -p ironsafe-storage --test compress_prop
+    cargo test -q --offline -p ironsafe-scale --test vector_parity
+    cargo run --release --offline -p ironsafe-bench --bin paperbench vectors --check
 
 # Fault-injection smoke: the chaos harness (50 seed x rate storms,
 # identical-rows-or-typed-error invariant, per-surface recovery) plus
