@@ -48,6 +48,16 @@
 //! nonzero on drift (the vectorization regression gate). Defaults to
 //! SF 0.002 unless `--sf` is given.
 //!
+//! `saturation` additionally runs the mixed read/write sweep when
+//! invoked directly (not under `all`): snapshot reads pinned while a
+//! group-commit writer streams updates — digests and simulated costs
+//! bit-identical to the quiesced run — a group-size 1 vs 4 WAL/RPMB
+//! amortization block, and measured p50/p95 read latency under a
+//! concurrent writer thread. `--json` writes the snapshot to
+//! `BENCH_9.json`; `--check` regenerates the deterministic invariants
+//! block and byte-compares it against the committed baseline, exiting
+//! nonzero on drift (the write-path regression gate).
+//!
 //! `--metrics-out` additionally runs every paper query under IronSafe,
 //! writes the merged span timeline as Chrome `trace_event` JSON to
 //! `<path>` (open in Perfetto / `chrome://tracing`), and the live
@@ -234,6 +244,80 @@ fn main() {
         println!();
     }
 
+    if what == "saturation" {
+        let msf = if sf_given { sf } else { WRITES_SF };
+        println!("== Mixed read/write: snapshot reads under a group-commit writer (SF {msf}) ==\n");
+        let (cells, amort) = mixed_sweep(msf, &WRITE_BURSTS);
+        println!(
+            "{:>6} {:>6} {:>18} {:>14} {:>18}",
+            "burst", "epoch", "snapshot digest", "read (sim)", "fresh digest"
+        );
+        for c in &cells {
+            println!(
+                "{:>6} {:>6} {:>18} {:>12.0}ns {:>18}",
+                c.writer_txns, c.epoch, c.read_digest, c.read_total_ns, c.fresh_digest
+            );
+        }
+        println!("(snapshot digest+cost bit-identical to the quiesced run at the pinned epoch)\n");
+        println!(
+            "group-commit amortization over {} txns: WAL records {} -> {}, \
+             WAL bytes {} -> {}, RPMB binds {} -> {} (group size 1 -> 4)\n",
+            amort.txns,
+            amort.appends_g1,
+            amort.appends_g4,
+            amort.bytes_g1,
+            amort.bytes_g4,
+            amort.rpmb_g1,
+            amort.rpmb_g4
+        );
+        let writer_loads = [0usize, 16, 64, 128];
+        let wallclock = mixed_wallclock(msf, &writer_loads);
+        println!(
+            "{:>10} {:>6} {:>10} {:>10}   (wall-clock read latency, 2 readers)",
+            "writer txn", "reads", "p50", "p95"
+        );
+        for w in &wallclock {
+            println!(
+                "{:>10} {:>6} {:>8.2}ms {:>8.2}ms",
+                w.writer_txns, w.reads, w.p50_ms, w.p95_ms
+            );
+        }
+        println!("(non-blocking contract: percentiles flat within noise as write load rises)\n");
+        let inv_block = writes_invariants_json(msf, &cells, &amort);
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_9.json")
+                .expect("saturation --check needs the committed BENCH_9.json baseline");
+            if baseline.contains(&inv_block) {
+                println!("saturation: invariants match BENCH_9.json byte for byte (gate passes)");
+            } else {
+                eprintln!("saturation: invariants DIVERGE from BENCH_9.json:");
+                let committed_block = baseline
+                    .find("  \"invariants\"")
+                    .and_then(|start| {
+                        baseline[start..].find("\n  }").map(|end| &baseline[start..start + end + 4])
+                    })
+                    .unwrap_or("(no invariants block found)");
+                for d in ironsafe_bench::diff_snapshots(committed_block, &inv_block) {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "(regenerate with `paperbench saturation --json` if the change is intended)"
+                );
+                std::process::exit(1);
+            }
+        }
+        if json_out {
+            let json = writes_json(msf, &cells, &amort, &wallclock);
+            assert!(
+                ironsafe_obs::export::looks_like_valid_json(&json),
+                "saturation snapshot failed JSON self-check"
+            );
+            std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+            println!("saturation: wrote mixed read/write snapshot to BENCH_9.json");
+        }
+        return;
+    }
+
     if all || what == "table3" {
         println!("== Table 3: GDPR anti-patterns, non-secure vs IronSafe (wall-clock ms) ==");
         println!("{:<28} {:>12} {:>12} {:>10}", "anti-pattern", "non-secure", "IronSafe", "overhead");
@@ -325,6 +409,18 @@ fn main() {
                 if s.ok { "OK" } else { "FAILED" }
             );
         }
+        println!("\ncrash-during-commit storms (group-commit WAL, power-off + recovery per storm):");
+        println!(
+            "  {:<13} {:>6} {:>8} {:>9} {:>9} {:>9} {:>10}",
+            "site", "storms", "crashed", "absorbed", "injected", "replayed", "discarded"
+        );
+        for c in &report.commits {
+            println!(
+                "  {:<13} {:>6} {:>8} {:>9} {:>9} {:>9} {:>10}",
+                c.site, c.storms, c.crashed, c.absorbed, c.injected, c.replayed, c.discarded
+            );
+        }
+        println!("  (every recovery asserted prefix-consistent: acked rows, never a torn transaction)");
         println!("\n{} seed x rate combos; every run: identical rows or a typed error, no panics\n", report.combos);
         if let Some(path) = metrics_out {
             let sidecar = format!("{path}.metrics.jsonl");

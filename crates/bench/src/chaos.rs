@@ -10,11 +10,12 @@
 //! visible in the exported counters.
 
 use ironsafe::deploy::{Client, Deployment};
-use ironsafe_csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe_csa::{CostParams, CsaSystem, SharedCsaSystem, SystemConfig};
 use ironsafe_faults::{FaultPlan, FaultSite};
 use ironsafe_obs::export::metrics_to_jsonl;
 use ironsafe_obs::{Counter, Registry};
-use ironsafe_sql::Row;
+use ironsafe_sql::parser::parse_statement;
+use ironsafe_sql::{QueryResult, Row, Value};
 use ironsafe_tpch::generate;
 use ironsafe_tpch::queries::{paper_queries, PaperQuery};
 
@@ -54,6 +55,26 @@ pub struct SurfaceRecovery {
     pub ok: bool,
 }
 
+/// One write-path fault site's tallies in the crash-during-commit
+/// storm stage.
+#[derive(Debug, Clone)]
+pub struct CommitSiteRow {
+    /// Which commit sub-step the storms killed.
+    pub site: &'static str,
+    /// Storms run against this site.
+    pub storms: u32,
+    /// Storms that poisoned the system mid-commit (recovered from the WAL).
+    pub crashed: u32,
+    /// Storms whose transient faults were retried away in-run.
+    pub absorbed: u32,
+    /// Faults the plans fired on this site.
+    pub injected: u64,
+    /// Commit records replayed across this site's recoveries.
+    pub replayed: u64,
+    /// Unbound/torn tail records discarded across this site's recoveries.
+    pub discarded: u64,
+}
+
 /// Everything `paperbench chaos` prints and exports.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -61,6 +82,8 @@ pub struct ChaosReport {
     pub rows: Vec<ChaosRateRow>,
     /// Per-surface recovery demonstrations.
     pub surfaces: Vec<SurfaceRecovery>,
+    /// Crash-during-commit storms, one row per write-path fault site.
+    pub commits: Vec<CommitSiteRow>,
     /// Seed × rate combinations swept.
     pub combos: u32,
     /// `metrics_to_jsonl` dump including the aggregated `faults.*`
@@ -151,6 +174,8 @@ pub fn run_chaos(sf: f64, seeds: &[u64], rates: &[f64]) -> ChaosReport {
         rpmb_recovery(),
     ];
 
+    let commits = commit_storms(sf, seeds);
+
     // Export: sweep totals under the canonical `faults.*` names, plus
     // per-surface recovery counters.
     let registry = Registry::new();
@@ -170,9 +195,134 @@ pub fn run_chaos(sf: f64, seeds: &[u64], rates: &[f64]) -> ChaosReport {
     ChaosReport {
         rows,
         surfaces,
+        commits,
         combos,
         metrics_jsonl: metrics_to_jsonl(&registry.snapshot()),
     }
+}
+
+/// Read the storm table back as an ordered value vector.
+fn storm_contents(shared: &SharedCsaSystem, key: [u8; 32]) -> Vec<i64> {
+    let sel = parse_statement("SELECT a FROM storm ORDER BY a").expect("valid select");
+    let (report, _) = shared.run_statement(&sel, key).expect("recovered system serves reads");
+    match report.result {
+        QueryResult::Rows { rows, .. } => rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(n) => n,
+                ref other => panic!("expected int, got {other:?}"),
+            })
+            .collect(),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+/// Crash-during-commit storms over the three write-path fault sites:
+/// `CrashCommit` (power cut mid-apply or between the WAL append and the
+/// RPMB bind), `WalTear` (torn frame on the log medium) and `WalAppend`
+/// (transient device error, retried in-run). Each storm INSERTs through
+/// the group-commit write path, then powers the system off and recovers
+/// from the surviving TrustZone device + WAL medium; the recovered
+/// table must sit exactly on a transaction boundary — the acknowledged
+/// prefix, or at most the one in-flight statement more.
+///
+/// Panics on any violated invariant: that is the harness's job.
+pub fn commit_storms(sf: f64, seeds: &[u64]) -> Vec<CommitSiteRow> {
+    let data = generate(sf, SEED);
+    let sys = CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+        .expect("system builds");
+    let shared = SharedCsaSystem::new(sys);
+    let key = [0x5cu8; 32];
+    shared
+        .run_statement(&parse_statement("CREATE TABLE storm (a INT)").expect("valid ddl"), key)
+        .expect("storm table creates");
+    shared.attach_wal(0x9e1).expect("secure base journals");
+    let mut shared = shared;
+
+    let sites: [(&'static str, FaultSite); 3] = [
+        ("crash-commit", FaultSite::CrashCommit),
+        ("wal-tear", FaultSite::WalTear),
+        ("wal-append", FaultSite::WalAppend),
+    ];
+    let mut rows: Vec<CommitSiteRow> = sites
+        .iter()
+        .map(|(site, _)| CommitSiteRow {
+            site,
+            storms: 0,
+            crashed: 0,
+            absorbed: 0,
+            injected: 0,
+            replayed: 0,
+            discarded: 0,
+        })
+        .collect();
+
+    let mut acked: Vec<i64> = Vec::new();
+    let mut next = 0i64;
+    for &seed in seeds {
+        for (si, (_, site)) in sites.iter().enumerate() {
+            rows[si].storms += 1;
+            let plan = FaultPlan::seeded(seed).with_nth(*site, 1 + seed % 3);
+            shared.set_fault_plan(plan.clone());
+
+            let mut in_flight: Option<i64> = None;
+            for _ in 0..3 {
+                let ins = parse_statement(&format!("INSERT INTO storm (a) VALUES ({next})"))
+                    .expect("valid insert");
+                match shared.run_statement(&ins, key) {
+                    Ok(_) => {
+                        acked.push(next);
+                        next += 1;
+                    }
+                    Err(e) => {
+                        assert!(!e.to_string().is_empty(), "typed error, never a panic");
+                        assert!(shared.is_poisoned(), "a failed group commit must poison");
+                        in_flight = Some(next);
+                        next += 1;
+                        break;
+                    }
+                }
+            }
+            rows[si].injected += plan.metrics().injected.get();
+
+            // Power off and recover from the log.
+            let (parts, medium) = shared.teardown();
+            let (tz, _lost) = parts.expect("secure base tears down to hardware");
+            let medium = medium.expect("WAL attached");
+            let (recovered, report) = SharedCsaSystem::recover(
+                SystemConfig::StorageOnlySecure,
+                CostParams::default(),
+                tz,
+                &medium,
+                seed.wrapping_mul(11),
+                seed.wrapping_mul(13),
+                1,
+            )
+            .expect("every storm recovers");
+            shared = recovered;
+            rows[si].replayed += report.replayed as u64;
+            rows[si].discarded += report.discarded as u64;
+
+            let got = storm_contents(&shared, key);
+            match in_flight {
+                Some(burned) => {
+                    rows[si].crashed += 1;
+                    let mut with_in_flight = acked.clone();
+                    with_in_flight.push(burned);
+                    assert!(
+                        got == acked || got == with_in_flight,
+                        "recovered state must sit on a transaction boundary"
+                    );
+                    acked = got;
+                }
+                None => {
+                    rows[si].absorbed += 1;
+                    assert_eq!(got, acked, "clean storm must replay every acknowledged row");
+                }
+            }
+        }
+    }
+    rows
 }
 
 /// One transient device-read error, absorbed by the pager's retry.
@@ -255,5 +405,20 @@ mod tests {
         assert!(report.metrics_jsonl.contains("faults.injected"));
         assert!(report.metrics_jsonl.contains("faults.recovered"));
         assert!(report.metrics_jsonl.contains("faults.surface.rpmb.recovered"));
+
+        // The crash-during-commit stage covers all three write-path
+        // sites; the permanent sites must actually crash commits and the
+        // transient one must be absorbed, with every recovery asserted
+        // prefix-consistent inside `commit_storms`.
+        assert_eq!(report.commits.len(), 3);
+        for c in &report.commits {
+            assert_eq!(c.storms, 2, "one storm per seed per site");
+            assert_eq!(c.crashed + c.absorbed, c.storms, "no storm may vanish");
+            assert!(c.injected >= 1, "site {} must inject", c.site);
+        }
+        let by_site = |site: &str| report.commits.iter().find(|c| c.site == site).unwrap();
+        assert!(by_site("crash-commit").crashed > 0, "crash-commit storms must crash");
+        assert!(by_site("wal-tear").crashed > 0, "torn appends must crash the commit");
+        assert!(by_site("wal-append").absorbed > 0, "transient appends must be retried away");
     }
 }

@@ -22,6 +22,7 @@ pub mod profiles;
 pub mod shards;
 pub mod telemetry;
 pub mod vectors;
+pub mod writes;
 
 pub use figures::*;
 pub use profiles::{diff_snapshots, profile_matrix, profiles_json, PROFILE_SF};
@@ -31,4 +32,7 @@ pub use shards::{
 pub use vectors::{
     vectors_invariants_json, vectors_json, vectors_sweep, vectors_wallclock, VECTORS_SF,
     VECTORS_WALL_SF,
+};
+pub use writes::{
+    mixed_sweep, mixed_wallclock, writes_invariants_json, writes_json, WRITES_SF, WRITE_BURSTS,
 };

@@ -45,6 +45,14 @@ pub trait QueryBackend: Send + Sync {
     /// recorded by faulted or violating accesses, appended by the
     /// serving layer to the monitor audit trail on failure.
     fn take_flight_dump(&self) -> Vec<String>;
+
+    /// Force any buffered (group-commit) transactions out to durable
+    /// storage. The serving layer calls this on drain/shutdown so a
+    /// partially-filled group is not left waiting for a flush trigger
+    /// that will never come. Backends without a write buffer no-op.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 impl QueryBackend for crate::SharedCsaSystem {
@@ -68,6 +76,10 @@ impl QueryBackend for crate::SharedCsaSystem {
 
     fn take_flight_dump(&self) -> Vec<String> {
         SharedCsaSystem::take_flight_dump(self)
+    }
+
+    fn flush(&self) -> Result<()> {
+        SharedCsaSystem::flush(self)
     }
 }
 

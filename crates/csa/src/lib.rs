@@ -34,7 +34,7 @@ pub use cost::{CostBreakdown, CostParams, Interconnect};
 pub use federation::QueryBackend;
 pub use net::SecureChannel;
 pub use profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
-pub use shared::SharedCsaSystem;
+pub use shared::{RecoveryReport, SharedCsaSystem};
 pub use partition::{partition_select, Partition, StorageQuery};
 pub use system::{CsaSystem, QueryReport, SystemConfig};
 

@@ -18,7 +18,8 @@ use ironsafe_sql::exec::ExecOptions;
 use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_faults::{retry_with, FaultPlan, RetryPolicy};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
-use ironsafe_storage::{PageCache, SecurePager, ViewPager};
+use ironsafe_sql::catalog::Catalog;
+use ironsafe_storage::{PageCache, SecurePager, SharedPending, SnapshotPin, ViewPager};
 use ironsafe_obs::{Span, Trace, TraceCtx, TraceSnapshot};
 use ironsafe_tee::sgx::epc::EpcSimulator;
 use ironsafe_tee::trustzone::Manufacturer;
@@ -285,6 +286,81 @@ impl CsaSystem {
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
         }
+    }
+
+    /// Open a *snapshot* read view pinned to the epoch captured in `pin`,
+    /// with the catalog published at that epoch.
+    ///
+    /// Unlike [`CsaSystem::read_view`], the caller does **not** need to
+    /// exclude base writes: pages a later flush overwrites are served
+    /// from the MVCC retained-version store
+    /// ([`ironsafe_storage::Snapshots`]), so the view keeps reading the
+    /// epoch it opened at while writers commit the next one.
+    pub fn read_view_at(&self, pin: SnapshotPin, catalog: Catalog) -> CsaSystem {
+        let pager =
+            ViewPager::over_pinned(self.storage_db.pager().clone(), self.read_cache.clone(), pin);
+        let storage_db = Database::from_parts(ironsafe_sql::heap::shared(pager), catalog);
+        CsaSystem {
+            config: self.config,
+            params: self.params.clone(),
+            strategy: self.strategy,
+            storage_db,
+            session_key: self.session_key,
+            last_trace: None,
+            last_plans: Vec::new(),
+            last_extras: ProfileExtras::default(),
+            read_cache: self.read_cache.clone(),
+            exec: self.exec.clone(),
+            fault_plan: self.fault_plan.clone(),
+            retry: self.retry,
+        }
+    }
+
+    /// Open a *writer* view: a copy-on-write view whose reads additionally
+    /// see `pending` — the group-commit buffer of transactions already
+    /// accepted but not yet flushed to the base — and whose `catalog` is
+    /// the write path's running catalog (ahead of the published one by
+    /// the buffered transactions). The accumulated overlay is harvested
+    /// with `take_txn_pages` after a successful statement.
+    pub fn write_view(&self, pending: SharedPending, catalog: Catalog) -> CsaSystem {
+        let pager = ViewPager::over_writer(
+            self.storage_db.pager().clone(),
+            self.read_cache.clone(),
+            pending,
+        );
+        let storage_db = Database::from_parts(ironsafe_sql::heap::shared(pager), catalog);
+        CsaSystem {
+            config: self.config,
+            params: self.params.clone(),
+            strategy: self.strategy,
+            storage_db,
+            session_key: self.session_key,
+            last_trace: None,
+            last_plans: Vec::new(),
+            last_extras: ProfileExtras::default(),
+            read_cache: self.read_cache.clone(),
+            exec: self.exec.clone(),
+            fault_plan: self.fault_plan.clone(),
+            retry: self.retry,
+        }
+    }
+
+    /// The shared decrypted-page cache (the serving layer clears it when
+    /// `with_system_mut` reseeds the store underneath it).
+    pub(crate) fn read_cache(&self) -> &Arc<PageCache> {
+        &self.read_cache
+    }
+
+    /// The active retry budget (the group-commit flush reuses it for the
+    /// WAL append).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The cost-model parameters (the group-commit flush prices its
+    /// deferred device work with these).
+    pub fn params(&self) -> &CostParams {
+        &self.params
     }
 
     /// Install a deterministic fault-injection plan on this system.

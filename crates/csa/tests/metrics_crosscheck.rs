@@ -143,6 +143,55 @@ fn merkle_cache_counters_partition_verified_reads() {
     assert_eq!(warm_hits, d(&mid, &after, "storage.page.hmac_verify"));
 }
 
+/// The WAL/MVCC counters crosscheck against the write path's own
+/// accounting: `wal.txn` counts exactly the accepted statements,
+/// `wal.group_commit` the flushes, and a pinned reader's pre-image
+/// retention shows up in `mvcc.retain`/`mvcc.read.retained`.
+#[test]
+fn wal_and_mvcc_counters_track_the_write_path() {
+    use ironsafe_csa::SharedCsaSystem;
+
+    let data = ironsafe_tpch::generate(0.002, 42);
+    let sys = CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+        .expect("system builds");
+    let shared = SharedCsaSystem::new(sys);
+    shared.set_group_size(2);
+    shared.attach_wal(0xA11).expect("secure base journals");
+
+    let registry = Registry::new();
+    shared.register_wal_metrics(&registry);
+    let before = registry.snapshot();
+    let key = [5u8; 32];
+
+    for k in 0..4 {
+        let del = ironsafe_sql::parser::parse_statement(&format!(
+            "DELETE FROM region WHERE r_regionkey = {k}"
+        ))
+        .unwrap();
+        shared.run_statement(&del, key).unwrap();
+    }
+
+    let after = registry.snapshot();
+    let delta = |name: &str| after.counter(name).unwrap() - before.counter(name).unwrap_or(0);
+    assert_eq!(delta("wal.txn"), 4, "every accepted statement is a WAL transaction");
+    assert_eq!(delta("wal.group_commit"), 2, "4 txns at group size 2 = 2 flushes");
+    assert_eq!(delta("wal.append"), 2, "one commit record per flush");
+    assert!(delta("wal.append.bytes") > 0, "records carry post-images");
+    assert!(delta("mvcc.retain") > 0, "flushes retain overwritten pre-images");
+    assert_eq!(delta("mvcc.pin"), 0, "no reader pinned during the writes");
+
+    // A pin taken now, surviving across a later flush, reads retained
+    // pre-images.
+    let sel = ironsafe_sql::parser::parse_statement("SELECT COUNT(*) FROM region").unwrap();
+    shared.run_statement(&sel, key).unwrap();
+    let pinned = registry.snapshot();
+    assert_eq!(
+        pinned.counter("mvcc.pin").unwrap() - after.counter("mvcc.pin").unwrap(),
+        1,
+        "one snapshot pin per read"
+    );
+}
+
 #[test]
 fn plain_pager_registers_no_storage_counters() {
     let data = ironsafe_tpch::generate(0.002, 42);

@@ -12,7 +12,7 @@
 //!
 //! | surface  | sites |
 //! |----------|-------|
-//! | storage  | `storage.device.read`, `storage.device.write`, `storage.page.bitflip`, `storage.page.mac`, `storage.freshness.stale` |
+//! | storage  | `storage.device.read`, `storage.device.write`, `storage.page.bitflip`, `storage.page.mac`, `storage.freshness.stale`, `storage.wal.append`, `storage.wal.tear`, `storage.commit.crash` |
 //! | channel  | `csa.net.drop`, `csa.net.corrupt`, `csa.net.reorder` |
 //! | tee      | `tee.enclave.crash`, `tee.epc.abort`, `tee.rpmb.write_fail` |
 //!
@@ -68,10 +68,22 @@ pub enum FaultSite {
     EpcAbort,
     /// An authenticated RPMB write fails (device busy; transient).
     RpmbWrite,
+    /// A WAL record append fails with an I/O error before any log byte
+    /// reaches the medium (transient; a retry rewrites the same tail).
+    WalAppend,
+    /// A WAL record append tears: only a prefix of the record's blocks
+    /// lands on the medium. The in-memory tail does not advance, so a
+    /// retry overwrites the torn bytes; a crash instead leaves them for
+    /// recovery to discard as a typed torn-tail error.
+    WalTear,
+    /// The system dies mid group-commit (between commit sub-steps). The
+    /// write path fail-stops; the harness power-cycles and recovers via
+    /// WAL replay.
+    CrashCommit,
 }
 
 /// Number of distinct fault sites.
-pub const NUM_SITES: usize = 11;
+pub const NUM_SITES: usize = 14;
 
 /// All sites, in `FaultSite as usize` order.
 pub const ALL_SITES: [FaultSite; NUM_SITES] = [
@@ -86,6 +98,9 @@ pub const ALL_SITES: [FaultSite; NUM_SITES] = [
     FaultSite::EnclaveCrash,
     FaultSite::EpcAbort,
     FaultSite::RpmbWrite,
+    FaultSite::WalAppend,
+    FaultSite::WalTear,
+    FaultSite::CrashCommit,
 ];
 
 impl FaultSite {
@@ -103,6 +118,9 @@ impl FaultSite {
             FaultSite::EnclaveCrash => "tee.enclave.crash",
             FaultSite::EpcAbort => "tee.epc.abort",
             FaultSite::RpmbWrite => "tee.rpmb.write_fail",
+            FaultSite::WalAppend => "storage.wal.append",
+            FaultSite::WalTear => "storage.wal.tear",
+            FaultSite::CrashCommit => "storage.commit.crash",
         }
     }
 
@@ -119,6 +137,9 @@ impl FaultSite {
             FaultSite::EnclaveCrash => 8,
             FaultSite::EpcAbort => 9,
             FaultSite::RpmbWrite => 10,
+            FaultSite::WalAppend => 11,
+            FaultSite::WalTear => 12,
+            FaultSite::CrashCommit => 13,
         }
     }
 }
@@ -564,5 +585,8 @@ mod tests {
         }
         assert!(names.contains(&"storage.device.read"));
         assert!(names.contains(&"tee.rpmb.write_fail"));
+        assert!(names.contains(&"storage.wal.append"));
+        assert!(names.contains(&"storage.wal.tear"));
+        assert!(names.contains(&"storage.commit.crash"));
     }
 }

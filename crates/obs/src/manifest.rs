@@ -50,6 +50,10 @@ pub const METRIC_MANIFEST: &[MetricDef] = &[
     m("faults.surface.rpmb.recovered", "counter", "Chaos demo: RPMB faults recovered"),
     m("monitor.query.deny", "counter", "Statements the trusted monitor refused"),
     m("monitor.query.grant", "counter", "Statements the trusted monitor authorized"),
+    m("mvcc.gc", "counter", "Retained page versions garbage-collected once unpinned"),
+    m("mvcc.pin", "counter", "Snapshot epochs pinned by read views"),
+    m("mvcc.read.retained", "counter", "Pinned reads served from retained pre-images"),
+    m("mvcc.retain", "counter", "Pre-images retained for pinned readers at flush"),
     m("scale.failover.promoted", "counter", "Replica promotions completed after a quarantine"),
     m("scale.failover.reverified_pages", "counter", "Pages re-read verifying a promoted replica's partition"),
     m("scale.merge.rows", "counter", "Rows fed through the deterministic gid merge"),
@@ -85,6 +89,12 @@ pub const METRIC_MANIFEST: &[MetricDef] = &[
     m("tee.epc.hit", "counter", "EPC resident-page touches"),
     m("tee.rpmb.read", "counter", "Authenticated RPMB reads"),
     m("tee.rpmb.write", "counter", "Authenticated RPMB writes"),
+    m("wal.append", "counter", "Records appended to the encrypted write-ahead log"),
+    m("wal.append.bytes", "counter", "Bytes appended to the WAL, frame overhead included"),
+    m("wal.group_commit", "counter", "Group-commit flushes (one batched RPMB bind each)"),
+    m("wal.recover.discarded", "counter", "Tail records discarded by crash recovery"),
+    m("wal.recover.replayed", "counter", "Commit records replayed by crash recovery"),
+    m("wal.txn", "counter", "Transactions folded into group commits"),
 ];
 
 /// True when `name` is declared in [`METRIC_MANIFEST`].

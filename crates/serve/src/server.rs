@@ -398,6 +398,10 @@ impl QueryServer {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Every admitted statement has completed; push any group-commit
+        // buffer the backend still holds out to durable storage so a
+        // drained server leaves nothing uncommitted behind.
+        let _ = self.shared.system.flush();
         self.shared.metrics.clone()
     }
 }

@@ -230,6 +230,25 @@ impl<P: Pager> Pager for CompressedPager<P> {
         self.inner.commit()
     }
 
+    fn commit_bound(&mut self, wal_head_mac: &[u8; 32]) -> Result<()> {
+        self.inner.commit_bound(wal_head_mac)
+    }
+
+    // `export_block` and `make_wal` deliberately stay at the trait
+    // defaults (`None`): the wrapper's page ids are logical, the inner
+    // medium's are physical, and journaling across that mapping would
+    // hand the WAL blocks that are not what a raw medium scan would see.
+
+    fn current_root(&self) -> [u8; 32] {
+        self.inner.current_root()
+    }
+
+    fn take_parts(
+        &mut self,
+    ) -> Option<(ironsafe_tee::trustzone::TrustZoneDevice, crate::blockdev::BlockDevice)> {
+        self.inner.take_parts()
+    }
+
     /// The wrapper adds no accounting of its own: every counter is the
     /// wrapped pager's *physical* tally, so fewer stored blocks mean
     /// honestly fewer reads, decrypts, MACs and Merkle visits.

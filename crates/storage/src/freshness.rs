@@ -46,6 +46,37 @@ impl FreshnessManager {
         Ok(())
     }
 
+    /// Commit `root` and the WAL chain-head MAC together in one batched
+    /// authenticated RPMB write — the group-commit bind. N transactions
+    /// flushed together pay this single RPMB round trip, versus one per
+    /// statement on the unbatched path.
+    pub fn commit_root_with_wal(
+        &mut self,
+        ta: &SecureStorageTa,
+        device: &mut TrustZoneDevice,
+        root: &NodeHash,
+        wal_head_mac: &[u8; 32],
+    ) -> Result<()> {
+        let mac = self.root_mac(root);
+        ta.store_commit_marks(device, &mac, wal_head_mac)?;
+        self.rpmb_writes += 1;
+        Ok(())
+    }
+
+    /// Read the committed WAL chain-head MAC (recovery: the last record
+    /// whose chain MAC equals this value is the freshness-verified
+    /// replay boundary). All-zero means no WAL bind was ever committed.
+    pub fn committed_wal_head(
+        &mut self,
+        ta: &SecureStorageTa,
+        device: &TrustZoneDevice,
+        rng: &mut (impl rand::Rng + ?Sized),
+    ) -> Result<[u8; 32]> {
+        let (_, wal) = ta.load_commit_marks(device, rng)?;
+        self.rpmb_reads += 1;
+        Ok(wal)
+    }
+
     /// Check that `root` matches the RPMB-committed state.
     pub fn verify_root(
         &mut self,
@@ -105,6 +136,17 @@ mod tests {
             Err(StorageError::FreshnessViolation("Merkle root does not match RPMB (rollback or fork)"))
         );
         fm.verify_root(&ta, &dev, &new, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn batched_wal_bind_costs_one_rpmb_write() {
+        let (mut dev, ta, mut fm, mut rng) = setup();
+        let root = [0x44u8; 32];
+        let head = [0x9cu8; 32];
+        fm.commit_root_with_wal(&ta, &mut dev, &root, &head).unwrap();
+        assert_eq!(fm.rpmb_writes, 1, "root + WAL head bind in one RPMB op");
+        fm.verify_root(&ta, &dev, &root, &mut rng).unwrap();
+        assert_eq!(fm.committed_wal_head(&ta, &dev, &mut rng).unwrap(), head);
     }
 
     #[test]

@@ -29,17 +29,24 @@ pub mod codec;
 pub mod compress;
 pub mod freshness;
 pub mod merkle;
+pub mod mvcc;
 pub mod pager;
 pub mod secure_pager;
 pub mod view;
+pub mod wal;
 
 pub use blockdev::{BlockDevice, BLOCK_SIZE};
 pub use codec::{PageCodec, PAGE_PAYLOAD};
 pub use compress::{CompressMetrics, CompressedPager, COMPRESSED_PAGE_FACTOR};
 pub use merkle::{MerkleTree, NodeCacheStats};
+pub use mvcc::{MvccMetrics, SnapshotPin, Snapshots};
 pub use pager::{PageId, Pager, PagerStats, PlainPager};
 pub use secure_pager::SecurePager;
-pub use view::{PageCache, ViewPager};
+pub use view::{PageCache, PendingTxns, SharedPending, ViewPager};
+pub use wal::{
+    Checkpoint, CommitRecord, RecoveredState, RecoveryInfo, TailReport, TailVerdict, Wal,
+    WalMedium, WalMetrics,
+};
 
 /// Errors raised by the storage stack.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +68,12 @@ pub enum StorageError {
     Tee(ironsafe_tee::TeeError),
     /// The block device failed an I/O request (torn read, bus reset).
     DeviceIo(&'static str),
+    /// The write-ahead log ends in a partial frame (crash mid-append).
+    /// Recovery discards the torn tail; the committed prefix is intact.
+    WalTorn(&'static str),
+    /// A write-ahead-log record failed chain-MAC verification or decode
+    /// (offline tampering, or a truncation that removed committed state).
+    WalCorrupt(&'static str),
 }
 
 impl std::fmt::Display for StorageError {
@@ -74,6 +87,8 @@ impl std::fmt::Display for StorageError {
             }
             StorageError::Tee(e) => write!(f, "TEE error: {e}"),
             StorageError::DeviceIo(m) => write!(f, "device I/O error: {m}"),
+            StorageError::WalTorn(m) => write!(f, "WAL torn: {m}"),
+            StorageError::WalCorrupt(m) => write!(f, "WAL corrupt: {m}"),
         }
     }
 }
@@ -89,8 +104,13 @@ impl ironsafe_faults::Transient for StorageError {
         match self {
             StorageError::DeviceIo(_) | StorageError::IntegrityViolation(_) => true,
             StorageError::Tee(e) => e.is_transient(),
+            // A torn WAL tail is a *crash artifact*, not a flaky bus:
+            // retrying the append would duplicate the partial frame. The
+            // recovery path, not the retry loop, owns these.
             StorageError::PageOutOfRange(_)
             | StorageError::FreshnessViolation(_)
+            | StorageError::WalTorn(_)
+            | StorageError::WalCorrupt(_)
             | StorageError::BadBufferSize { .. } => false,
         }
     }

@@ -112,6 +112,59 @@ pub trait Pager {
     /// Commit outstanding state (e.g. freshness root to RPMB).
     fn commit(&mut self) -> Result<()>;
 
+    /// Commit outstanding state *and* bind `wal_head_mac` (the WAL
+    /// chain-head MAC) in the same authenticated RPMB write — the group
+    /// commit's batched bind. Pagers without an RPMB ignore the mark.
+    fn commit_bound(&mut self, wal_head_mac: &[u8; 32]) -> Result<()> {
+        let _ = wal_head_mac;
+        self.commit()
+    }
+
+    /// Export the raw on-medium block backing page `id` (ciphertext on
+    /// secure pagers) without touching stats or fault hooks. The WAL's
+    /// commit records store these physical images so crash recovery can
+    /// replay them bit-identically. `None` for pagers without a raw
+    /// block representation.
+    fn export_block(&self, id: PageId) -> Option<Vec<u8>> {
+        let _ = id;
+        None
+    }
+
+    /// Simulate a power-off: tear the pager down to its surviving
+    /// hardware `(trustzone device, medium)`, leaving a poisoned husk
+    /// behind. Crash harnesses call this through the shared handle
+    /// (where by-value teardown is impossible), then run recovery over
+    /// the parts. `None` for pagers without TEE-backed hardware.
+    fn take_parts(&mut self) -> Option<(ironsafe_tee::trustzone::TrustZoneDevice, BlockDevice)> {
+        None
+    }
+
+    /// Build a [`Wal`](crate::wal::Wal) keyed from this pager's database
+    /// key (the WAL's encryption/MAC keys derive from it, so the log is
+    /// exactly as confidential as the pages it journals). `None` for
+    /// pagers that cannot journal physical post-images — plaintext
+    /// pagers, and compressed pagers whose logical/physical id spaces
+    /// differ.
+    fn make_wal(&self, rng_seed: u64) -> Option<crate::wal::Wal> {
+        let _ = rng_seed;
+        None
+    }
+
+    /// The current trusted Merkle root (all-zero for pagers without a
+    /// freshness tree). WAL records carry this so recovery can
+    /// cross-check the rebuilt medium against the RPMB-attested state.
+    fn current_root(&self) -> [u8; 32] {
+        [0u8; 32]
+    }
+
+    /// Extract the accumulated copy-on-write transaction from a write
+    /// view: `(overlay pages, id watermark)`. `None` for pagers that are
+    /// not views (the write path calls this through the `dyn Pager`
+    /// handle the SQL engine hands back).
+    fn take_txn_pages(&mut self) -> Option<(std::collections::HashMap<PageId, Vec<u8>>, u64)> {
+        None
+    }
+
     /// Counter snapshot.
     fn stats(&self) -> PagerStats;
 

@@ -17,7 +17,7 @@ use crate::{Result, StorageError};
 use ironsafe_faults::{retry_with, FaultPlan, FaultSite, RetryPolicy, Transient};
 use ironsafe_obs::span::{Span, TraceCtx};
 use ironsafe_obs::{Counter, Registry};
-use ironsafe_tee::trustzone::{SecureStorageTa, TrustZoneDevice};
+use ironsafe_tee::trustzone::{Manufacturer, SecureStorageTa, TrustZoneDevice};
 use ironsafe_tee::FlightRecorder;
 use rand::SeedableRng;
 
@@ -35,6 +35,8 @@ fn error_site(e: &StorageError) -> &'static str {
         StorageError::Tee(_) => "tee.rpmb",
         StorageError::PageOutOfRange(_) => "storage.page.out_of_range",
         StorageError::BadBufferSize { .. } => "storage.bad_buffer",
+        StorageError::WalTorn(_) => "storage.wal.torn",
+        StorageError::WalCorrupt(_) => "storage.wal.corrupt",
     }
 }
 
@@ -88,6 +90,9 @@ pub struct SecurePager {
     ta: SecureStorageTa,
     device: BlockDevice,
     codec: PageCodec,
+    /// The database key, kept TEE-resident for deriving the WAL's
+    /// encryption/MAC keys (see [`Pager::make_wal`]).
+    db_key: [u8; 16],
     merkle: MerkleTree,
     freshness: FreshnessManager,
     trusted_root: NodeHash,
@@ -137,6 +142,7 @@ impl SecurePager {
             ta,
             device: BlockDevice::new(),
             codec,
+            db_key,
             merkle,
             freshness,
             trusted_root: EMPTY_ROOT,
@@ -189,6 +195,7 @@ impl SecurePager {
             ta,
             device,
             codec,
+            db_key,
             merkle,
             freshness,
             trusted_root: root,
@@ -210,6 +217,43 @@ impl SecurePager {
     /// reopen with [`SecurePager::open`].
     pub fn into_parts(self) -> (TrustZoneDevice, BlockDevice) {
         (self.tz, self.device)
+    }
+
+    /// Crash recovery: rebuild the database from the WAL `medium` and the
+    /// surviving TrustZone device, ignoring whatever state the crashed
+    /// block medium was left in. The RPMB-bound chain-head MAC picks the
+    /// committed replay boundary; everything past it — torn frames,
+    /// tampered bytes, appended-but-unbound records — is discarded and
+    /// reported, never replayed. The rebuilt medium then goes through the
+    /// full [`SecurePager::open`] path, so its Merkle root is re-verified
+    /// against the RPMB before a single page is served.
+    pub fn recover(
+        mut tz: TrustZoneDevice,
+        medium: &crate::wal::WalMedium,
+        rng_seed: u64,
+    ) -> Result<(SecurePager, crate::wal::RecoveryInfo)> {
+        let ta = SecureStorageTa::init(&mut tz)?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(rng_seed);
+        let db_key = ta.load_db_key(&tz, &mut rng)?;
+        let mut freshness = FreshnessManager::new(&ta);
+        let head = freshness.committed_wal_head(&ta, &tz, &mut rng)?;
+        let state = crate::wal::Wal::recover_medium(&db_key, medium, &head)?;
+        let pager = SecurePager::open(tz, state.device, rng_seed)?;
+        // open() verified the rebuilt root against the RPMB; cross-check
+        // it also matches what the committed record claimed, closing the
+        // loop between log and freshness store.
+        if pager.trusted_root != state.root {
+            return Err(StorageError::WalCorrupt(
+                "recovered medium root does not match the committed WAL record",
+            ));
+        }
+        let info = crate::wal::RecoveryInfo {
+            epoch: state.epoch,
+            catalog: state.catalog,
+            replayed: state.replayed,
+            tail: state.tail,
+        };
+        Ok((pager, info))
     }
 
     /// The untrusted medium (attacker interface).
@@ -379,6 +423,48 @@ impl SecurePager {
         Ok(())
     }
 
+    /// One write attempt for a single page. The fault draw comes first
+    /// (a faulted attempt consumes no IV bytes, keeping the ciphertext
+    /// stream seed-stable across retries), then encryption, then the
+    /// device write; the Merkle update and trusted-root advance are the
+    /// final, infallible steps — no faulted sub-step can leave the tree
+    /// ahead of the medium or vice versa.
+    fn try_write_page(&mut self, id: PageId, data: &[u8]) -> Result<()> {
+        if self.fault_plan.should_fire(FaultSite::DeviceWrite) {
+            let e = StorageError::DeviceIo("injected device write error");
+            self.flight.record("fault", format!("write page={id}: {e}"));
+            return Err(e);
+        }
+        let (block, mac) = self.codec.encrypt_page(id, data, &mut self.rng)?;
+        self.device.write_block(id, &block)?;
+        self.merkle.update(id, &mac);
+        self.trusted_root = self.merkle.root().expect("non-empty");
+        Ok(())
+    }
+
+    /// One allocation attempt: encrypt the zero page *before* growing the
+    /// device, so a faulted attempt appends no block and the Merkle tree
+    /// never holds a leaf for a page the medium does not have.
+    fn try_allocate_page(&mut self) -> Result<PageId> {
+        if self.fault_plan.should_fire(FaultSite::DeviceWrite) {
+            let e = StorageError::DeviceIo("injected device write error");
+            self.flight.record("fault", format!("allocate page: {e}"));
+            return Err(e);
+        }
+        let id = self.device.num_blocks();
+        // Materialize an encrypted zero page so the medium never holds
+        // plaintext and the Merkle tree covers every allocated page.
+        let zeros = vec![0u8; PAGE_PAYLOAD];
+        let (block, mac) = self.codec.encrypt_page(id, &zeros, &mut self.rng)?;
+        let appended = self.device.append_block();
+        debug_assert_eq!(appended, id);
+        self.device.write_block(id, &block)?;
+        let leaf = self.merkle.append(&mac);
+        debug_assert_eq!(leaf, id);
+        self.trusted_root = self.merkle.root().expect("non-empty");
+        Ok(id)
+    }
+
     /// Commit the cache tallies accumulated since `before` to the live
     /// telemetry counters (called only after a fully successful read, so
     /// rolled-back attempts never surface).
@@ -396,16 +482,16 @@ impl Pager for SecurePager {
     }
 
     fn allocate_page(&mut self) -> Result<PageId> {
-        let id = self.device.append_block();
-        // Materialize an encrypted zero page so the medium never holds
-        // plaintext and the Merkle tree covers every allocated page.
-        let zeros = vec![0u8; PAGE_PAYLOAD];
-        let (block, mac) = self.codec.encrypt_page(id, &zeros, &mut self.rng)?;
+        // Staged like the read paths: the fault draw and the encryption
+        // happen before the device or the Merkle tree is touched, and the
+        // crypto counter rolls back on a faulted attempt — a failed
+        // allocation leaves no appended block, no orphan leaf, no stats.
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        let id = retry_with(&plan, &policy, || {
+            self.with_stats_rollback(|p| p.try_allocate_page())
+        })?;
         self.metrics.encrypts.inc();
-        self.device.write_block(id, &block)?;
-        let leaf = self.merkle.append(&mac);
-        debug_assert_eq!(leaf, id);
-        self.trusted_root = self.merkle.root().expect("non-empty");
         Ok(id)
     }
 
@@ -480,21 +566,17 @@ impl Pager for SecurePager {
         if id >= self.device.num_blocks() {
             return Err(StorageError::PageOutOfRange(id));
         }
-        // Device write faults fire before any crypto or tree work, so a
-        // failed attempt mutates nothing and a bounded retry recovers.
+        // Staged commit, mirroring `read_pages`: every fallible sub-step
+        // (fault draw, encryption, device write) runs before the Merkle
+        // mutation, inside the stats journal — a faulted attempt rolls
+        // the crypto counters back and leaves the tree and trusted root
+        // untouched, so a bounded retry starts from a clean slate.
         let plan = self.fault_plan.clone();
         let policy = self.retry;
         retry_with(&plan, &policy, || {
-            if plan.should_fire(FaultSite::DeviceWrite) {
-                Err(StorageError::DeviceIo("injected device write error"))
-            } else {
-                Ok(())
-            }
+            self.with_stats_rollback(|p| p.try_write_page(id, data))
         })?;
-        let (block, mac) = self.codec.encrypt_page(id, data, &mut self.rng)?;
-        self.device.write_block(id, &block)?;
-        self.merkle.update(id, &mac);
-        self.trusted_root = self.merkle.root().expect("non-empty");
+        // Counters commit only once the write fully succeeded.
         self.page_writes += 1;
         self.metrics.page_writes.inc();
         self.metrics.encrypts.inc();
@@ -514,6 +596,47 @@ impl Pager for SecurePager {
         // Counted only once the root actually landed in the RPMB.
         self.metrics.rpmb_writes.inc();
         Ok(())
+    }
+
+    fn commit_bound(&mut self, wal_head_mac: &[u8; 32]) -> Result<()> {
+        let root = self.trusted_root;
+        let plan = self.fault_plan.clone();
+        let policy = self.retry;
+        // The group-commit bind: root MAC and WAL chain head land in one
+        // authenticated RPMB write, so N batched transactions pay a
+        // single RPMB round trip between them.
+        retry_with(&plan, &policy, || {
+            self.freshness.commit_root_with_wal(&self.ta, &mut self.tz, &root, wal_head_mac)
+        })?;
+        self.metrics.rpmb_writes.inc();
+        Ok(())
+    }
+
+    fn export_block(&self, id: PageId) -> Option<Vec<u8>> {
+        self.device.raw_read(id).map(|b| b.to_vec())
+    }
+
+    fn take_parts(&mut self) -> Option<(TrustZoneDevice, BlockDevice)> {
+        // Leave a husk behind whose TrustZone device shares no keys with
+        // the real one: the TA's RPMB frames no longer authenticate, so
+        // anything still holding this pager fail-stops with typed TEE
+        // errors instead of silently serving a dead store.
+        let group = ironsafe_crypto::group::Group::modp_1024();
+        let husk = Manufacturer::from_seed(&group, b"torn-down-husk")
+            .make_device("torn-down-husk", 1, &mut self.rng);
+        let tz = std::mem::replace(&mut self.tz, husk);
+        let device = std::mem::take(&mut self.device);
+        Some((tz, device))
+    }
+
+    fn make_wal(&self, rng_seed: u64) -> Option<crate::wal::Wal> {
+        // The WAL's keys derive from the same database key as the pages,
+        // so the journal is exactly as confidential as what it journals.
+        Some(crate::wal::Wal::new(&self.db_key, rng_seed))
+    }
+
+    fn current_root(&self) -> [u8; 32] {
+        self.trusted_root
     }
 
     fn set_fault_plan(&mut self, plan: FaultPlan) {
@@ -1145,6 +1268,228 @@ mod tests {
         let mut buf = vec![0u8; PAGE_PAYLOAD];
         pager.read_page(id, &mut buf).unwrap();
         assert!(pager.take_flight_dump().is_empty(), "no failures, no events");
+    }
+
+    /// Satellite regression (partial-write hazard): a write whose every
+    /// attempt faults must leave *no* trace — same trusted root, same
+    /// medium bytes, same stats — so the pager is never caught between
+    /// "medium updated" and "tree updated".
+    #[test]
+    fn exhausted_write_leaves_root_medium_and_stats_untouched() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(1)).unwrap();
+        pager.commit().unwrap();
+        pager.reset_stats();
+        let root_before = pager.trusted_root();
+        let raw_before = pager.device().raw_read(id).unwrap().to_vec();
+        let obs_writes_before = pager.metrics().page_writes.get();
+        pager.set_fault_plan(FaultPlan::seeded(61).with_rate(FaultSite::DeviceWrite, 1.0));
+        assert!(matches!(pager.write_page(id, &payload(2)), Err(StorageError::DeviceIo(_))));
+        assert_eq!(pager.trusted_root(), root_before, "tree never ran ahead of the medium");
+        assert_eq!(pager.device().raw_read(id).unwrap().to_vec(), raw_before);
+        assert_eq!(pager.stats(), PagerStats::default(), "failed write charges nothing");
+        assert_eq!(pager.metrics().page_writes.get(), obs_writes_before, "obs counter unchanged");
+        // The old committed state still reads and still reopens.
+        pager.set_fault_plan(FaultPlan::none());
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(1));
+        let (tz, medium) = pager.into_parts();
+        assert!(SecurePager::open(tz, medium, 5).is_ok());
+    }
+
+    /// Satellite regression: a faulted allocation appends no block and
+    /// inserts no Merkle leaf — the next clean allocation gets the id the
+    /// faulted one would have had.
+    #[test]
+    fn exhausted_allocation_leaves_no_orphan_block_or_leaf() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let a = pager.allocate_page().unwrap();
+        pager.write_page(a, &payload(1)).unwrap();
+        pager.reset_stats();
+        let root_before = pager.trusted_root();
+        pager.set_fault_plan(FaultPlan::seeded(62).with_rate(FaultSite::DeviceWrite, 1.0));
+        assert!(matches!(pager.allocate_page(), Err(StorageError::DeviceIo(_))));
+        assert_eq!(pager.num_pages(), 1, "no block appended by the faulted attempt");
+        assert_eq!(pager.trusted_root(), root_before, "no orphan leaf in the tree");
+        assert_eq!(pager.stats(), PagerStats::default(), "failed allocation charges nothing");
+        pager.set_fault_plan(FaultPlan::none());
+        let b = pager.allocate_page().unwrap();
+        assert_eq!(b, 1, "clean retry gets the same id");
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+    }
+
+    /// The fault draw precedes encryption, so a retried write consumes no
+    /// IV bytes: the medium ends up byte-identical to a never-faulted run
+    /// with the same pager seed.
+    #[test]
+    fn retried_write_keeps_ciphertext_seed_stable() {
+        let mut clean = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let mut faulted = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let ca = clean.allocate_page().unwrap();
+        let fa = faulted.allocate_page().unwrap();
+        faulted.set_fault_plan(FaultPlan::seeded(63).with_nth(FaultSite::DeviceWrite, 1));
+        clean.write_page(ca, &payload(4)).unwrap();
+        faulted.write_page(fa, &payload(4)).unwrap();
+        assert_eq!(
+            clean.device().raw_read(ca).unwrap().to_vec(),
+            faulted.device().raw_read(fa).unwrap().to_vec(),
+            "retry rewrites the identical ciphertext"
+        );
+        assert_eq!(clean.trusted_root(), faulted.trusted_root());
+    }
+
+    /// `commit_bound` lands root + WAL head in one RPMB write and the
+    /// bound state survives a reboot exactly like a plain commit.
+    #[test]
+    fn commit_bound_is_one_rpmb_write_and_reopens() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(6)).unwrap();
+        pager.reset_stats();
+        pager.commit_bound(&[0xabu8; 32]).unwrap();
+        assert_eq!(pager.stats().rpmb_ops, 1, "batched bind pays one RPMB op");
+        assert_eq!(pager.metrics().rpmb_writes.get(), 1);
+        let (tz, medium) = pager.into_parts();
+        let mut pager = SecurePager::open(tz, medium, 6).unwrap();
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        pager.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(6));
+    }
+
+    /// `export_block` hands out the raw on-medium ciphertext (what the WAL
+    /// journals) without charging any stats.
+    #[test]
+    fn export_block_is_raw_and_chargeless() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(2)).unwrap();
+        pager.reset_stats();
+        let exported = pager.export_block(id).unwrap();
+        assert_eq!(exported, pager.device().raw_read(id).unwrap().to_vec());
+        assert_eq!(exported.len(), BLOCK_SIZE);
+        assert!(pager.export_block(99).is_none());
+        assert_eq!(pager.stats(), PagerStats::default(), "export is not a logical read");
+    }
+
+    /// `take_parts` is the shared-handle power-off: the returned hardware
+    /// reopens like `into_parts`, while the husk left behind fail-stops
+    /// with typed errors instead of serving.
+    #[test]
+    fn take_parts_returns_live_hardware_and_poisons_the_husk() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id = pager.allocate_page().unwrap();
+        pager.write_page(id, &payload(8)).unwrap();
+        pager.commit().unwrap();
+        let (tz, medium) = pager.take_parts().unwrap();
+        // The husk: no pages, and commits no longer authenticate.
+        assert_eq!(pager.num_pages(), 0);
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        assert!(matches!(pager.read_page(id, &mut buf), Err(StorageError::PageOutOfRange(_))));
+        assert!(pager.commit().is_err(), "husk RPMB shares no keys with the real device");
+        // The parts: a clean reboot serves the committed state.
+        let mut reopened = SecurePager::open(tz, medium, 7).unwrap();
+        reopened.read_page(id, &mut buf).unwrap();
+        assert_eq!(buf, payload(8));
+    }
+
+    /// End-to-end crash recovery: checkpoint + one committed group in the
+    /// WAL, power-off discarding the medium entirely, then
+    /// `SecurePager::recover` rebuilds a bit-identical committed state
+    /// from log + RPMB alone.
+    #[test]
+    fn recover_rebuilds_committed_state_from_wal_and_rpmb() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id0 = pager.allocate_page().unwrap();
+        pager.write_page(id0, &payload(3)).unwrap();
+        pager.commit().unwrap();
+
+        let mut wal = pager.make_wal(11).expect("secure pager journals");
+        let cp = crate::wal::Checkpoint {
+            epoch: 1,
+            root: pager.current_root(),
+            blocks: (0..pager.num_pages())
+                .map(|id| pager.export_block(id).unwrap())
+                .collect(),
+            catalog: b"cat-v1".to_vec(),
+        };
+        let head = wal.append_checkpoint(&cp).unwrap();
+        pager.commit_bound(&head).unwrap();
+
+        // One committed group: overwrite page 0, append page 1.
+        pager.write_page(id0, &payload(4)).unwrap();
+        let id1 = pager.allocate_page().unwrap();
+        pager.write_page(id1, &payload(5)).unwrap();
+        let rec = crate::wal::CommitRecord {
+            epoch: 2,
+            root: pager.current_root(),
+            writes: vec![
+                (id0, pager.export_block(id0).unwrap()),
+                (id1, pager.export_block(id1).unwrap()),
+            ],
+            catalog: b"cat-v2".to_vec(),
+        };
+        let head = wal.append_commit(&rec).unwrap();
+        pager.commit_bound(&head).unwrap();
+
+        // Power-off: the block medium is lost; only TZ + WAL survive.
+        let (tz, _lost_medium) = pager.into_parts();
+        let medium = wal.into_medium();
+        let (mut recovered, info) = SecurePager::recover(tz, &medium, 21).unwrap();
+        assert_eq!(info.epoch, 2);
+        assert_eq!(info.catalog, b"cat-v2");
+        assert_eq!(info.replayed, 1);
+        assert_eq!(info.tail.verdict, crate::wal::TailVerdict::Clean);
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        recovered.read_page(id0, &mut buf).unwrap();
+        assert_eq!(buf, payload(4));
+        recovered.read_page(id1, &mut buf).unwrap();
+        assert_eq!(buf, payload(5));
+    }
+
+    /// A crash *between* WAL append and the RPMB bind leaves a chain-valid
+    /// but uncommitted tail; recovery discards it and lands on the bound
+    /// state, never between.
+    #[test]
+    fn recover_discards_appended_but_unbound_tail() {
+        let mut pager = SecurePager::create(fresh_device("s0"), 1).unwrap();
+        let id0 = pager.allocate_page().unwrap();
+        pager.write_page(id0, &payload(6)).unwrap();
+        pager.commit().unwrap();
+
+        let mut wal = pager.make_wal(12).expect("secure pager journals");
+        let cp = crate::wal::Checkpoint {
+            epoch: 1,
+            root: pager.current_root(),
+            blocks: vec![pager.export_block(id0).unwrap()],
+            catalog: b"cat-v1".to_vec(),
+        };
+        let head = wal.append_checkpoint(&cp).unwrap();
+        pager.commit_bound(&head).unwrap();
+
+        // Append a commit record but crash before `commit_bound`.
+        pager.write_page(id0, &payload(7)).unwrap();
+        let rec = crate::wal::CommitRecord {
+            epoch: 2,
+            root: pager.current_root(),
+            writes: vec![(id0, pager.export_block(id0).unwrap())],
+            catalog: b"cat-v2".to_vec(),
+        };
+        wal.append_commit(&rec).unwrap();
+
+        let (tz, _lost_medium) = pager.into_parts();
+        let medium = wal.into_medium();
+        let (mut recovered, info) = SecurePager::recover(tz, &medium, 22).unwrap();
+        assert_eq!(info.epoch, 1, "unbound record never commits");
+        assert_eq!(info.catalog, b"cat-v1");
+        assert_eq!(info.tail.uncommitted, 1);
+        assert_eq!(info.tail.verdict, crate::wal::TailVerdict::Uncommitted);
+        let mut buf = vec![0u8; PAGE_PAYLOAD];
+        recovered.read_page(id0, &mut buf).unwrap();
+        assert_eq!(buf, payload(6), "pre-commit image, not the torn write");
     }
 
     #[test]

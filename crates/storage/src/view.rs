@@ -32,6 +32,7 @@
 //! session's scan already authenticated or on how a batch happened to be
 //! composed. Single-session systems keep the freshness fast path.
 
+use crate::mvcc::SnapshotPin;
 use crate::pager::{PageId, Pager, PagerStats};
 use crate::{Result, StorageError};
 use parking_lot::Mutex;
@@ -104,6 +105,19 @@ impl PageCache {
         }
     }
 
+    /// Drop one page (the writer flush invalidates exactly the pages a
+    /// commit overwrote, instead of clearing the whole cache).
+    pub fn invalidate(&self, id: PageId) {
+        self.inner.lock().pages.remove(&id);
+    }
+
+    /// Clone out a cached payload with its recorded first-read delta.
+    /// The writer flush uses this as the retained MVCC pre-image when
+    /// available, saving a base re-read.
+    pub fn entry(&self, id: PageId) -> Option<(Vec<u8>, PagerStats)> {
+        self.inner.lock().pages.get(&id).map(|p| (p.payload.to_vec(), p.delta))
+    }
+
     fn get(&self, id: PageId) -> Option<CachedPage> {
         self.inner.lock().pages.get(&id).cloned()
     }
@@ -111,6 +125,68 @@ impl PageCache {
     fn put(&self, id: PageId, page: CachedPage) {
         self.inner.lock().pages.entry(id).or_insert(page);
     }
+}
+
+/// Transactions a writer has applied to its group-commit buffer but not
+/// yet flushed to the base pager: later statements in the same group
+/// read through this layer so they see their predecessors' effects.
+#[derive(Default)]
+pub struct PendingTxns {
+    pages: HashMap<PageId, Vec<u8>>,
+    next_id: u64,
+}
+
+impl PendingTxns {
+    /// Fold one transaction's overlay into the buffer.
+    pub fn merge(&mut self, overlay: HashMap<PageId, Vec<u8>>, next_id: u64) {
+        self.pages.extend(overlay);
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// The buffered image of page `id`, if any.
+    pub fn get(&self, id: PageId) -> Option<&Vec<u8>> {
+        self.pages.get(&id)
+    }
+
+    /// First id past the buffered allocations (0 when empty).
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Buffered page count.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no transaction is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Drain the buffer for a flush, in deterministic apply order:
+    /// in-place writes (ascending id) before appends (ascending id).
+    pub fn drain_sorted(&mut self) -> Vec<(PageId, Vec<u8>)> {
+        let mut pages: Vec<(PageId, Vec<u8>)> = self.pages.drain().collect();
+        pages.sort_by_key(|(id, _)| *id);
+        self.next_id = 0;
+        pages
+    }
+}
+
+/// Shared handle to a writer group's pending-transaction buffer.
+pub type SharedPending = Arc<Mutex<PendingTxns>>;
+
+/// How a [`ViewPager`] resolves base pages (see constructor docs).
+enum ViewMode {
+    /// Legacy single-writer mode: the cache is sync'd against base
+    /// mutation marks at open; base reads fall straight through.
+    Exclusive,
+    /// MVCC snapshot reader: pinned to the epoch current at open; pages
+    /// overwritten since are served from the retained pre-images.
+    Pinned(SnapshotPin),
+    /// The writer's view: sees the committed state plus the group's
+    /// buffered-but-unflushed transactions.
+    Writer(SharedPending),
 }
 
 /// A per-query copy-on-write pager over a shared base pager.
@@ -129,6 +205,7 @@ pub struct ViewPager {
     overlay: HashMap<PageId, Vec<u8>>,
     next_id: u64,
     stats: PagerStats,
+    mode: ViewMode,
 }
 
 fn stats_delta(before: PagerStats, after: PagerStats) -> PagerStats {
@@ -171,12 +248,106 @@ impl ViewPager {
             overlay: HashMap::new(),
             next_id: base_pages,
             stats: PagerStats::default(),
+            mode: ViewMode::Exclusive,
+        }
+    }
+
+    /// Open an MVCC snapshot view pinned to `pin`'s epoch: the id space
+    /// is bounded to the pinned state's page count, pages overwritten by
+    /// later commits are served from the retained pre-images, and the
+    /// shared cache is used *without* the mark sync (the writer keeps it
+    /// coherent by invalidating exactly the pages each flush touches).
+    pub fn over_pinned(base: SharedDynPager, cache: Arc<PageCache>, pin: SnapshotPin) -> Self {
+        let payload = base.lock().payload_size();
+        let base_pages = pin.base_pages();
+        ViewPager {
+            base,
+            cache,
+            base_pages,
+            payload,
+            overlay: HashMap::new(),
+            next_id: base_pages,
+            stats: PagerStats::default(),
+            mode: ViewMode::Pinned(pin),
+        }
+    }
+
+    /// Open the writer's view: the committed base state plus the
+    /// group-commit buffer in `pending` (earlier transactions of the
+    /// same group that have not been flushed yet). Writes land in the
+    /// private overlay as usual; the caller extracts them with
+    /// [`ViewPager::take_txn`] when the statement commits.
+    pub fn over_writer(base: SharedDynPager, cache: Arc<PageCache>, pending: SharedPending) -> Self {
+        let (base_pages, payload) = {
+            let b = base.lock();
+            (b.num_pages(), b.payload_size())
+        };
+        let next_id = base_pages.max(pending.lock().next_id());
+        ViewPager {
+            base,
+            cache,
+            base_pages,
+            payload,
+            overlay: HashMap::new(),
+            next_id,
+            stats: PagerStats::default(),
+            mode: ViewMode::Writer(pending),
         }
     }
 
     /// Number of overlay (view-private) pages.
     pub fn overlay_pages(&self) -> usize {
         self.overlay.len()
+    }
+
+    /// The pinned epoch of a snapshot view (`None` for other modes).
+    pub fn pinned_epoch(&self) -> Option<u64> {
+        match &self.mode {
+            ViewMode::Pinned(pin) => Some(pin.epoch()),
+            _ => None,
+        }
+    }
+
+    /// Extract the transaction this (writer) view accumulated: the
+    /// overlay pages and the id watermark past its allocations. The
+    /// overlay is left empty; the view can keep executing (the caller
+    /// has merged the pages into the pending buffer it reads through).
+    pub fn take_txn(&mut self) -> (HashMap<PageId, Vec<u8>>, u64) {
+        (std::mem::take(&mut self.overlay), self.next_id)
+    }
+
+    /// Serve a base-page read in pinned mode (see `read_page`).
+    fn read_base_pinned(&mut self, pin_buf: &mut [u8], id: PageId) -> Result<PagerStats> {
+        let (epoch, snaps) = match &self.mode {
+            ViewMode::Pinned(pin) => (pin.epoch(), pin.snapshots().clone()),
+            _ => unreachable!("pinned read path"),
+        };
+        // Fast path: a retained pre-image (page overwritten after the
+        // pin) — immutable once stored, so no base lock needed.
+        if let Some((img, delta)) = snaps.lookup(id, epoch) {
+            pin_buf.copy_from_slice(&img);
+            return Ok(delta);
+        }
+        if let Some(hit) = self.cache.get(id) {
+            pin_buf.copy_from_slice(&hit.payload);
+            return Ok(hit.delta);
+        }
+        // Miss: under the base lock, re-check the retained store (a
+        // flush that beat us to the lock retained before overwriting),
+        // then read through. The cache insertion happens under the same
+        // lock: a flush invalidates overwritten pages while holding the
+        // base lock, so a put after release could resurrect a stale
+        // image the flush already invalidated.
+        let mut b = self.base.lock();
+        if let Some((img, delta)) = snaps.lookup(id, epoch) {
+            pin_buf.copy_from_slice(&img);
+            return Ok(delta);
+        }
+        let before = b.stats();
+        b.read_page(id, pin_buf)?;
+        let delta = stats_delta(before, b.stats());
+        self.cache.put(id, CachedPage { payload: pin_buf.to_vec().into_boxed_slice(), delta });
+        Ok(delta)
     }
 }
 
@@ -205,8 +376,26 @@ impl Pager for ViewPager {
             self.stats.page_reads += 1;
             return Ok(());
         }
+        // Writer mode: earlier transactions of the same commit group
+        // shadow the base (including appends past the committed range).
+        let pending = match &self.mode {
+            ViewMode::Writer(p) => Some(Arc::clone(p)),
+            _ => None,
+        };
+        if let Some(p) = pending {
+            if let Some(data) = p.lock().get(id) {
+                buf.copy_from_slice(data);
+                self.stats.page_reads += 1;
+                return Ok(());
+            }
+        }
         if id >= self.base_pages {
             return Err(StorageError::PageOutOfRange(id));
+        }
+        if matches!(self.mode, ViewMode::Pinned(_)) {
+            let delta = self.read_base_pinned(buf, id)?;
+            stats_add(&mut self.stats, &delta);
+            return Ok(());
         }
         if let Some(hit) = self.cache.get(id) {
             buf.copy_from_slice(&hit.payload);
@@ -246,6 +435,21 @@ impl Pager for ViewPager {
                 expected: ids.len() * self.payload,
                 got: out.len(),
             });
+        }
+        // Pinned/writer modes loop the single-page path (each page may
+        // resolve to a different layer: pending buffer, retained version,
+        // cache, base). Stats stay batch-atomic via restore-on-error;
+        // pages served before a failure were individually complete, so
+        // their cache entries are valid and kept.
+        if !matches!(self.mode, ViewMode::Exclusive) {
+            let before = self.stats;
+            for (&id, chunk) in ids.iter().zip(out.chunks_exact_mut(self.payload)) {
+                if let Err(e) = self.read_page(id, chunk) {
+                    self.stats = before;
+                    return Err(e);
+                }
+            }
+            return Ok(());
         }
         let mut staged = PagerStats::default();
         let mut misses: Vec<(usize, PageId)> = Vec::new();
@@ -308,6 +512,12 @@ impl Pager for ViewPager {
 
     fn reset_stats(&mut self) {
         self.stats = PagerStats::default();
+    }
+
+    /// The write path extracts the accumulated transaction through the
+    /// `dyn Pager` handle (see [`ViewPager::take_txn`]).
+    fn take_txn_pages(&mut self) -> Option<(HashMap<PageId, Vec<u8>>, u64)> {
+        Some(self.take_txn())
     }
 
     /// The flight recorder lives in the shared base pager (it is a TEE
@@ -478,6 +688,113 @@ mod tests {
         assert!(buf.iter().all(|&b| b == 1));
         assert_eq!(v.stats().page_reads, 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn pinned_view_serves_retained_pre_image() {
+        use crate::mvcc::Snapshots;
+
+        let base = base_with_pages(3);
+        let cache = Arc::new(PageCache::new());
+        let snaps = Snapshots::new();
+        snaps.publish(1, 3);
+        let payload = base.lock().payload_size();
+        // Cold read records the first-read delta (and warms the cache).
+        let mut probe = ViewPager::over_pinned(base.clone(), cache.clone(), snaps.pin());
+        let mut buf = vec![0u8; payload];
+        probe.read_page(1, &mut buf).unwrap();
+        let cold = probe.stats();
+        drop(probe);
+
+        let pin = snaps.pin();
+        assert_eq!(pin.epoch(), 1);
+        // Writer flush: retain the pre-image (from the cache entry),
+        // invalidate the cache, overwrite the base, publish epoch 2.
+        let (img, delta) = cache.entry(1).unwrap();
+        snaps.retain(1, img.into(), delta, 2);
+        cache.invalidate(1);
+        base.lock().write_page(1, &vec![0xee; payload]).unwrap();
+        snaps.publish(2, 3);
+
+        let mut v = ViewPager::over_pinned(base.clone(), cache.clone(), pin);
+        assert_eq!(v.pinned_epoch(), Some(1));
+        v.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1), "pinned view sees the pre-image");
+        assert_eq!(v.stats(), cold, "retained read replays the first-read delta");
+        assert_eq!(snaps.metrics().retained_reads.get(), 1);
+        // A fresh pin at the new epoch reads the new image from the base.
+        let mut cur = ViewPager::over_pinned(base, cache, snaps.pin());
+        cur.read_page(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xee));
+    }
+
+    #[test]
+    fn pinned_view_id_space_is_frozen_at_pin_time() {
+        use crate::mvcc::Snapshots;
+
+        let base = base_with_pages(2);
+        let cache = Arc::new(PageCache::new());
+        let snaps = Snapshots::new();
+        snaps.publish(1, 2);
+        let pin = snaps.pin();
+        // A later commit appends page 2 and publishes epoch 2.
+        let payload = base.lock().payload_size();
+        {
+            let mut b = base.lock();
+            let id = b.allocate_page().unwrap();
+            b.write_page(id, &vec![3u8; payload]).unwrap();
+        }
+        snaps.publish(2, 3);
+        let mut v = ViewPager::over_pinned(base, cache, pin);
+        let mut buf = vec![0u8; payload];
+        assert!(
+            matches!(v.read_page(2, &mut buf), Err(StorageError::PageOutOfRange(2))),
+            "post-pin allocations are invisible to the snapshot"
+        );
+        // Batch with the invisible page restores the stats wholesale.
+        v.read_page(0, &mut buf).unwrap();
+        let before = v.stats();
+        let ids = [1u64, 2];
+        let mut out = vec![0u8; ids.len() * payload];
+        assert!(v.read_pages(&ids, &mut out).is_err());
+        assert_eq!(v.stats(), before, "failed pinned batch charges nothing");
+    }
+
+    #[test]
+    fn writer_view_reads_group_pending() {
+        let base = base_with_pages(2);
+        let cache = Arc::new(PageCache::new());
+        let pending: SharedPending = Arc::new(Mutex::new(PendingTxns::default()));
+        let payload = base.lock().payload_size();
+
+        // Txn A: overwrite page 0, append page 2, park in the buffer.
+        let mut a = ViewPager::over_writer(base.clone(), cache.clone(), pending.clone());
+        a.write_page(0, &vec![0xaa; payload]).unwrap();
+        let id = a.allocate_page().unwrap();
+        assert_eq!(id, 2);
+        a.write_page(id, &vec![0xbb; payload]).unwrap();
+        let (overlay, next_id) = a.take_txn();
+        assert!(a.overlay.is_empty(), "take_txn drains the overlay");
+        pending.lock().merge(overlay, next_id);
+        drop(a);
+
+        // Txn B (same group) sees A's pages, including the append past
+        // the committed base range.
+        let mut b = ViewPager::over_writer(base.clone(), cache, pending.clone());
+        assert_eq!(b.num_pages(), 3, "id watermark continues past the buffer");
+        let mut buf = vec![0u8; payload];
+        b.read_page(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xaa));
+        b.read_page(2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0xbb));
+        assert_eq!(b.stats().page_reads, 2);
+        // The base is untouched until the group flushes.
+        assert_eq!(base.lock().num_pages(), 2);
+        // Drain order: in-place write first, then the append.
+        let drained = pending.lock().drain_sorted();
+        let ids: Vec<u64> = drained.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 2]);
+        assert_eq!(pending.lock().next_id(), 0, "drain resets the watermark");
     }
 
     #[test]

@@ -146,6 +146,42 @@ impl SecureStorageTa {
         self.rpmb_client.write(&mut device.rpmb, SLOT_MERKLE_ROOT, &block)
     }
 
+    /// Persist the Merkle-root MAC *and* the WAL chain-head MAC in one
+    /// authenticated RPMB write (group commit's batched bind): both marks
+    /// share [`SLOT_MERKLE_ROOT`]'s block, so committing N transactions
+    /// costs a single RPMB round trip instead of one per mark. The root
+    /// keeps its `[..32]` layout — [`SecureStorageTa::load_merkle_root`]
+    /// reads a batched block unchanged.
+    pub fn store_commit_marks(
+        &self,
+        device: &mut TrustZoneDevice,
+        root_mac: &[u8; 32],
+        wal_head_mac: &[u8; 32],
+    ) -> Result<()> {
+        let mut block = [0u8; RPMB_BLOCK];
+        block[..32].copy_from_slice(root_mac);
+        block[32..64].copy_from_slice(wal_head_mac);
+        self.rpmb_client.write(&mut device.rpmb, SLOT_MERKLE_ROOT, &block)
+    }
+
+    /// Load both commit marks (root MAC, WAL chain-head MAC) in one
+    /// authenticated RPMB read. A database committed without a WAL
+    /// reports an all-zero WAL mark.
+    pub fn load_commit_marks(
+        &self,
+        device: &TrustZoneDevice,
+        rng: &mut (impl rand::Rng + ?Sized),
+    ) -> Result<([u8; 32], [u8; 32])> {
+        let mut nonce = [0u8; 16];
+        rng.fill_bytes(&mut nonce);
+        let block = self.rpmb_client.read(&device.rpmb, SLOT_MERKLE_ROOT, &nonce)?;
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&block[..32]);
+        let mut wal = [0u8; 32];
+        wal.copy_from_slice(&block[32..64]);
+        Ok((root, wal))
+    }
+
     /// Load the Merkle-root MAC from RPMB.
     pub fn load_merkle_root(
         &self,
@@ -263,6 +299,23 @@ mod tests {
         let mut resp = ta.respond(challenge, &mut f.rng);
         resp.nw_version = 99;
         assert!(verify_attestation(&f.group, &f.mfr.root_public(), &challenge, &resp).is_err());
+    }
+
+    #[test]
+    fn batched_commit_marks_roundtrip_and_keep_root_layout() {
+        let mut f = fixture();
+        let ta = SecureStorageTa::init(&mut f.device).unwrap();
+        let root = [0x21u8; 32];
+        let wal = [0x7eu8; 32];
+        ta.store_commit_marks(&mut f.device, &root, &wal).unwrap();
+        let (r, w) = ta.load_commit_marks(&f.device, &mut f.rng).unwrap();
+        assert_eq!((r, w), (root, wal));
+        // The plain root loader reads the batched block unchanged.
+        assert_eq!(ta.load_merkle_root(&f.device, &mut f.rng).unwrap(), root);
+        // A root-only store reports a zero WAL mark.
+        ta.store_merkle_root(&mut f.device, &root).unwrap();
+        let (_, w) = ta.load_commit_marks(&f.device, &mut f.rng).unwrap();
+        assert_eq!(w, [0u8; 32]);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke vec-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke vec-smoke wal-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -60,6 +60,16 @@ vec-smoke:
 chaos-smoke:
     cargo test -q --offline -p ironsafe --test chaos
     cargo test -q --offline -p ironsafe-faults
+
+# Write-path smoke: WAL replay idempotence + prefix-consistency
+# property tests, MVCC snapshot golden parity under interleaved
+# writers, crash-during-commit storms across the WAL fault sites, and
+# the BENCH_9.json mixed read/write invariant gate.
+wal-smoke:
+    cargo test -q --offline -p ironsafe-storage --test wal_prop
+    cargo test -q --offline -p ironsafe-csa --test mvcc_golden
+    cargo test -q --offline -p ironsafe --test chaos crash_commit_storms
+    cargo run --release --offline -p ironsafe-bench --bin paperbench saturation --check
 
 # Full chaos sweep through paperbench, with exported fault counters.
 chaos out="chaos-metrics":

@@ -234,6 +234,157 @@ fn enclave_crash_and_rpmb_failures_recover_end_to_end() {
     assert_eq!(plan.metrics().exhausted.get(), 0);
 }
 
+/// Crash-during-commit storms: 50 seeded storms fire the write-path
+/// fault sites — `WalAppend` (transient device error before anything
+/// lands), `WalTear` (crash mid-append, torn frame on the medium) and
+/// `CrashCommit` (power cut during the apply, or between the WAL append
+/// and the RPMB bind) — at varying points in an INSERT sequence. Every
+/// storm ends in a power-off teardown and WAL recovery, and the
+/// recovered table is bit-identical to a transaction boundary: exactly
+/// the acknowledged prefix, or at most the one in-flight statement more.
+/// Never a torn fraction of a group, never a panic, and a poisoned
+/// system fails closed until recovered. Each recovery's report is
+/// appended to a monitor audit stream whose hash chain must verify.
+#[test]
+fn crash_commit_storms_recover_to_acknowledged_prefix() {
+    use ironsafe::csa::{RecoveryReport, SharedCsaSystem};
+    use ironsafe::monitor::AuditLog;
+    use ironsafe::storage::TailVerdict;
+    use ironsafe_sql::parser::parse_statement;
+    use ironsafe_sql::{QueryResult, Value};
+
+    let data = ironsafe::tpch::generate(0.002, 42);
+    let sys = CsaSystem::build(SystemConfig::StorageOnlySecure, &data, CostParams::default())
+        .expect("system builds");
+    let shared = SharedCsaSystem::new(sys);
+    let key = [8u8; 32];
+    shared
+        .run_statement(&parse_statement("CREATE TABLE storm (a INT)").unwrap(), key)
+        .expect("table creates");
+    shared.attach_wal(0x571).expect("secure base journals");
+    let mut shared = shared;
+
+    fn contents(shared: &SharedCsaSystem, key: [u8; 32]) -> Vec<i64> {
+        let sel = parse_statement("SELECT a FROM storm ORDER BY a").unwrap();
+        let (report, _) = shared.run_statement(&sel, key).expect("recovered system serves reads");
+        match report.result {
+            QueryResult::Rows { rows, .. } => rows
+                .iter()
+                .map(|r| match r[0] {
+                    Value::Int(n) => n,
+                    ref other => panic!("expected int, got {other:?}"),
+                })
+                .collect(),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    let audit = AuditLog::new();
+    // Rows the system *acknowledged* (statement returned Ok). The
+    // recovered state must always be this prefix — plus, at most, the
+    // single statement that was in flight when the crash hit.
+    let mut acked: Vec<i64> = Vec::new();
+    let mut next = 0i64;
+    let (mut storms, mut crashed_storms, mut absorbed_storms) = (0u32, 0u32, 0u32);
+
+    for seed in 1u64..=50 {
+        storms += 1;
+        // Rotate the three write-path sites across the sweep; vary the
+        // arrival index so crashes land mid-apply, between append and
+        // bind, and on different statements of the sequence.
+        let plan = match seed % 3 {
+            0 => FaultPlan::seeded(seed).with_nth(FaultSite::CrashCommit, 1 + seed % 3),
+            1 => FaultPlan::seeded(seed).with_nth(FaultSite::WalTear, 1 + seed % 2),
+            _ => FaultPlan::seeded(seed).with_nth(FaultSite::WalAppend, 1 + seed % 2),
+        };
+        shared.set_fault_plan(plan);
+
+        let mut in_flight: Option<i64> = None;
+        let mut acked_this_storm = 0usize;
+        for _ in 0..4 {
+            let ins =
+                parse_statement(&format!("INSERT INTO storm (a) VALUES ({next})")).unwrap();
+            match shared.run_statement(&ins, key) {
+                Ok(_) => {
+                    acked.push(next);
+                    acked_this_storm += 1;
+                    next += 1;
+                }
+                Err(e) => {
+                    // Typed and displayable, never a panic; a failed
+                    // group commit poisons the system, which then fails
+                    // closed instead of serving doubtful state.
+                    use ironsafe_faults::Transient;
+                    let _ = e.is_transient();
+                    assert!(!e.to_string().is_empty(), "seed {seed}: typed error");
+                    assert!(shared.is_poisoned(), "seed {seed}: failed flush must poison");
+                    assert!(
+                        shared.run_statement(&ins, key).is_err(),
+                        "seed {seed}: poisoned system must fail closed"
+                    );
+                    in_flight = Some(next);
+                    next += 1; // the value is burned whether or not it committed
+                    break;
+                }
+            }
+        }
+
+        // Power off (the crash, or the end of a clean storm) and
+        // recover from the surviving TrustZone device + WAL medium.
+        let (parts, medium) = shared.teardown();
+        let (tz, _lost_medium) = parts.expect("secure base tears down to hardware");
+        let medium = medium.expect("WAL attached");
+        let (recovered, report): (SharedCsaSystem, RecoveryReport) = SharedCsaSystem::recover(
+            SystemConfig::StorageOnlySecure,
+            CostParams::default(),
+            tz,
+            &medium,
+            seed.wrapping_mul(31),
+            seed.wrapping_mul(37),
+            1,
+        )
+        .expect("every seed recovers");
+        shared = recovered;
+        audit.append(seed as i64, "recovery", "chaos-harness", &report.audit_line());
+
+        let got = contents(&shared, key);
+        match in_flight {
+            Some(burned) => {
+                crashed_storms += 1;
+                let mut with_in_flight = acked.clone();
+                with_in_flight.push(burned);
+                assert!(
+                    got == acked || got == with_in_flight,
+                    "seed {seed}: recovered state must sit on a transaction boundary \
+                     (acked prefix or acked + the in-flight statement), got {got:?}"
+                );
+                acked = got; // resync to what the log actually committed
+            }
+            None => {
+                absorbed_storms += 1;
+                assert_eq!(
+                    got, acked,
+                    "seed {seed}: clean storm must replay every acknowledged row"
+                );
+                assert_eq!(
+                    report.replayed, acked_this_storm,
+                    "seed {seed}: one commit record per acknowledged statement"
+                );
+                assert_eq!(report.verdict, TailVerdict::Clean);
+            }
+        }
+    }
+
+    assert_eq!(storms, 50, "acceptance floor: 50 seeded crash storms");
+    assert!(crashed_storms > 0, "some storms must actually crash a commit");
+    assert!(absorbed_storms > 0, "transient WAL faults must be absorbed by retries");
+    // The recovery trail is audit-grade: one entry per storm, chain intact.
+    assert_eq!(audit.stream("recovery").len(), 50);
+    assert!(audit.verify(), "recovery audit chain verifies");
+    // The survivor still serves consistent reads.
+    assert_eq!(contents(&shared, key), acked);
+}
+
 #[test]
 fn persistent_faults_exhaust_cleanly_into_typed_errors() {
     let data = ironsafe::tpch::generate(0.002, 42);

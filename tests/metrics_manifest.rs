@@ -33,6 +33,12 @@ fn register_workspace(registry: &Registry) {
     sys.storage_db().register_metrics(registry);
     sys.register_exec_metrics(registry);
 
+    // MVCC snapshot registry + encrypted group-commit WAL (a shared
+    // serving deployment registers these via
+    // `SharedCsaSystem::register_wal_metrics`).
+    ironsafe_storage::Snapshots::new().metrics().register(registry);
+    ironsafe_storage::Wal::new(&[0u8; 16], 0).metrics().register(registry);
+
     // Serving layer.
     ServeMetrics::new().register(registry);
 
