@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|profile|shards|vectors|all] [--sf <f>] [--json] [--check] [--metrics-out <path>]
+//! paperbench [fig6|...|fig12|saturation|table3|table4|ablation|parallel|chaos|freshness|profile|shards|vectors|adaptive|all] [--sf <f>] [--json] [--check] [--metrics-out <path>]
 //! ```
 //!
 //! `parallel` (not part of `all`) sweeps morsel-driven execution across
@@ -47,6 +47,16 @@
 //! compares it byte for byte against the committed baseline, exiting
 //! nonzero on drift (the vectorization regression gate). Defaults to
 //! SF 0.002 unless `--sf` is given.
+//!
+//! `adaptive` (not part of `all`) sweeps the telemetry-driven offload
+//! optimizer against both static placement policies across a
+//! selectivity × EPC-pressure grid on scs, plus a mis-estimate
+//! mid-flight re-planning demo. Digests are bit-identical across all
+//! three policies at every point and the adaptive total never exceeds
+//! the better static policy. `--json` writes the snapshot to
+//! `BENCH_10.json`; `--check` regenerates it and byte-compares against
+//! the committed baseline, exiting nonzero on drift (the optimizer
+//! regression gate). Defaults to SF 0.002 unless `--sf` is given.
 //!
 //! `saturation` additionally runs the mixed read/write sweep when
 //! invoked directly (not under `all`): snapshot reads pinned while a
@@ -633,6 +643,79 @@ fn main() {
             );
             std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
             println!("vectors: wrote vectorization snapshot to BENCH_8.json");
+        }
+        return;
+    }
+
+    if what == "adaptive" {
+        let asf = if sf_given { sf } else { ADAPTIVE_SF };
+        println!(
+            "== Adaptive offload optimizer: shape x cores x selectivity x EPC pressure grid on scs (SF {asf}) ==\n"
+        );
+        let (cells, demo) = adaptive_sweep(asf);
+        println!(
+            "{:>5} {:>5} {:>5} {:>9} {:>13} {:>13} {:>13} {:>11} {:>18}",
+            "shape", "cores", "sel%", "pressure", "all-host", "all-offload", "adaptive",
+            "chosen", "result digest"
+        );
+        for c in &cells {
+            println!(
+                "{:>5} {:>5} {:>5} {:>9} {:>11.0}ns {:>11.0}ns {:>11.0}ns {:>11} {:>18}",
+                c.shape,
+                c.storage_cores,
+                c.selectivity_pct,
+                c.pressure_pages,
+                c.allhost_ns,
+                c.offload_ns,
+                c.adaptive_ns,
+                c.chosen,
+                c.result_digest
+            );
+        }
+        println!(
+            "(digests bit-identical across policies; adaptive <= best static at every point — asserted)\n"
+        );
+        println!(
+            "re-planning demo: pinned sel {:.0}% vs actual {}% — stubborn {:.0}ns, \
+             re-planned {:.0}ns ({} re-plan{}, rows identical)\n",
+            demo.pinned_selectivity * 100.0,
+            demo.actual_pct,
+            demo.stubborn_ns,
+            demo.replanned_ns,
+            demo.replans,
+            if demo.replans == 1 { "" } else { "s" }
+        );
+        let inv_block = adaptive_invariants_json(asf, &cells, &demo);
+        if check {
+            let baseline = std::fs::read_to_string("BENCH_10.json")
+                .expect("adaptive --check needs the committed BENCH_10.json baseline");
+            if baseline.contains(&inv_block) {
+                println!("adaptive: invariants match BENCH_10.json byte for byte (gate passes)");
+            } else {
+                eprintln!("adaptive: invariants DIVERGE from BENCH_10.json:");
+                let committed_block = baseline
+                    .find("  \"invariants\"")
+                    .and_then(|start| {
+                        baseline[start..].find("\n  }").map(|end| &baseline[start..start + end + 4])
+                    })
+                    .unwrap_or("(no invariants block found)");
+                for d in ironsafe_bench::diff_snapshots(committed_block, &inv_block) {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "(regenerate with `paperbench adaptive --json` if the change is intended)"
+                );
+                std::process::exit(1);
+            }
+        }
+        if json_out {
+            let json = adaptive_json(asf, &cells, &demo);
+            assert!(
+                ironsafe_obs::export::looks_like_valid_json(&json),
+                "adaptive snapshot failed JSON self-check"
+            );
+            std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+            println!("adaptive: wrote optimizer snapshot to BENCH_10.json");
         }
         return;
     }

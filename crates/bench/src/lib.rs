@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod chaos;
 pub mod figures;
 pub mod profiles;
@@ -24,6 +25,11 @@ pub mod telemetry;
 pub mod vectors;
 pub mod writes;
 
+pub use adaptive::{
+    adaptive_invariants_json, adaptive_json, adaptive_sweep, q1_wide_with_selectivity,
+    AdaptiveCell, ReplanDemo, ADAPTIVE_PRESSURES, ADAPTIVE_SELECTIVITIES, ADAPTIVE_SF,
+    ADAPTIVE_SHAPES, ADAPTIVE_STORAGE_CORES,
+};
 pub use figures::*;
 pub use profiles::{diff_snapshots, profile_matrix, profiles_json, PROFILE_SF};
 pub use shards::{

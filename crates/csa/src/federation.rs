@@ -21,6 +21,44 @@ use ironsafe_obs::TraceSnapshot;
 use ironsafe_sql::ast::Statement;
 use ironsafe_tpch::queries::PaperQuery;
 
+/// How far a federation pushes single-table work down into its shards.
+///
+/// Depth changes *where* the reduction happens — and therefore how many
+/// rows cross the shard fan-in — never the merged answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushdownDepth {
+    /// Push filter + projection *and* the partial aggregation down when
+    /// the query shape allows it; shards return partial states.
+    #[default]
+    PartialAggregate,
+    /// Push only filter + projection; shards return qualifying rows and
+    /// the fan-in host re-aggregates everything itself.
+    Rows,
+}
+
+/// Pick a pushdown depth from the planner's estimates: partial
+/// aggregation pays off exactly when the shard-side filter still lets
+/// many rows through (the fan-in would otherwise re-scan them all);
+/// when almost nothing survives, shipping the few qualifying rows and
+/// re-aggregating at the fan-in skips the partial-state machinery for
+/// the same wire traffic.
+pub fn choose_pushdown_depth(
+    estimated_selectivity: f64,
+    table_rows: u64,
+    aggregates: bool,
+) -> PushdownDepth {
+    let surviving = estimated_selectivity.clamp(0.0, 1.0) * table_rows as f64;
+    if aggregates && surviving > ROWS_PER_FANIN_BATCH {
+        PushdownDepth::PartialAggregate
+    } else {
+        PushdownDepth::Rows
+    }
+}
+
+/// Fan-in batch size under which re-aggregating shipped rows is cheaper
+/// than managing shard-partial states.
+const ROWS_PER_FANIN_BATCH: f64 = 256.0;
+
 /// An execution engine the serving layer can run queries against.
 pub trait QueryBackend: Send + Sync {
     /// Run one paper query under a per-request session key at the given

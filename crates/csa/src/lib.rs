@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod cost;
 pub mod federation;
 pub mod net;
@@ -30,13 +31,14 @@ pub mod profile;
 pub mod shared;
 pub mod system;
 
+pub use adaptive::{AdaptiveState, EpcView, Estimate, FragmentStats, PlanMetrics, ReplanPolicy};
 pub use cost::{CostBreakdown, CostParams, Interconnect};
-pub use federation::QueryBackend;
+pub use federation::{PushdownDepth, QueryBackend};
 pub use net::SecureChannel;
-pub use profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
+pub use profile::{CostTerm, Placement, PlanProfile, ProfileExtras, QueryProfile, ReplanEvent};
 pub use shared::{RecoveryReport, SharedCsaSystem};
-pub use partition::{partition_select, Partition, StorageQuery};
-pub use system::{CsaSystem, QueryReport, SystemConfig};
+pub use partition::{partition_select, OffloadDecision, Partition, StorageQuery};
+pub use system::{CsaSystem, PartitionStrategy, QueryReport, SystemConfig};
 
 /// Errors raised by the CSA layer.
 #[derive(Debug)]

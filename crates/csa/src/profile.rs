@@ -32,19 +32,89 @@ pub struct CostTerm {
     pub sim_ns: f64,
 }
 
+/// Where one executed plan ran, and in what transfer mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Host engine (host-only stages, or the join/aggregate of a split).
+    Host,
+    /// Storage engine, whole stage (`sos`).
+    Storage,
+    /// Storage fragment with the filter pushed down; surviving rows are
+    /// serialized and sealed through the channel.
+    StorageOffload,
+    /// Storage fragment with the pushdown withdrawn; raw pages ship and
+    /// the host filters.
+    StorageShipPages,
+}
+
+impl Placement {
+    /// Stable lowercase name used in `render()` and `to_json()`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Placement::Host => "host",
+            Placement::Storage => "storage",
+            Placement::StorageOffload => "storage-offload",
+            Placement::StorageShipPages => "storage-ship-pages",
+        }
+    }
+}
+
+/// One committed mid-flight re-plan: a fragment whose remaining morsels
+/// were re-placed after observed selectivity diverged from the estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanEvent {
+    /// The fragment that re-planned, e.g. `stage0/fragment/lineitem`.
+    pub label: String,
+    /// Placement the fragment started under.
+    pub from: Placement,
+    /// Placement the remaining morsels switched to.
+    pub to: Placement,
+    /// First morsel executed under the new placement.
+    pub at_morsel: usize,
+    /// Selectivity the planner estimated.
+    pub estimated: f64,
+    /// Cumulative selectivity observed at the switch point.
+    pub observed: f64,
+}
+
 /// Per-operator row counts for one executed plan (a stage, a storage
 /// fragment, or the host-side join/aggregate of a split run).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanProfile {
     /// Where in the run this plan executed, e.g. `stage0/fragment/lineitem`.
     pub label: String,
+    /// Where the plan ran (host, storage, and the transfer mode).
+    pub placement: Placement,
+    /// The pushed-down predicate, rendered as SQL (offloaded fragments
+    /// with a WHERE clause only).
+    pub pushdown_filter: Option<String>,
+    /// Selectivity the planner estimated for the pushed predicate
+    /// (adaptive runs only).
+    pub estimated_selectivity: Option<f64>,
+    /// Selectivity actually observed for the pushed predicate.
+    pub observed_selectivity: Option<f64>,
     /// Preorder operator profiles captured after the plan drained.
     pub operators: Vec<OperatorProfile>,
 }
 
+impl PlanProfile {
+    /// A plain profile with no pushdown annotations.
+    pub fn new(label: String, placement: Placement, operators: Vec<OperatorProfile>) -> Self {
+        PlanProfile {
+            label,
+            placement,
+            pushdown_filter: None,
+            estimated_selectivity: None,
+            observed_selectivity: None,
+            operators,
+        }
+    }
+}
+
 /// Enclave-side observations a run records beyond the pager counters:
-/// transition counts, EPC faults and per-stage EPC occupancy samples.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// transition counts, EPC faults, per-stage EPC occupancy samples and
+/// committed re-plan events.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProfileExtras {
     /// Enclave transitions (ECALL/OCALL pairs) the run charged for.
     pub enclave_transitions: u64,
@@ -54,6 +124,8 @@ pub struct ProfileExtras {
     /// EPC resident-page samples, one per executed stage (split secure
     /// configurations only).
     pub epc_occupancy_pages: Vec<u64>,
+    /// Mid-flight re-plans the run committed (adaptive runs only).
+    pub replans: Vec<ReplanEvent>,
 }
 
 /// Full per-query execution profile: the span tree's cost terms, the
@@ -98,6 +170,8 @@ pub struct QueryProfile {
     pub cost_terms: Vec<CostTerm>,
     /// Per-operator row counts for every plan the run drained.
     pub plans: Vec<PlanProfile>,
+    /// Mid-flight re-plan events the run committed.
+    pub replan_events: Vec<ReplanEvent>,
     /// Total spans in the run's trace.
     pub span_count: usize,
     /// Spans tagged with an error (faulted attempts that rolled back).
@@ -124,7 +198,16 @@ impl QueryProfile {
             b.ndp_ns, b.freshness_ns, b.crypto_ns, b.transitions_ns, b.epc_ns, b.other_ns
         );
         for plan in &self.plans {
-            let _ = writeln!(out, "plan {}:", plan.label);
+            let _ = write!(out, "plan {} [placement={}", plan.label, plan.placement.as_str());
+            if let Some(f) = &plan.pushdown_filter {
+                let _ = write!(out, ", pushdown {f}");
+            }
+            if let (Some(est), Some(obs)) =
+                (plan.estimated_selectivity, plan.observed_selectivity)
+            {
+                let _ = write!(out, ", sel est={est:.4} obs={obs:.4}");
+            }
+            out.push_str("]:\n");
             for op in &plan.operators {
                 for _ in 0..op.depth {
                     out.push_str("  ");
@@ -141,6 +224,18 @@ impl QueryProfile {
                 }
                 out.push('\n');
             }
+        }
+        for ev in &self.replan_events {
+            let _ = writeln!(
+                out,
+                "replan {}: {} -> {} at morsel {} (sel est={:.4} obs={:.4})",
+                ev.label,
+                ev.from.as_str(),
+                ev.to.as_str(),
+                ev.at_morsel,
+                ev.estimated,
+                ev.observed
+            );
         }
         out.push_str("cost terms:\n");
         for t in &self.cost_terms {
@@ -229,7 +324,31 @@ impl QueryProfile {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"label\":\"{}\",\"operators\":[", escape_json(&plan.label));
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"placement\":\"{}\"",
+                escape_json(&plan.label),
+                plan.placement.as_str()
+            );
+            match &plan.pushdown_filter {
+                Some(f) => {
+                    let _ = write!(out, ",\"pushdown_filter\":\"{}\"", escape_json(f));
+                }
+                None => out.push_str(",\"pushdown_filter\":null"),
+            }
+            match plan.estimated_selectivity {
+                Some(v) => {
+                    let _ = write!(out, ",\"estimated_selectivity\":{v:.6}");
+                }
+                None => out.push_str(",\"estimated_selectivity\":null"),
+            }
+            match plan.observed_selectivity {
+                Some(v) => {
+                    let _ = write!(out, ",\"observed_selectivity\":{v:.6}");
+                }
+                None => out.push_str(",\"observed_selectivity\":null"),
+            }
+            out.push_str(",\"operators\":[");
             for (j, op) in plan.operators.iter().enumerate() {
                 if j > 0 {
                     out.push(',');
@@ -245,6 +364,22 @@ impl QueryProfile {
                 );
             }
             out.push_str("]}");
+        }
+        out.push_str("],\"replan_events\":[");
+        for (i, ev) in self.replan_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"label\":\"{}\",\"from\":\"{}\",\"to\":\"{}\",\"at_morsel\":{},\"estimated\":{:.6},\"observed\":{:.6}}}",
+                escape_json(&ev.label),
+                ev.from.as_str(),
+                ev.to.as_str(),
+                ev.at_morsel,
+                ev.estimated,
+                ev.observed
+            );
         }
         let _ = write!(
             out,
@@ -286,6 +421,10 @@ mod tests {
             cost_terms: vec![CostTerm { name: "storage/device_io".into(), sim_ns: 100.0 }],
             plans: vec![PlanProfile {
                 label: "stage0/fragment/lineitem".into(),
+                placement: Placement::StorageOffload,
+                pushdown_filter: Some("x > 1".into()),
+                estimated_selectivity: Some(0.1),
+                observed_selectivity: Some(0.12),
                 operators: vec![
                     OperatorProfile {
                         depth: 0,
@@ -303,6 +442,14 @@ mod tests {
                     },
                 ],
             }],
+            replan_events: vec![ReplanEvent {
+                label: "stage0/fragment/lineitem".into(),
+                from: Placement::StorageOffload,
+                to: Placement::StorageShipPages,
+                at_morsel: 8,
+                estimated: 0.1,
+                observed: 0.97,
+            }],
             span_count: 7,
             error_span_count: 0,
         }
@@ -316,6 +463,16 @@ mod tests {
         assert!(text.contains("SeqScan lineitem (rows out=100)"));
         assert!(text.contains("macs_verified=9"));
         assert!(text.contains("storage/device_io"));
+        assert!(
+            text.contains("placement=storage-offload, pushdown x > 1, sel est=0.1000 obs=0.1200"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "replan stage0/fragment/lineitem: storage-offload -> storage-ship-pages at morsel 8"
+            ),
+            "{text}"
+        );
     }
 
     #[test]
@@ -327,5 +484,10 @@ mod tests {
         assert!(a.contains("\"query_id\":6"));
         assert!(a.contains("\"macs_verified\":9"));
         assert!(a.contains("\"describe\":\"SeqScan lineitem\""));
+        assert!(a.contains("\"placement\":\"storage-offload\""), "{a}");
+        assert!(a.contains("\"pushdown_filter\":\"x > 1\""));
+        assert!(a.contains("\"estimated_selectivity\":0.100000"));
+        assert!(a.contains("\"replan_events\":[{\"label\":"), "{a}");
+        assert!(a.contains("\"to\":\"storage-ship-pages\""));
     }
 }

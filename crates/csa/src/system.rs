@@ -7,14 +7,19 @@
 //! simulated-time breakdown and data-movement counters every figure is
 //! built from.
 
+use crate::adaptive::{
+    choose, divergence_trip, prior_selectivity, AdaptiveState, EpcView, FragmentStats,
+    PlanMetrics, ReplanPolicy, RECORD_OVERHEAD_BYTES, ROWS_PER_RECORD,
+};
 use crate::cost::{CostBreakdown, CostParams};
 use crate::net::channel_pair;
-use crate::profile::{CostTerm, PlanProfile, ProfileExtras, QueryProfile};
+use crate::profile::{CostTerm, Placement, PlanProfile, ProfileExtras, QueryProfile, ReplanEvent};
 use crate::partition::{partition_select, partition_select_strategic, OffloadDecision, Partition, StorageQuery};
 use crate::Result;
 use ironsafe_crypto::group::Group;
-use ironsafe_sql::ast::{SelectItem, SelectStmt, Statement};
-use ironsafe_sql::exec::ExecOptions;
+use ironsafe_sql::ast::{expr_to_sql, SelectItem, SelectStmt, Statement};
+use ironsafe_sql::exec::{ExecOptions, ScanWatch};
+use parking_lot::Mutex;
 use ironsafe_sql::{Database, QueryResult, Schema};
 use ironsafe_faults::{retry_with, FaultPlan, RetryPolicy};
 use ironsafe_storage::pager::{PagerStats, PlainPager};
@@ -114,10 +119,14 @@ pub enum PartitionStrategy {
     /// Always push filters + projection down (the paper's heuristic).
     #[default]
     Static,
-    /// Sample each table's first pages, estimate the fragment's
-    /// selectivity, and offload only when the shipped intermediate is
-    /// estimated to be meaningfully smaller than the raw pages — the
-    /// paper's §8 future work, implemented.
+    /// Never push down: every fragment ships raw pages and the host
+    /// applies the filter itself (the all-host static baseline).
+    AllHost,
+    /// Cost-based per-fragment placement: evaluate the offload and
+    /// ship-pages alternatives under [`CostParams`] with selectivity
+    /// estimates from the [`AdaptiveState`] EWMA store (seeded from
+    /// predicate-shape priors) and the live EPC occupancy — the paper's
+    /// §8 future work, implemented.
     Adaptive,
 }
 
@@ -152,6 +161,21 @@ pub struct CsaSystem {
     /// Retry budget used when recovering from injected transient faults
     /// on the channel path.
     retry: RetryPolicy,
+    /// Shared EWMA estimate store feeding the adaptive planner. Cloned
+    /// (by `Arc`) into every view so observations made inside a view
+    /// refine the base system's estimates.
+    adaptive: Arc<Mutex<AdaptiveState>>,
+    /// Live `plan.*` counters (decisions, refinements, re-plans).
+    plan_metrics: PlanMetrics,
+    /// When set, the adaptive strategy skips the cost rule and applies
+    /// this decision to every fragment (the golden-parity guard).
+    pinned_decision: Option<OffloadDecision>,
+    /// Mid-flight re-planning policy (`None` = disabled).
+    replan: Option<ReplanPolicy>,
+    /// Simulated background enclave working set (pages) held resident by
+    /// concurrent tenants; 0 = calm EPC. Applied identically under every
+    /// strategy — pressure is environment, not policy.
+    epc_pressure_pages: u64,
 }
 
 /// Attribute one simulated cost term to a named accounting span.
@@ -234,6 +258,11 @@ impl CsaSystem {
             exec: ExecOptions::serial(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            adaptive: Arc::new(Mutex::new(AdaptiveState::new())),
+            plan_metrics: PlanMetrics::new(),
+            pinned_decision: None,
+            replan: None,
+            epc_pressure_pages: 0,
         })
     }
 
@@ -252,6 +281,11 @@ impl CsaSystem {
             exec: ExecOptions::serial(),
             fault_plan: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            adaptive: Arc::new(Mutex::new(AdaptiveState::new())),
+            plan_metrics: PlanMetrics::new(),
+            pinned_decision: None,
+            replan: None,
+            epc_pressure_pages: 0,
         }
     }
 
@@ -285,6 +319,11 @@ impl CsaSystem {
             exec: self.exec.clone(),
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
+            adaptive: self.adaptive.clone(),
+            plan_metrics: self.plan_metrics.clone(),
+            pinned_decision: self.pinned_decision,
+            replan: self.replan,
+            epc_pressure_pages: self.epc_pressure_pages,
         }
     }
 
@@ -313,6 +352,11 @@ impl CsaSystem {
             exec: self.exec.clone(),
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
+            adaptive: self.adaptive.clone(),
+            plan_metrics: self.plan_metrics.clone(),
+            pinned_decision: self.pinned_decision,
+            replan: self.replan,
+            epc_pressure_pages: self.epc_pressure_pages,
         }
     }
 
@@ -342,6 +386,11 @@ impl CsaSystem {
             exec: self.exec.clone(),
             fault_plan: self.fault_plan.clone(),
             retry: self.retry,
+            adaptive: self.adaptive.clone(),
+            plan_metrics: self.plan_metrics.clone(),
+            pinned_decision: self.pinned_decision,
+            replan: self.replan,
+            epc_pressure_pages: self.epc_pressure_pages,
         }
     }
 
@@ -464,6 +513,7 @@ impl CsaSystem {
                 .map(|s| CostTerm { name: s.name.clone(), sim_ns: s.sim_ns })
                 .collect(),
             plans: self.last_plans.clone(),
+            replan_events: self.last_extras.replans.clone(),
             span_count: trace.spans.len(),
             error_span_count: trace.error_spans().len(),
         };
@@ -513,6 +563,50 @@ impl CsaSystem {
     /// pager counters.
     pub fn register_exec_metrics(&self, registry: &ironsafe_obs::Registry) {
         self.exec.metrics.register(registry);
+    }
+
+    /// Select the partitioning strategy used by split configurations.
+    pub fn set_partition_strategy(&mut self, strategy: PartitionStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Handle on the shared selectivity-estimate store (survives across
+    /// runs and views; feed it by running queries or pin entries).
+    pub fn adaptive_state(&self) -> Arc<Mutex<AdaptiveState>> {
+        self.adaptive.clone()
+    }
+
+    /// Pin a table-level estimate, overriding priors for every fragment
+    /// on `table` that has no predicate-specific observation yet (used
+    /// to model stale or deliberately wrong catalog statistics).
+    pub fn pin_table_estimate(&mut self, table: &str, est: crate::adaptive::Estimate) {
+        self.adaptive.lock().pin_table(table, est);
+    }
+
+    /// Pin the adaptive strategy to a fixed decision for every fragment
+    /// (`None` restores cost-based choice). With a pin in place the
+    /// adaptive path must reproduce the corresponding static plan
+    /// bit-identically — the golden-parity guard asserts exactly this.
+    pub fn pin_adaptive(&mut self, decision: Option<OffloadDecision>) {
+        self.pinned_decision = decision;
+    }
+
+    /// Enable (`Some`) or disable (`None`, the default) mid-flight
+    /// re-planning for adaptive offloaded fragments.
+    pub fn set_replan(&mut self, policy: Option<ReplanPolicy>) {
+        self.replan = policy;
+    }
+
+    /// Simulate background EPC pressure: `pages` enclave pages held
+    /// resident by concurrent tenants for the whole run. Applied under
+    /// every strategy (pressure is environment, not policy); 0 disables.
+    pub fn set_epc_pressure(&mut self, pages: u64) {
+        self.epc_pressure_pages = pages;
+    }
+
+    /// Attach the planner counters (`plan.*`) to `registry`.
+    pub fn register_plan_metrics(&self, registry: &ironsafe_obs::Registry) {
+        self.plan_metrics.register(registry);
     }
 
     fn pager_delta(&self, before: PagerStats) -> PagerStats {
@@ -644,10 +738,11 @@ impl CsaSystem {
                 let r = match &stmt {
                     Statement::Select(sel) => {
                         let (r, ops) = self.storage_db.select_with_profile(sel, &exec)?;
-                        self.last_plans.push(PlanProfile {
-                            label: format!("stage{stage_no}/storage_exec"),
-                            operators: ops,
-                        });
+                        self.last_plans.push(PlanProfile::new(
+                            format!("stage{stage_no}/storage_exec"),
+                            Placement::Storage,
+                            ops,
+                        ));
                         r
                     }
                     other => self.storage_db.execute_statement_with(other, &exec)?,
@@ -764,10 +859,11 @@ impl CsaSystem {
                 let r = match &stmt {
                     Statement::Select(sel) => {
                         let (r, ops) = self.storage_db.select_with_profile(sel, &exec)?;
-                        self.last_plans.push(PlanProfile {
-                            label: format!("stage{stage_no}/host_exec"),
-                            operators: ops,
-                        });
+                        self.last_plans.push(PlanProfile::new(
+                            format!("stage{stage_no}/host_exec"),
+                            Placement::Host,
+                            ops,
+                        ));
                         r
                     }
                     other => self.storage_db.execute_statement_with(other, &exec)?,
@@ -870,6 +966,12 @@ impl CsaSystem {
             let before = self.storage_db.pager_stats();
             let mut host_db = Database::new(PlainPager::new());
             let mut epc = EpcSimulator::new(p.epc_limit_bytes);
+            if secure && self.epc_pressure_pages > 0 {
+                // Concurrent tenants hold a resident working set before
+                // the query's first temp page lands. Applied under every
+                // strategy: pressure is environment, not policy.
+                epc.preload_background(self.epc_pressure_pages);
+            }
             let (mut tx, mut rx) = channel_pair(&self.session_key);
             rx.set_fault_plan(self.fault_plan.clone());
             let plan = self.fault_plan.clone();
@@ -898,14 +1000,54 @@ impl CsaSystem {
                 let catalog_lookup = |name: &str| -> Option<Schema> {
                     self.storage_db.catalog().table(name).ok().map(|t| t.schema.clone())
                 };
+                let host_ops_est = complexity(&sel);
+                let adaptive_live = self.strategy == PartitionStrategy::Adaptive
+                    && self.pinned_decision.is_none();
                 let Partition { storage, host } = match self.strategy {
                     PartitionStrategy::Static => partition_select(&sel, &catalog_lookup),
-                    PartitionStrategy::Adaptive => {
-                        let db = &self.storage_db;
-                        partition_select_strategic(&sel, &catalog_lookup, &|table, frag| {
-                            decide_offload(db, table, frag)
+                    PartitionStrategy::AllHost => {
+                        partition_select_strategic(&sel, &catalog_lookup, &|_, _| {
+                            OffloadDecision::ShipPages
                         })
                     }
+                    PartitionStrategy::Adaptive => match self.pinned_decision {
+                        Some(pin) => {
+                            partition_select_strategic(&sel, &catalog_lookup, &|_, _| pin)
+                        }
+                        None => {
+                            let state = self.adaptive.lock();
+                            // Occupancy at planning time: background
+                            // pressure plus earlier stages' temp pages —
+                            // so later stages adapt to a filling EPC.
+                            let view = EpcView {
+                                occupied_pages: epc.resident_pages() as u64,
+                                capacity_pages: epc.capacity_pages() as u64,
+                            };
+                            let db = &self.storage_db;
+                            let metrics = &self.plan_metrics;
+                            partition_select_strategic(&sel, &catalog_lookup, &|table, frag| {
+                                let Ok(info) = db.catalog().table(table) else {
+                                    return OffloadDecision::Offload;
+                                };
+                                let shape = TableShape {
+                                    rows: info.heap.row_count,
+                                    pages: info.heap.pages.len() as u64,
+                                    cols: info.schema.len(),
+                                };
+                                let f = fragment_stats(
+                                    &state, table, frag, shape, host_ops_est, secure,
+                                );
+                                let (decision, _, _) = choose(&f, &view, &p);
+                                match decision {
+                                    OffloadDecision::Offload => metrics.decide_offload.inc(),
+                                    OffloadDecision::ShipPages => {
+                                        metrics.decide_ship_pages.inc()
+                                    }
+                                }
+                                decision
+                            })
+                        }
+                    },
                 };
 
                 // Run fragments near the data, ship results.
@@ -913,34 +1055,138 @@ impl CsaSystem {
                 for StorageQuery { table, stmt, mode, .. } in &storage {
                     let _frag_span = Span::enter(&format!("fragment/{table}"));
                     let info = self.storage_db.catalog().table(table)?;
-                    scanned_rows += info.heap.row_count;
+                    let table_rows = info.heap.row_count;
+                    let table_cols = info.schema.len();
+                    scanned_rows += table_rows;
                     let table_pages = info.heap.pages.len() as u64;
-                    let (frag_result, frag_ops) =
-                        self.storage_db.select_with_profile(stmt, &exec)?;
-                    self.last_plans.push(PlanProfile {
-                        label: format!("stage{stage_no}/fragment/{table}"),
-                        operators: frag_ops,
+                    let shape =
+                        TableShape { rows: table_rows, pages: table_pages, cols: table_cols };
+                    let est_sel = (adaptive_live && stmt.where_clause.is_some()).then(|| {
+                        let state = self.adaptive.lock();
+                        fragment_stats(&state, table, stmt, shape, host_ops_est, secure)
+                            .selectivity
                     });
+                    // Watch per-morsel row counts when this fragment may
+                    // re-plan mid-flight (forces the morsel driver, which
+                    // stays bit-identical to serial execution).
+                    let watch = (adaptive_live
+                        && self.replan.is_some()
+                        && *mode == OffloadDecision::Offload
+                        && est_sel.is_some())
+                    .then(|| Arc::new(ScanWatch::new()));
+                    let frag_exec = match &watch {
+                        Some(w) => exec.clone().with_watch(w.clone()),
+                        None => exec.clone(),
+                    };
+                    let (frag_result, frag_ops) =
+                        self.storage_db.select_with_profile(stmt, &frag_exec)?;
+                    let pushdown_sql = stmt.where_clause.as_ref().map(expr_to_sql);
                     let schema = frag_result.schema();
                     let rows = frag_result.rows().to_vec();
-                    rows_shipped += rows.len() as u64;
+                    let frag_rows = rows.len();
+                    rows_shipped += frag_rows as u64;
                     fragments += 1;
+                    let observed_sel = (table_rows > 0 && stmt.where_clause.is_some())
+                        .then(|| frag_rows as f64 / table_rows as f64);
+                    self.last_plans.push(PlanProfile {
+                        label: format!("stage{stage_no}/fragment/{table}"),
+                        placement: match mode {
+                            OffloadDecision::Offload => Placement::StorageOffload,
+                            OffloadDecision::ShipPages => Placement::StorageShipPages,
+                        },
+                        pushdown_filter: pushdown_sql.clone(),
+                        estimated_selectivity: est_sel,
+                        observed_selectivity: observed_sel,
+                        operators: frag_ops,
+                    });
 
+                    let bytes_before = tx.bytes_sent;
+                    let mut sealed_rows = frag_rows;
                     match mode {
-                        crate::partition::OffloadDecision::ShipPages => {
+                        OffloadDecision::ShipPages => {
                             // Raw page transfer: no storage-side serialization,
                             // whole pages cross the wire.
                             page_transfer_bytes += table_pages * 4096;
                         }
-                        crate::partition::OffloadDecision::Offload => {
-                            rows_serialized += rows.len() as u64;
+                        OffloadDecision::Offload => {
+                            // Mid-flight re-planning: if the cumulative
+                            // per-morsel selectivity diverged from the
+                            // estimate past the hysteresis band *and* the
+                            // cost rule flips at the observed value, the
+                            // remaining morsels abandon the pushdown —
+                            // their raw pages cross the wire and the host
+                            // filters them itself. Answers are unchanged;
+                            // only the cost accounting moves.
+                            if let (Some(w), Some(policy)) = (&watch, self.replan) {
+                                let slots = w.take();
+                                let est = est_sel.unwrap_or(1.0);
+                                if let Some((m, obs)) = divergence_trip(&slots, est, &policy) {
+                                    let mut f = {
+                                        let state = self.adaptive.lock();
+                                        fragment_stats(
+                                            &state, table, stmt, shape, host_ops_est, secure,
+                                        )
+                                    };
+                                    f.selectivity = obs;
+                                    let view = EpcView {
+                                        occupied_pages: epc.resident_pages() as u64,
+                                        capacity_pages: epc.capacity_pages() as u64,
+                                    };
+                                    let (rechoice, _, _) = choose(&f, &view, &p);
+                                    if rechoice == OffloadDecision::ShipPages {
+                                        let pre_filtered: u64 =
+                                            slots[..m].iter().map(|(_, out)| *out).sum();
+                                        let post_raw: u64 =
+                                            slots[m..].iter().map(|(inp, _)| *inp).sum();
+                                        let post_filtered: u64 =
+                                            slots[m..].iter().map(|(_, out)| *out).sum();
+                                        sealed_rows = pre_filtered as usize;
+                                        let covered = (m * exec.morsel_pages) as u64;
+                                        page_transfer_bytes +=
+                                            table_pages.saturating_sub(covered) * 4096;
+                                        // The host filters the raw remainder
+                                        // itself…
+                                        host_input_rows += post_raw - post_filtered;
+                                        if secure {
+                                            // …and its enclave touches the
+                                            // extra temp pages those raw rows
+                                            // occupy before filtering.
+                                            let density = f.temp_rows_per_page.max(1.0);
+                                            let extra_pages = ((post_raw - post_filtered)
+                                                as f64
+                                                / density)
+                                                .ceil()
+                                                as u64;
+                                            epc.access_range(
+                                                2_000_000_000 + fragments * 1_000_000,
+                                                extra_pages,
+                                            );
+                                        }
+                                        charge(
+                                            "plan/replan",
+                                            "ndp",
+                                            p.fragment_setup_ns as f64,
+                                        );
+                                        self.plan_metrics.replans.inc();
+                                        self.last_extras.replans.push(ReplanEvent {
+                                            label: format!("stage{stage_no}/fragment/{table}"),
+                                            from: Placement::StorageOffload,
+                                            to: Placement::StorageShipPages,
+                                            at_morsel: m,
+                                            estimated: est,
+                                            observed: obs,
+                                        });
+                                    }
+                                }
+                            }
+                            rows_serialized += sealed_rows as u64;
                             // Serialize through the channel (records of ≤4096 rows).
                             // Each record is sealed once; injected transit faults
                             // (drop/corrupt/reorder) reject delivery without
                             // advancing the receive window, and the retransmit of
                             // the pristine record is accepted under the retry
                             // budget — so bytes_sent counts each record once.
-                            for chunk in rows.chunks(4096) {
+                            for chunk in rows[..sealed_rows].chunks(4096) {
                                 let record = tx.seal_rows(&schema, chunk);
                                 let back =
                                     retry_with(&plan, &retry, || rx.recv_rows(&record))?;
@@ -954,6 +1200,38 @@ impl CsaSystem {
                     host_db.create_table(table, schema)?;
                     host_db.insert_rows(table, rows)?;
                     shipped_tables.push(table.clone());
+
+                    // Feedback: fold the fragment's observed statistics
+                    // into the shared EWMA store (under every strategy —
+                    // static runs prime the adaptive planner too).
+                    if *mode == OffloadDecision::Offload
+                        && stmt.where_clause.is_some()
+                        && sealed_rows > 0
+                    {
+                        let obs = frag_rows as f64 / table_rows.max(1) as f64;
+                        let records = (sealed_rows as u64).div_ceil(ROWS_PER_RECORD);
+                        let wire = tx.bytes_sent - bytes_before;
+                        let per_row = wire.saturating_sub(records * RECORD_OVERHEAD_BYTES)
+                            as f64
+                            / sealed_rows as f64;
+                        let temp_pages = host_db
+                            .catalog()
+                            .table(table)
+                            .map(|i| i.heap.pages.len())
+                            .unwrap_or(1)
+                            .max(1);
+                        let density = frag_rows as f64 / temp_pages as f64;
+                        let refined = self.adaptive.lock().observe(
+                            table,
+                            pushdown_sql.as_deref(),
+                            obs,
+                            per_row,
+                            density,
+                        );
+                        if refined {
+                            self.plan_metrics.estimate_refined.inc();
+                        }
+                    }
                 }
 
                 // Host-side execution over the shipped intermediates.
@@ -974,14 +1252,21 @@ impl CsaSystem {
                     // Sample EPC occupancy once per stage, after the
                     // stage's working set landed.
                     self.last_extras.epc_occupancy_pages.push(epc.resident_pages() as u64);
+                    // The background tenants re-touch their working set
+                    // while the host stage computes; against a full EPC
+                    // this faults (and cascades) deterministically.
+                    if self.epc_pressure_pages > 0 {
+                        epc.touch_background(self.epc_pressure_pages);
+                    }
                 }
                 let r = {
                     let _host_span = Span::enter("host/join_aggregate");
                     let (r, host_ops_profile) = host_db.select_with_profile(&host, &exec)?;
-                    self.last_plans.push(PlanProfile {
-                        label: format!("stage{stage_no}/host"),
-                        operators: host_ops_profile,
-                    });
+                    self.last_plans.push(PlanProfile::new(
+                        format!("stage{stage_no}/host"),
+                        Placement::Host,
+                        host_ops_profile,
+                    ));
                     r
                 };
                 match &stage.into {
@@ -1075,48 +1360,51 @@ impl CsaSystem {
     }
 }
 
-/// Adaptive offload decision: sample the table's first pages, estimate
-/// the fragment's selectivity and output width, and decline the pushdown
-/// when shipping rows would not beat shipping raw pages.
-fn decide_offload(db: &Database, table: &str, frag: &SelectStmt) -> OffloadDecision {
-    let Ok(info) = db.catalog().table(table) else {
-        return OffloadDecision::Offload;
-    };
-    let total_cols = info.schema.len().max(1);
-    let needed_cols = frag.projections.len().max(1);
-    let selectivity = match &frag.where_clause {
-        None => 1.0,
-        Some(pred) => {
-            // Sample up to the first two heap pages.
-            let mut sampled = 0usize;
-            let mut hits = 0usize;
-            for page in 0..info.heap.pages.len().min(2) {
-                let Ok(rows) = info.heap.read_page_rows(db.pager(), page, info.schema.len()) else {
-                    return OffloadDecision::Offload;
-                };
-                for row in &rows {
-                    sampled += 1;
-                    if ironsafe_sql::expr::eval(pred, &info.schema, row)
-                        .map(|v| v.is_truthy())
-                        .unwrap_or(false)
-                    {
-                        hits += 1;
-                    }
-                }
-            }
-            if sampled == 0 {
-                1.0
-            } else {
-                hits as f64 / sampled as f64
-            }
-        }
-    };
-    // Estimated shipped fraction of the raw table bytes.
-    let shipped_fraction = selectivity * needed_cols as f64 / total_cols as f64;
-    if shipped_fraction < 0.8 {
-        OffloadDecision::Offload
+/// Catalog shape of one table, as the planner sees it.
+#[derive(Clone, Copy)]
+struct TableShape {
+    rows: u64,
+    pages: u64,
+    cols: usize,
+}
+
+/// Assemble the planner's view of one storage fragment: EWMA-refined
+/// estimates from the shared store when the fragment has been observed
+/// before, predicate-shape priors and catalog statistics otherwise.
+/// Pure — no page reads, no pager-stat perturbation.
+fn fragment_stats(
+    state: &AdaptiveState,
+    table: &str,
+    frag: &SelectStmt,
+    shape: TableShape,
+    host_ops: u64,
+    secure: bool,
+) -> FragmentStats {
+    let TableShape { rows: table_rows, pages: table_pages, cols: table_cols } = shape;
+    let where_sql = frag.where_clause.as_ref().map(expr_to_sql);
+    let est = state.lookup(table, where_sql.as_deref());
+    let selectivity = est.map(|e| e.selectivity).unwrap_or_else(|| {
+        frag.where_clause.as_ref().map(prior_selectivity).unwrap_or(1.0)
+    });
+    let needed_cols = if frag.projections.iter().any(|i| matches!(i, SelectItem::Star)) {
+        table_cols
     } else {
-        OffloadDecision::ShipPages
+        frag.projections.len()
+    }
+    .max(1);
+    let density_prior = if table_pages == 0 {
+        64.0
+    } else {
+        (table_rows as f64 / table_pages as f64).max(1.0)
+    };
+    FragmentStats {
+        table_rows,
+        table_pages,
+        selectivity,
+        row_wire_bytes: est.map(|e| e.row_wire_bytes).unwrap_or(12.0 * needed_cols as f64),
+        temp_rows_per_page: est.map(|e| e.temp_rows_per_page).unwrap_or(density_prior),
+        host_ops,
+        secure,
     }
 }
 

@@ -7,7 +7,7 @@
 //! ones a plain `run_query` produces on an identically-prepared system.
 //! Profiling is observation, not perturbation.
 
-use ironsafe_csa::{CostParams, CsaSystem, SystemConfig};
+use ironsafe_csa::{CostParams, CsaSystem, OffloadDecision, PartitionStrategy, SystemConfig};
 use ironsafe_obs::export::looks_like_valid_json;
 use ironsafe_tpch::queries::query;
 use ironsafe_tpch::TpchData;
@@ -121,6 +121,106 @@ fn profile_json_and_render_are_deterministic() {
     assert!(json_a.contains("\"plans\""));
     assert!(text_a.contains("Q6 profile"));
     assert!(text_a.contains("rows out="));
+}
+
+/// Golden-parity guard for the adaptive planner: with the decision
+/// pinned (adaptivity disabled), the adaptive strategy must reproduce
+/// the corresponding static plan *bit-identically* — breakdown, pager
+/// delta, shipped counters, rows. Adaptivity is a planning change, never
+/// an execution change.
+#[test]
+fn pinned_adaptive_reproduces_static_plans_bit_identically() {
+    let d = data();
+    for config in [SystemConfig::VanillaCs, SystemConfig::IronSafe] {
+        for dop in [1usize, 4] {
+            for (pin, baseline) in [
+                (OffloadDecision::Offload, PartitionStrategy::Static),
+                (OffloadDecision::ShipPages, PartitionStrategy::AllHost),
+            ] {
+                let mut want_sys = CsaSystem::build(config, &d, CostParams::default()).unwrap();
+                want_sys.set_partition_strategy(baseline);
+                want_sys.set_dop(dop);
+                let mut got_sys = CsaSystem::build(config, &d, CostParams::default()).unwrap();
+                got_sys.set_partition_strategy(PartitionStrategy::Adaptive);
+                got_sys.pin_adaptive(Some(pin));
+                got_sys.set_dop(dop);
+                for qid in [1u8, 6] {
+                    let q = query(qid).unwrap();
+                    let before_want = want_sys.storage_db().pager_stats();
+                    let want = want_sys.run_query(&q).unwrap();
+                    let after_want = want_sys.storage_db().pager_stats();
+                    let before_got = got_sys.storage_db().pager_stats();
+                    let got = got_sys.run_query(&q).unwrap();
+                    let after_got = got_sys.storage_db().pager_stats();
+                    let tag = format!("{} q{qid} dop{dop} pin={pin:?}", config.abbrev());
+                    assert_eq!(got.result, want.result, "{tag}: rows");
+                    assert_eq!(got.breakdown, want.breakdown, "{tag}: breakdown");
+                    assert_eq!(
+                        (got.rows_shipped, got.bytes_shipped, got.pages_shipped),
+                        (want.rows_shipped, want.bytes_shipped, want.pages_shipped),
+                        "{tag}: shipped counters"
+                    );
+                    assert_eq!(
+                        (
+                            after_got.page_reads - before_got.page_reads,
+                            after_got.decrypts - before_got.decrypts,
+                            after_got.merkle_nodes - before_got.merkle_nodes,
+                        ),
+                        (
+                            after_want.page_reads - before_want.page_reads,
+                            after_want.decrypts - before_want.decrypts,
+                            after_want.merkle_nodes - before_want.merkle_nodes,
+                        ),
+                        "{tag}: pager delta"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// With estimates pinned to the truth (a primed run), the cost-based
+/// adaptive pass picks one of the two static placements and its report
+/// is bit-identical to that static run — never a third behavior.
+#[test]
+fn primed_adaptive_equals_one_static_policy_bit_identically() {
+    let d = data();
+    for qid in [1u8, 6] {
+        let q = query(qid).unwrap();
+        let run_static = |strategy: PartitionStrategy| {
+            let mut sys =
+                CsaSystem::build(SystemConfig::IronSafe, &d, CostParams::default()).unwrap();
+            sys.set_partition_strategy(strategy);
+            sys.run_query(&q).unwrap(); // warm-up run (Merkle caches)
+            sys.run_query(&q).unwrap()
+        };
+        let offload = run_static(PartitionStrategy::Static);
+        let allhost = run_static(PartitionStrategy::AllHost);
+        let adaptive = {
+            let mut sys =
+                CsaSystem::build(SystemConfig::IronSafe, &d, CostParams::default()).unwrap();
+            // Prime: a static offload run feeds exact observed statistics
+            // into the shared EWMA store (same warm-up schedule as above).
+            sys.set_partition_strategy(PartitionStrategy::Static);
+            sys.run_query(&q).unwrap();
+            sys.set_partition_strategy(PartitionStrategy::Adaptive);
+            sys.run_query(&q).unwrap()
+        };
+        let matches_offload = adaptive.breakdown == offload.breakdown
+            && adaptive.bytes_shipped == offload.bytes_shipped;
+        let matches_allhost = adaptive.breakdown == allhost.breakdown
+            && adaptive.bytes_shipped == allhost.bytes_shipped;
+        assert!(
+            matches_offload || matches_allhost,
+            "q{qid}: adaptive must equal one static policy exactly \
+             (adaptive {:.0} vs offload {:.0} / allhost {:.0})",
+            adaptive.total_ns(),
+            offload.total_ns(),
+            allhost.total_ns()
+        );
+        assert_eq!(adaptive.result, offload.result, "q{qid}: answers never change");
+        assert_eq!(adaptive.result, allhost.result, "q{qid}: answers never change");
+    }
 }
 
 #[test]

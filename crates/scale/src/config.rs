@@ -1,7 +1,7 @@
 //! Federation topology and partitioning configuration.
 
 use crate::{Result, ScaleError};
-use ironsafe_csa::{CostParams, SystemConfig};
+use ironsafe_csa::{CostParams, PushdownDepth, SystemConfig};
 use std::collections::HashMap;
 
 /// How a table's rows map to shards.
@@ -47,6 +47,11 @@ pub struct FederationConfig {
     /// rows are unchanged; physical page/crypto counters drop with the
     /// achieved compression ratio (honest accounting).
     pub compressed: bool,
+    /// How far single-table work pushes down into the shards: partial
+    /// aggregation (when the query shape allows it) or qualifying rows
+    /// only. Depth changes fan-in traffic and cost, never the merged
+    /// answer.
+    pub pushdown: PushdownDepth,
 }
 
 impl FederationConfig {
@@ -62,6 +67,7 @@ impl FederationConfig {
             partition_keys: tpch_partition_keys(),
             vectorized: false,
             compressed: false,
+            pushdown: PushdownDepth::default(),
         }
     }
 
@@ -86,6 +92,12 @@ impl FederationConfig {
     /// Set the partitioning mode.
     pub fn with_mode(mut self, mode: PartitionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Set the shard pushdown depth.
+    pub fn with_pushdown(mut self, depth: PushdownDepth) -> Self {
+        self.pushdown = depth;
         self
     }
 

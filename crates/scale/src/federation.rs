@@ -446,8 +446,13 @@ impl FederatedCsaSystem {
             let Partition { storage, host } = partition_select(&sel, &lookup);
 
             // Partial-aggregation pushdown: a single fragment whose host
-            // statement aggregates over just that fragment's output.
-            let agg_plan = if storage.len() == 1
+            // statement aggregates over just that fragment's output, and
+            // the configured depth allows shard-side aggregation. At
+            // `PushdownDepth::Rows` the shards return qualifying rows and
+            // the fan-in re-aggregates — same merged answer, more fan-in
+            // traffic.
+            let agg_plan = if self.config.pushdown == ironsafe_csa::PushdownDepth::PartialAggregate
+                && storage.len() == 1
                 && host.from.len() == 1
                 && host.from[0].name == storage[0].table
             {

@@ -15,7 +15,7 @@ pub use aggregate::{AggSpec, HashAggregate};
 pub use join::{HashJoin, NestedLoopJoin};
 pub use morsel::{
     Dop, ExecMetrics, ExecOptions, Morsel, MorselScan, MorselSource, ParallelHashAggregate,
-    partition_pages,
+    ScanWatch, partition_pages,
 };
 pub use partial::AggPlan;
 pub use scan::SeqScan;

@@ -41,6 +41,7 @@ use ironsafe_obs::{Counter, Registry, Span, Trace, TraceCtx};
 use ironsafe_storage::pager::PageId;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Pages per morsel when [`ExecOptions::morsel_pages`] is not overridden.
 pub const DEFAULT_MORSEL_PAGES: usize = 16;
@@ -88,6 +89,49 @@ impl ExecMetrics {
     }
 }
 
+/// Per-morsel scan telemetry: `(rows_in, rows_out)` around the
+/// pushed-down predicate, indexed by morsel number.
+///
+/// The adaptive planner attaches one of these to a fragment scan's
+/// [`ExecOptions`]; after the scan it reads the slots to compare each
+/// morsel's *observed* selectivity against its estimate and decide
+/// whether the remaining placement still pays (mid-flight re-planning).
+/// Slots are keyed by morsel index, not completion order, so the
+/// recorded sequence is identical at any DOP — a re-plan decision
+/// derived from it is deterministic.
+#[derive(Debug, Default)]
+pub struct ScanWatch {
+    slots: Mutex<Vec<(u64, u64)>>,
+}
+
+impl ScanWatch {
+    /// Fresh watch with no recorded morsels.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one morsel's pre-/post-predicate row counts. Safe to call
+    /// from any worker; last write per index wins (each morsel is
+    /// executed exactly once, so there is no contention in practice).
+    pub fn record(&self, morsel: usize, rows_in: u64, rows_out: u64) {
+        let mut slots = self.slots.lock();
+        if slots.len() <= morsel {
+            slots.resize(morsel + 1, (0, 0));
+        }
+        slots[morsel] = (rows_in, rows_out);
+    }
+
+    /// Drain the recorded `(rows_in, rows_out)` slots, in morsel order.
+    pub fn take(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut *self.slots.lock())
+    }
+
+    /// Copy of the recorded slots without draining them.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.slots.lock().clone()
+    }
+}
+
 /// Knobs for morsel execution, threaded from the session/system down to
 /// the planner.
 #[derive(Debug, Clone)]
@@ -111,6 +155,11 @@ pub struct ExecOptions {
     pub vectorized: bool,
     /// Live counters shared by every scan run under these options.
     pub metrics: ExecMetrics,
+    /// When set, scans record per-morsel `(rows_in, rows_out)` into the
+    /// watch. Forces the morsel driver even at DOP 1 (the serial morsel
+    /// path is bit-identical to the serial operators, so this changes
+    /// telemetry only, never rows or stats).
+    pub watch: Option<Arc<ScanWatch>>,
 }
 
 impl Default for ExecOptions {
@@ -121,6 +170,7 @@ impl Default for ExecOptions {
             oversubscribe: false,
             vectorized: false,
             metrics: ExecMetrics::default(),
+            watch: None,
         }
     }
 }
@@ -145,6 +195,12 @@ impl ExecOptions {
     /// True when plans should use the morsel operators.
     pub fn parallel(&self) -> bool {
         self.dop.get() > 1
+    }
+
+    /// Same options with a [`ScanWatch`] attached.
+    pub fn with_watch(mut self, watch: Arc<ScanWatch>) -> Self {
+        self.watch = Some(watch);
+        self
     }
 }
 
@@ -231,6 +287,7 @@ where
             opts.metrics.morsels.inc();
             let mut acc = M::default();
             let mut rows_seen = 0u64;
+            let mut rows_kept = 0u64;
             for page in buf.chunks_exact(payload) {
                 scan_page_rows(page, ncols, scratch, |row| {
                     rows_seen += 1;
@@ -239,10 +296,14 @@ where
                             return Ok(());
                         }
                     }
+                    rows_kept += 1;
                     per_row(row, &mut acc)
                 })?;
             }
             opts.metrics.rows.add(rows_seen);
+            if let Some(watch) = &opts.watch {
+                watch.record(i, rows_seen, rows_kept);
+            }
             Ok(acc)
         };
         let result = body(scratch);
@@ -351,6 +412,10 @@ where
             let mut sel = vec![true; batch.len()];
             if let Some(pred) = pred {
                 filter_vec(pred, &batch, &mut sel)?;
+            }
+            if let Some(watch) = &opts.watch {
+                let kept = sel.iter().filter(|live| **live).count() as u64;
+                watch.record(i, batch.len() as u64, kept);
             }
             let mut acc = M::default();
             per_batch(&batch, &sel, &mut acc)?;
@@ -869,6 +934,38 @@ mod tests {
             )))
             .unwrap();
             assert_eq!(vectorized.1, serial.1, "dop {dop} vectorized drifted from serial");
+        }
+    }
+
+    #[test]
+    fn scan_watch_slots_are_dop_and_vectorization_invariant() {
+        let (mut source, _pager) = fixture(2000);
+        source.pred = Some(parse_expression("a % 4 = 0").unwrap());
+        let mut baseline: Option<Vec<(u64, u64)>> = None;
+        for dop in [1usize, 4] {
+            for vectorized in [false, true] {
+                let watch = Arc::new(ScanWatch::new());
+                let opts = ExecOptions {
+                    morsel_pages: 3,
+                    oversubscribe: true,
+                    ..ExecOptions::with_dop(dop)
+                }
+                .with_vectorized(vectorized)
+                .with_watch(watch.clone());
+                collect(Box::new(MorselScan::new(source.clone(), opts))).unwrap();
+                let slots = watch.take();
+                let total_in: u64 = slots.iter().map(|(i, _)| i).sum();
+                let total_out: u64 = slots.iter().map(|(_, o)| o).sum();
+                assert_eq!(total_in, 2000);
+                assert_eq!(total_out, 500);
+                match &baseline {
+                    None => baseline = Some(slots),
+                    Some(b) => assert_eq!(
+                        &slots, b,
+                        "dop {dop} vectorized {vectorized}: slots drifted"
+                    ),
+                }
+            }
         }
     }
 

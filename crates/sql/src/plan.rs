@@ -125,8 +125,11 @@ pub fn plan_select_with(
     // reads); a morsel scan materializes everything, so its stats would
     // diverge. Conservatively keep any LIMIT plan serial. Vectorized
     // execution rides the morsel operators, so it routes here too even
-    // at DOP 1.
-    let par = (opts.parallel() || opts.vectorized) && stmt.limit.is_none();
+    // at DOP 1, as does a scan with a [`ScanWatch`] attached (per-morsel
+    // telemetry requires the morsel driver; rows and stats stay
+    // bit-identical either way).
+    let par =
+        (opts.parallel() || opts.vectorized || opts.watch.is_some()) && stmt.limit.is_none();
 
     // 1. Table metadata (scan operators are built after predicate
     // classification so pushed filters can live inside morsel workers).

@@ -3,7 +3,7 @@
 # pass --offline.
 
 # Build, test, and lint everything (the pre-merge gate).
-check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke vec-smoke wal-smoke
+check: serve-smoke par-smoke chaos-smoke fresh-smoke profile-smoke shard-smoke vec-smoke wal-smoke adaptive-smoke
     cargo build --release --offline
     cargo test -q --offline
     cargo clippy --offline -- -D warnings
@@ -53,6 +53,15 @@ vec-smoke:
     cargo test -q --offline -p ironsafe-storage --test compress_prop
     cargo test -q --offline -p ironsafe-scale --test vector_parity
     cargo run --release --offline -p ironsafe-bench --bin paperbench vectors --check
+
+# Adaptive-optimizer smoke: cost-model + planner unit and property
+# tests, pinned/primed golden parity against both static policies, and
+# the BENCH_10.json shape x cores x selectivity x pressure sweep gate
+# (adaptive <= best static everywhere, >=20% wins on both ends,
+# re-planning demo).
+adaptive-smoke:
+    cargo test -q --offline -p ironsafe-csa adaptive
+    cargo run --release --offline -p ironsafe-bench --bin paperbench adaptive --check
 
 # Fault-injection smoke: the chaos harness (50 seed x rate storms,
 # identical-rows-or-typed-error invariant, per-surface recovery) plus
